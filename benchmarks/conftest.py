@@ -1,0 +1,37 @@
+"""Shared fixtures for the per-table/per-figure benchmark harness.
+
+Every module in this directory regenerates one table or figure from the
+paper's evaluation (see DESIGN.md's per-experiment index).  Benchmarks
+print the reproduced rows/series (run with ``-s`` to see them), record
+headline numbers in ``benchmark.extra_info``, and assert the paper's
+qualitative shape -- who wins, by roughly what factor, where crossovers
+fall -- rather than absolute numbers (the substrate is a simulator, not
+the authors' testbed).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Bounds, matmul_spec
+from repro.workloads import synthesize_all
+
+
+@pytest.fixture(scope="session")
+def spec():
+    return matmul_spec()
+
+
+@pytest.fixture(scope="session")
+def bounds4():
+    return Bounds({"i": 4, "j": 4, "k": 4})
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2024)
+
+
+@pytest.fixture(scope="session")
+def suitesparse_matrices():
+    """The scaled synthetic SuiteSparse set (see DESIGN.md substitutions)."""
+    return synthesize_all(max_rows=96, seed=7)

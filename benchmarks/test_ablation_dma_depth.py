@@ -1,0 +1,43 @@
+"""Ablation: DMA in-flight depth on the OuterSPACE workload (Sec. VI-C).
+
+Sweeps the number of in-flight requests from 1 to 32, showing the full
+curve the paper's two points (default and 16-deep) sit on: throughput
+rises steeply while latency is being hidden, then saturates at the DRAM
+bandwidth bound -- the knob stops paying for itself.
+"""
+
+from repro.baselines import outerspace as osp
+
+DEPTHS = (1, 2, 4, 8, 16, 32)
+
+
+def _sweep_depths(matrices):
+    return {
+        depth: osp.average_gflops(osp.sweep(matrices, max_inflight=depth))
+        for depth in DEPTHS
+    }
+
+
+def test_ablation_dma_inflight_depth(benchmark, suitesparse_matrices):
+    curve = benchmark(_sweep_depths, suitesparse_matrices)
+
+    print()
+    print(f"  {'in-flight':>10s} {'avg GFLOP/s':>12s} {'marginal gain':>14s}")
+    previous = None
+    for depth in DEPTHS:
+        gain = "" if previous is None else f"{curve[depth] / previous:.2f}x"
+        print(f"  {depth:10d} {curve[depth]:12.2f} {gain:>14s}")
+        previous = curve[depth]
+
+    values = [curve[d] for d in DEPTHS]
+    # Monotone non-decreasing...
+    assert all(b >= a for a, b in zip(values, values[1:]))
+    # ...with strong early gains...
+    assert curve[8] > 3 * curve[1]
+    # ...and diminishing returns once latency is hidden (the bandwidth
+    # bound): doubling 16 -> 32 buys far less than 1 -> 2.
+    late_gain = curve[32] / curve[16]
+    early_gain = curve[2] / curve[1]
+    assert late_gain < early_gain
+    assert late_gain < 1.5
+    benchmark.extra_info["curve"] = {d: round(curve[d], 2) for d in DEPTHS}

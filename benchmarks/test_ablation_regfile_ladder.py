@@ -1,0 +1,69 @@
+"""Ablation: the register-file optimization ladder (Section IV-D).
+
+What would the Gemmini-class design cost if Stellar skipped its regfile
+optimization passes and fell back to the baseline searching regfile for
+every variable?  This is the design choice that keeps the generated
+design's regfile overhead at 4x instead of far worse.
+"""
+
+from repro.area.model import regfile_area
+from repro.core import Bounds, compile_design, matmul_spec
+from repro.core.dataflow import output_stationary
+from repro.core.memspec import HardcodedParams, dense_matrix_buffer
+from repro.core.passes.regfile_opt import RegfileKind, RegfilePlan
+
+
+def _compare(spec, bounds):
+    membufs = {
+        name: dense_matrix_buffer(
+            name, 4, 4,
+            hardcoded_read=HardcodedParams(spans={0: 4, 1: 4}, wavefront=True),
+        )
+        for name in ("A", "B", "C")
+    }
+    optimized = compile_design(spec, bounds, output_stationary(), membufs=membufs)
+    # The ablated design: identical plans, forced to the crossbar fallback.
+    ablated = {
+        variable: RegfilePlan(
+            variable,
+            RegfileKind.CROSSBAR,
+            plan.entries,
+            plan.in_ports,
+            plan.out_ports,
+            plan.element_bits,
+            "ablation: ladder disabled",
+        )
+        for variable, plan in optimized.regfile_plans.items()
+    }
+    return optimized, ablated
+
+
+def test_ablation_regfile_ladder(benchmark, spec, bounds4):
+    optimized, ablated = benchmark(_compare, spec, bounds4)
+
+    opt_area = sum(regfile_area(p) for p in optimized.regfile_plans.values())
+    abl_area = sum(regfile_area(p) for p in ablated.values())
+    print()
+    for variable, plan in sorted(optimized.regfile_plans.items()):
+        print(
+            f"  {variable}: ladder -> {plan.kind.value:12s}"
+            f" ({regfile_area(plan):9,.0f} um^2)"
+            f"  vs crossbar ({regfile_area(ablated[variable]):9,.0f} um^2)"
+        )
+    print(f"  total regfile area: {opt_area:,.0f} vs {abl_area:,.0f} um^2"
+          f" ({abl_area / opt_area:.1f}x saved by the ladder)")
+
+    # With wavefront-hardcoded buffers, at least the streamed operand
+    # regfiles optimize below the crossbar baseline.
+    assert any(
+        plan.kind is not RegfileKind.CROSSBAR
+        for plan in optimized.regfile_plans.values()
+    )
+    assert abl_area > 1.2 * opt_area
+    # Search width collapses from every-entry to (near) single-entry.
+    total_search_opt = sum(
+        p.search_width() for p in optimized.regfile_plans.values()
+    )
+    total_search_abl = sum(p.search_width() for p in ablated.values())
+    assert total_search_abl > 2 * total_search_opt
+    benchmark.extra_info["area_saved_ratio"] = round(abl_area / opt_area, 2)

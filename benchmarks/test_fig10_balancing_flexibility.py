@@ -1,0 +1,59 @@
+"""Figure 10: load-balancing flexibility vs spatial-array structure.
+
+Row-granular balancing (Figure 10a) preserves all PE-to-PE connections;
+PE-granular balancing (Figure 10b) lets individual PEs take foreign work
+and forces the constrained operand flows onto register-file ports --
+flexibility costs area and wiring.
+"""
+
+from repro.area.model import estimate_design_area
+from repro.core import compile_design
+from repro.core.balancing import flexible_pe_scheme, row_shift_scheme
+from repro.core.dataflow import input_stationary
+from repro.sim.balancer import spatial_balanced_makespan
+
+
+def _compile_three(spec, bounds):
+    return {
+        "none": compile_design(spec, bounds, input_stationary()),
+        "row-granular (Fig 10a)": compile_design(
+            spec, bounds, input_stationary(), balancing=row_shift_scheme(2)
+        ),
+        "pe-granular (Fig 10b)": compile_design(
+            spec, bounds, input_stationary(), balancing=flexible_pe_scheme(4)
+        ),
+    }
+
+
+def test_fig10_flexibility_tradeoff(benchmark, spec, bounds4):
+    designs = benchmark(_compile_three, spec, bounds4)
+
+    print()
+    for name, design in designs.items():
+        area = estimate_design_area(design)
+        print(
+            f"  {name:24s} conns={len(design.array.conns)}"
+            f" pruned={design.pruned_variables() or '[]'}"
+            f" regfile_area={area['Regfiles']:>9,.0f} um^2"
+        )
+
+    none = designs["none"]
+    row = designs["row-granular (Fig 10a)"]
+    pe = designs["pe-granular (Fig 10b)"]
+
+    # Figure 10a: connections preserved.
+    assert len(row.array.conns) == len(none.array.conns)
+    # Figure 10b: operand flows pruned, regfile traffic instead.
+    assert set(pe.pruned_variables()) == {"a", "b"}
+    assert len(pe.array.conns) < len(none.array.conns)
+    # The flexible design pays more regfile area.
+    assert (
+        estimate_design_area(pe)["Regfiles"]
+        > estimate_design_area(row)["Regfiles"]
+    )
+    # But PE-granular balancing reaches work row-granular cannot.
+    work = [14, 12, 0, 0, 0]
+    row_result = spatial_balanced_makespan(work, "row")
+    pe_result = spatial_balanced_makespan(work, "pe")
+    assert pe_result.cycles <= row_result.cycles
+    benchmark.extra_info["conns"] = {n: len(d.array.conns) for n, d in designs.items()}

@@ -1,0 +1,60 @@
+"""Figure 14: the register-file optimization ladder.
+
+Runs the ladder across the four scenarios of Figure 14 -- data-dependent
+accesses (crossbar baseline), edge-only permutations, transpositions, and
+exactly-matching orders (feed-forward) -- and reports the area each
+variant costs, confirming the ladder always picks the cheapest legal one.
+"""
+
+from repro.area.model import regfile_area
+from repro.core.passes.regfile_opt import (
+    RegfileKind,
+    RegfilePlan,
+    choose_regfile,
+)
+
+ORDER = [(i, j) for i in range(4) for j in range(4)]
+TRANSPOSED = [(j, i) for (i, j) in ORDER]
+SHUFFLED = list(reversed(ORDER))
+
+
+def _run_ladder():
+    return {
+        "matching orders": choose_regfile("x", ORDER, list(ORDER)),
+        "transposed orders": choose_regfile("x", ORDER, TRANSPOSED),
+        "permuted orders": choose_regfile("x", ORDER, SHUFFLED),
+        "data-dependent": choose_regfile(
+            "x", ORDER, list(ORDER), data_dependent=True
+        ),
+        "unknown producer": choose_regfile("x", None, list(ORDER)),
+    }
+
+
+def test_fig14_regfile_ladder(benchmark):
+    plans = benchmark(_run_ladder)
+
+    print()
+    print(f"  {'scenario':20s} {'kind':14s} {'search':>7s} {'area (um^2)':>12s}")
+    for name, plan in plans.items():
+        print(
+            f"  {name:20s} {plan.kind.value:14s} {plan.search_width():7d}"
+            f" {regfile_area(plan):12,.0f}"
+        )
+
+    assert plans["matching orders"].kind is RegfileKind.FEEDFORWARD
+    assert plans["transposed orders"].kind is RegfileKind.TRANSPOSING
+    assert plans["permuted orders"].kind is RegfileKind.EDGE
+    assert plans["data-dependent"].kind is RegfileKind.CROSSBAR
+    assert plans["unknown producer"].kind is RegfileKind.CROSSBAR
+
+    # Figure 14's cost ordering: 14c < 14d <= 14b < 14a.
+    areas = {name: regfile_area(plan) for name, plan in plans.items()}
+    assert areas["matching orders"] < areas["transposed orders"]
+    assert areas["transposed orders"] <= areas["permuted orders"]
+    assert areas["permuted orders"] < areas["data-dependent"]
+    # The baseline searches every entry; the feed-forward regfile just one.
+    assert plans["data-dependent"].search_width() == len(ORDER)
+    assert plans["matching orders"].search_width() == 1
+    benchmark.extra_info["crossbar_over_fifo"] = round(
+        areas["data-dependent"] / areas["matching orders"], 2
+    )

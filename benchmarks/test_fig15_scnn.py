@@ -1,0 +1,40 @@
+"""Figure 15: PE utilization of SCNN on pruned AlexNet.
+
+Regenerates the per-layer utilization bars for the handwritten SCNN and
+the Stellar-generated one; the generated design must land in the paper's
+83%-94% relative-performance band.
+"""
+
+from repro.baselines import scnn
+from repro.workloads import alexnet_pruned_layers
+
+
+def _run_layers():
+    layers = alexnet_pruned_layers()
+    return layers, scnn.network_results(layers)
+
+
+def test_fig15_scnn_utilization(benchmark):
+    layers, (handwritten, stellar) = benchmark(_run_layers)
+
+    print()
+    print(f"  {'layer':8s} {'dens(w/a)':>11s} {'util hand':>10s}"
+          f" {'util stellar':>13s} {'relative':>9s}")
+    ratios = []
+    for layer, h, s in zip(layers, handwritten, stellar):
+        relative = h.cycles / s.cycles
+        ratios.append(relative)
+        print(
+            f"  {layer.name:8s} {layer.weight_density:5.2f}/{layer.activation_density:4.2f}"
+            f" {h.utilization:10.3f} {s.utilization:13.3f} {relative:9.3f}"
+        )
+
+    # Paper: "the Stellar-generated SCNN achieved 83%-94% of the
+    # hand-designed accelerator's reported performance".
+    assert 0.80 <= min(ratios) <= 0.86
+    assert 0.91 <= max(ratios) <= 0.97
+    assert all(s.cycles >= h.cycles for h, s in zip(handwritten, stellar))
+    benchmark.extra_info["relative_range"] = (
+        round(min(ratios), 3),
+        round(max(ratios), 3),
+    )

@@ -1,0 +1,45 @@
+"""Figure 16b / Section VI-C: OuterSPACE throughput and the DMA fix.
+
+Regenerates the per-matrix throughput series of the Stellar-generated
+OuterSPACE accelerator on the (synthetic) SuiteSparse set, with the
+default DMA and with the 16-in-flight fix, against OuterSPACE's reported
+2.9 GFLOP/s average.
+"""
+
+from repro.baselines import outerspace as osp
+
+
+def _sweep_both(matrices):
+    base = osp.sweep(matrices, max_inflight=osp.DEFAULT_MAX_INFLIGHT)
+    improved = osp.sweep(matrices, max_inflight=osp.IMPROVED_MAX_INFLIGHT)
+    return base, improved
+
+
+def test_fig16b_outerspace_throughput(benchmark, suitesparse_matrices):
+    base, improved = benchmark(_sweep_both, suitesparse_matrices)
+
+    print()
+    print(f"  {'matrix':16s} {'default (GFLOP/s)':>18s} {'16-deep DMA':>12s}")
+    for slow, fast in zip(base, improved):
+        print(f"  {slow.name:16s} {slow.gflops:18.3f} {fast.gflops:12.3f}")
+    avg_base = osp.average_gflops(base)
+    avg_improved = osp.average_gflops(improved)
+    print(
+        f"\n  average: {avg_base:.2f} -> {avg_improved:.2f} GFLOP/s"
+        f" (paper: 1.42 -> 2.1; OuterSPACE reported {osp.PAPER_REPORTED_GFLOPS})"
+    )
+
+    # The initial design lands near the paper's 1.42 GFLOP/s...
+    assert 1.1 <= avg_base <= 1.8
+    # ...the 16-deep DMA recovers most of the gap without changing DRAM
+    # bandwidth, but stays below OuterSPACE's reported average.
+    assert avg_improved > 1.35 * avg_base
+    assert avg_improved < osp.PAPER_REPORTED_GFLOPS
+    # Every matrix is memory-bound and every matrix improves.
+    for slow, fast in zip(base, improved):
+        assert slow.memory_cycles > slow.compute_cycles
+        assert fast.gflops >= slow.gflops
+    benchmark.extra_info["avg_gflops"] = (
+        round(avg_base, 3),
+        round(avg_improved, 3),
+    )

@@ -1,0 +1,48 @@
+"""Figure 17: energy consumed per MAC on layers of ResNet-50.
+
+Regenerates the per-layer pJ/MAC series for both Gemmini implementations
+(Intel 22nm-class constants); the Stellar-generated design's overhead
+ranges from ~7% at best to ~30% at worst (Section VI-B).
+"""
+
+from repro.baselines import gemmini
+from repro.workloads import resnet50_layers
+
+
+def _run():
+    layers = [L for L in resnet50_layers() if L.name != "fc1000"]
+    rows = []
+    for layer in layers:
+        handwritten = gemmini.layer_energy_report(layer, stellar=False)
+        stellar = gemmini.layer_energy_report(layer, stellar=True)
+        rows.append((layer, handwritten, stellar))
+    return rows
+
+
+def test_fig17_energy_per_mac(benchmark):
+    rows = benchmark(_run)
+
+    print()
+    print(f"  {'layer':12s} {'hand pJ/MAC':>12s} {'stellar pJ/MAC':>15s} {'overhead':>9s}")
+    overheads = []
+    for layer, handwritten, stellar in rows:
+        overhead = stellar.pj_per_mac / handwritten.pj_per_mac - 1
+        overheads.append(overhead)
+        print(
+            f"  {layer.name:12s} {handwritten.pj_per_mac:12.3f}"
+            f" {stellar.pj_per_mac:15.3f} {overhead:8.1%}"
+        )
+    print(f"\n  overhead range: {min(overheads):.1%} .. {max(overheads):.1%}"
+          f" (paper: 7% .. 30%)")
+
+    assert 0.04 <= min(overheads) <= 0.10
+    assert 0.25 <= max(overheads) <= 0.35
+    # The mechanism: overhead tracks utilization (idle PEs stay clocked).
+    utils = [gemmini.stellar_layer(layer).utilization for layer, _, __ in rows]
+    worst = overheads.index(max(overheads))
+    best = overheads.index(min(overheads))
+    assert utils[worst] < utils[best]
+    benchmark.extra_info["overhead_range"] = (
+        round(min(overheads), 3),
+        round(max(overheads), 3),
+    )

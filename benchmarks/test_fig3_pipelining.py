@@ -1,0 +1,61 @@
+"""Figure 3: pipelining strategies from the time row of the transform.
+
+Sweeps the time row of the input-stationary matmul transform and reports
+the pipeline-register count, achievable frequency, and schedule length of
+each strategy -- reproducing the latency/frequency trade-off of Figure 3.
+"""
+
+from repro.area.timing import (
+    design_max_frequency_mhz,
+    distributed_unroller_path_ns,
+    schedule_cycles,
+)
+from repro.core import Bounds, matmul_spec
+from repro.core.dataflow import SpaceTimeTransform, input_stationary
+from repro.core.passes.pipelining import analyze_pipelining
+
+TIME_ROWS = {
+    "broadcast (no regs on a)": [1, 0, 1],
+    "baseline (1 reg/hop)": [1, 1, 1],
+    "deeper (2 regs/hop)": [2, 2, 2],
+    "deepest (3 regs/hop)": [3, 3, 3],
+}
+
+
+def _sweep(spec, bounds):
+    rows = {}
+    for name, time_row in TIME_ROWS.items():
+        transform = input_stationary().with_time_row(time_row)
+        report = analyze_pipelining(spec, transform)
+        freq = design_max_frequency_mhz(
+            spec, transform, array_dim=4,
+            address_gen_path_ns=distributed_unroller_path_ns(),
+        )
+        rows[name] = (
+            report.total_registers_per_pe,
+            freq,
+            schedule_cycles(spec, transform, bounds),
+        )
+    return rows
+
+
+def test_fig3_pipelining_strategies(benchmark, spec, bounds4):
+    rows = benchmark(_sweep, spec, bounds4)
+
+    print()
+    print(f"  {'strategy':28s} {'regs/PE':>8s} {'fmax (MHz)':>11s} {'schedule':>9s}")
+    for name, (regs, freq, cycles) in rows.items():
+        print(f"  {name:28s} {regs:8d} {freq:11.0f} {cycles:9d}")
+
+    regs = [rows[n][0] for n in TIME_ROWS]
+    freqs = [rows[n][1] for n in TIME_ROWS]
+    cycles = [rows[n][2] for n in TIME_ROWS]
+
+    # More aggressive time rows insert more registers...
+    assert regs == sorted(regs)
+    # ...raising the achievable clock (the broadcast design is slowest)...
+    assert freqs[0] == min(freqs)
+    assert freqs[-1] >= freqs[1]
+    # ...at the cost of a longer schedule.
+    assert cycles == sorted(cycles)
+    benchmark.extra_info["fmax_range_mhz"] = (min(freqs), max(freqs))

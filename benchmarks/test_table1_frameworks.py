@@ -1,0 +1,20 @@
+"""Table I: the framework capability comparison.
+
+Regenerates the feature matrix from the capability registry and checks
+Stellar's distinguishing row.
+"""
+
+from repro.meta.frameworks import FRAMEWORKS, render_table, stellar_distinguishers
+
+
+def test_table1_framework_comparison(benchmark):
+    table = benchmark(render_table)
+    print("\n" + table)
+
+    flags = stellar_distinguishers()
+    assert flags["only_isa_level"], "only Stellar offers an ISA-level interface"
+    assert flags["only_sparse_plus_rtl"], (
+        "only Stellar combines sparse data structures with synthesizable RTL"
+    )
+    assert flags["all_five_axes"]
+    benchmark.extra_info["frameworks"] = len(FRAMEWORKS)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The Gemmini study: comparing a generated DNN accelerator against a
+hand-written one on ResNet-50 (paper Section VI-B condensed).
+
+Reproduces the three comparisons of the paper's dense evaluation --
+utilization (Figure 16a), area (Table III), and energy (Figure 17) --
+plus the Section VI-B frequency result, using the handwritten-Gemmini
+baseline and the calibrated models.
+
+Run:  python examples/dnn_accelerator_study.py
+"""
+
+from repro.baselines import gemmini
+from repro.workloads import resnet50_layers
+
+
+def main():
+    layers = resnet50_layers()
+
+    print("=== Figure 16a: PE utilization on ResNet-50 ===")
+    print(f"{'layer':12s} {'handwritten':>12s} {'stellar':>9s}")
+    for layer in layers:
+        h = gemmini.handwritten_layer(layer)
+        s = gemmini.stellar_layer(layer)
+        print(f"{layer.name:12s} {h.utilization:12.3f} {s.utilization:9.3f}")
+    hu = gemmini.network_utilization(layers, stellar=False)
+    su = gemmini.network_utilization(layers, stellar=True)
+    print(f"{'network':12s} {hu:12.3f} {su:9.3f}   (ratio {su / hu:.1%};"
+          " paper: ~90%)")
+
+    print("\n=== Table III: area at 500 MHz (ASAP7-class model) ===")
+    handwritten = gemmini.handwritten_area()
+    stellar = gemmini.stellar_area()
+    print(f"{'component':16s} {'original':>12s} {'stellar':>12s}")
+    for name in handwritten.components:
+        print(f"{name:16s} {handwritten[name]:12,.0f} {stellar[name]:12,.0f}")
+    print(f"{'Total':16s} {handwritten.total:12,.0f} {stellar.total:12,.0f}"
+          f"   (+{stellar.total / handwritten.total - 1:.0%}; paper: +13%)")
+
+    print("\n=== Figure 17: energy per MAC (Intel 22nm-class model) ===")
+    print(f"{'layer':12s} {'hand pJ/MAC':>12s} {'stellar':>9s} {'overhead':>9s}")
+    for layer in layers:
+        if layer.name == "fc1000":
+            continue
+        h = gemmini.layer_energy_report(layer, stellar=False)
+        s = gemmini.layer_energy_report(layer, stellar=True)
+        print(f"{layer.name:12s} {h.pj_per_mac:12.3f} {s.pj_per_mac:9.3f}"
+              f" {s.pj_per_mac / h.pj_per_mac - 1:8.1%}")
+
+    print("\n=== Section VI-B: maximum frequency ===")
+    print(f"handwritten (centralized loop unrollers): "
+          f"{gemmini.handwritten_max_frequency_mhz():.0f} MHz (paper: 700)")
+    print(f"stellar (distributed address generators): "
+          f"{gemmini.stellar_max_frequency_mhz():.0f} MHz (paper: 1000)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Design-space exploration for a sparse matmul accelerator.
+
+The paper's central pitch is *separation of concerns*: each of the five
+design axes -- functionality, dataflow, sparsity, load balancing, memory
+buffers -- can be changed in isolation.  This example holds the
+functional spec fixed and sweeps the other axes, measuring how each
+choice moves cycles, utilization, and area on an imbalanced sparse
+workload (the scenario of paper Figures 4, 6, and 10).
+
+Run:  python examples/sparse_accelerator_exploration.py
+"""
+
+import numpy as np
+
+from repro import Accelerator, matmul_spec
+from repro.core.balancing import flexible_pe_scheme, row_shift_scheme
+from repro.core.dataflow import hexagonal, input_stationary, output_stationary
+from repro.core.sparsity import csr_b_matrix
+
+N = 8
+
+
+def imbalanced_workload(rng):
+    """A(dense) x B(sparse, heavily imbalanced rows)."""
+    a = rng.integers(1, 5, (N, N))
+    b = np.zeros((N, N), dtype=int)
+    b[0, :] = rng.integers(1, 5, N)
+    b[2, :3] = rng.integers(1, 5, 3)
+    b[5, 4] = 7
+    return a, b
+
+
+def evaluate(name, accelerator, a, b):
+    design = accelerator.build()
+    result = design.run({"A": a, "B": b})
+    area = design.area_report()
+    assert np.array_equal(result.outputs["C"], a @ b)
+    print(
+        f"  {name:42s} cycles={result.cycles:4d}"
+        f" util={result.utilization:6.1%}"
+        f" conns={len(design.compiled.array.conns)}"
+        f" area={area.total / 1000:8.1f}K um^2"
+    )
+    return result, area
+
+
+def main():
+    rng = np.random.default_rng(7)
+    a, b = imbalanced_workload(rng)
+    spec = matmul_spec()
+    base = Accelerator(
+        spec=spec,
+        bounds={"i": N, "j": N, "k": N},
+        transform=input_stationary(),
+    )
+
+    print("axis 1 -- dataflow (dense baseline, Figure 2):")
+    for name, transform in (
+        ("input-stationary", input_stationary()),
+        ("output-stationary", output_stationary()),
+        ("hexagonal", hexagonal()),
+    ):
+        evaluate(name, base.with_transform(transform), a, b)
+
+    print("\naxis 2 -- sparsity (Skip j when B(k,j)==0, Figure 4):")
+    sparse = base.with_sparsity(csr_b_matrix(spec))
+    dense_result, _ = evaluate("dense array, sparse data", base, a, b)
+    sparse_result, _ = evaluate("CSR-skipping array", sparse, a, b)
+    print(
+        f"    -> skipping zeros: {dense_result.cycles} -> {sparse_result.cycles}"
+        f" cycles ({dense_result.cycles / sparse_result.cycles:.1f}x)"
+    )
+
+    print("\naxis 3 -- load balancing on the sparse array (Figures 6/10):")
+    unbal, _ = evaluate("no balancing", sparse, a, b)
+    row, _ = evaluate(
+        "row-granular shifts (Listing 3)",
+        sparse.with_balancing(row_shift_scheme(N // 2)),
+        a,
+        b,
+    )
+    pe, pe_area = evaluate(
+        "PE-granular shifts (Listing 4)",
+        sparse.with_balancing(flexible_pe_scheme(N)),
+        a,
+        b,
+    )
+    print(
+        f"    -> balancing recovers {unbal.cycles - row.cycles} cycles;"
+        " PE-granular flexibility additionally prunes operand connections"
+        " (more regfile ports, more area)"
+    )
+
+    print("\nconclusion: each axis moved independently; the functional spec"
+          " (and therefore every result) never changed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Kept for legacy editable installs on environments without the `wheel`
+# package (pyproject.toml carries the real metadata).
+setup()

@@ -1,0 +1,59 @@
+"""repro: a Python reproduction of Stellar (MICRO 2024).
+
+Stellar is an automated design framework for dense and sparse spatial
+accelerators.  This package rebuilds its full stack: the five-axis
+specification language and compiler (:mod:`repro.core`), a structural RTL
+backend with a Verilog emitter (:mod:`repro.rtl`), a cycle-level simulator
+(:mod:`repro.sim`), the RISC-V-style programming interface
+(:mod:`repro.isa`), fibertree tensor formats (:mod:`repro.formats`), a
+calibrated area/energy/timing model (:mod:`repro.area`), handwritten
+baselines (:mod:`repro.baselines`), and the paper's workloads
+(:mod:`repro.workloads`).
+"""
+
+from .core import (
+    Accelerator,
+    Bounds,
+    FunctionalSpec,
+    GeneratedDesign,
+    Index,
+    LoadBalancingScheme,
+    Local,
+    MemoryBufferSpec,
+    Shift,
+    Skip,
+    SpaceTimeTransform,
+    SparsityStructure,
+    Tensor,
+    hexagonal,
+    indices,
+    input_stationary,
+    matmul_spec,
+    output_stationary,
+    weight_stationary,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Accelerator",
+    "Bounds",
+    "FunctionalSpec",
+    "GeneratedDesign",
+    "Index",
+    "LoadBalancingScheme",
+    "Local",
+    "MemoryBufferSpec",
+    "Shift",
+    "Skip",
+    "SpaceTimeTransform",
+    "SparsityStructure",
+    "Tensor",
+    "hexagonal",
+    "indices",
+    "input_stationary",
+    "matmul_spec",
+    "output_stationary",
+    "weight_stationary",
+    "__version__",
+]

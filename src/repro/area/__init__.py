@@ -1,0 +1,53 @@
+"""Calibrated area, energy, and timing models (ASAP7 / Intel 22nm class)."""
+
+from .energy import EnergyReport, energy_overhead_ratio, layer_energy
+from .model import (
+    AreaBreakdown,
+    comparator_area,
+    dma_area,
+    estimate_design_area,
+    flattened_merger_area,
+    hierarchical_merger_area,
+    loop_unroller_area,
+    mac_area,
+    membuf_area,
+    pe_area,
+    regfile_area,
+    register_area,
+    row_partitioned_merger_area,
+    sram_area,
+)
+from .timing import (
+    centralized_unroller_path_ns,
+    design_max_frequency_mhz,
+    distributed_unroller_path_ns,
+    max_frequency_mhz,
+    pe_critical_path_ns,
+    schedule_cycles,
+)
+
+__all__ = [
+    "EnergyReport",
+    "energy_overhead_ratio",
+    "layer_energy",
+    "AreaBreakdown",
+    "comparator_area",
+    "dma_area",
+    "estimate_design_area",
+    "flattened_merger_area",
+    "hierarchical_merger_area",
+    "loop_unroller_area",
+    "mac_area",
+    "membuf_area",
+    "pe_area",
+    "regfile_area",
+    "register_area",
+    "row_partitioned_merger_area",
+    "sram_area",
+    "pe_critical_path_ns",
+    "centralized_unroller_path_ns",
+    "design_max_frequency_mhz",
+    "distributed_unroller_path_ns",
+    "max_frequency_mhz",
+    "schedule_cycles",
+]

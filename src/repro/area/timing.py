@@ -1,0 +1,84 @@
+"""Critical-path timing model (paper Sections VI-B and III-B/Figure 3).
+
+Two timing phenomena from the paper are modeled:
+
+* **Frequency scaling of address generation** (Section VI-B): handwritten
+  Gemmini's centralized loop unrollers chain address arithmetic for every
+  loop level through one block, with fan-out to every buffer -- its delay
+  grows superlinearly with loop levels and caps the design at 700 MHz.
+  Stellar's distributed per-buffer generators keep the chain short and
+  reach 1 GHz.
+* **Pipelining strategies** (Figure 3): scaling the time row of the
+  space-time transform inserts pipeline registers along moving variables;
+  a design with combinational (broadcast) chains has a critical path that
+  grows with the array dimension.
+
+Delays in nanoseconds, ASAP7-class.
+"""
+
+from __future__ import annotations
+
+from ..core.dataflow import SpaceTimeTransform
+from ..core.functionality import FunctionalSpec
+from ..core.passes.pipelining import analyze_pipelining
+
+# Primitive delays (ns).
+MAC_DELAY_NS = 0.88
+REGISTER_OVERHEAD_NS = 0.10  # setup + clk->q
+ADDER_DELAY_NS = 0.09
+MUX_DELAY_NS = 0.03
+WIRE_DELAY_PER_PE_NS = 0.045  # per hop of a combinational chain
+FANOUT_DELAY_PER_LOG_NS = 0.06
+
+
+def pe_critical_path_ns(combinational_span: int = 1) -> float:
+    """Critical path through ``combinational_span`` chained PEs."""
+    return (
+        REGISTER_OVERHEAD_NS
+        + combinational_span * MAC_DELAY_NS
+        + max(0, combinational_span - 1) * WIRE_DELAY_PER_PE_NS
+    )
+
+
+def centralized_unroller_path_ns(loop_levels: int, fanout: int) -> float:
+    """One monolithic address generator: chained adders per loop level,
+    plus a comparator ladder and fan-out to every consumer."""
+    chain = loop_levels * (ADDER_DELAY_NS + MUX_DELAY_NS) + loop_levels * 0.036
+    fanout_delay = FANOUT_DELAY_PER_LOG_NS * max(1, fanout).bit_length()
+    return REGISTER_OVERHEAD_NS + chain + fanout_delay
+
+
+def distributed_unroller_path_ns(levels_per_buffer: int = 2) -> float:
+    """Per-buffer address generators: one adder + mux per local level."""
+    return REGISTER_OVERHEAD_NS + levels_per_buffer * (ADDER_DELAY_NS + MUX_DELAY_NS)
+
+
+def max_frequency_mhz(critical_path_ns: float) -> float:
+    if critical_path_ns <= 0:
+        raise ValueError("critical path must be positive")
+    return 1000.0 / critical_path_ns
+
+
+def design_max_frequency_mhz(
+    spec: FunctionalSpec,
+    transform: SpaceTimeTransform,
+    array_dim: int,
+    address_gen_path_ns: float,
+) -> float:
+    """Maximum frequency of a full design: the slowest of the PE array
+    (accounting for broadcast chains under this transform) and the
+    address-generation path."""
+    report = analyze_pipelining(spec, transform)
+    span = 1
+    if report.broadcast_variables:
+        span = array_dim  # a broadcast chain crosses the whole dimension
+    pe_path = pe_critical_path_ns(span)
+    return max_frequency_mhz(max(pe_path, address_gen_path_ns))
+
+
+def schedule_cycles(
+    spec: FunctionalSpec, transform: SpaceTimeTransform, bounds, order=None
+) -> int:
+    """Total schedule length under a transform (Figure 3's latency axis)."""
+    footprint = transform.footprint(bounds, order or spec.index_names)
+    return footprint.schedule_length

@@ -1,0 +1,6 @@
+"""Handwritten comparators the paper evaluates against: Gemmini, SCNN,
+OuterSPACE, and the SpArch/GAMMA partial-matrix mergers."""
+
+from . import gemmini, matraptor, mergers, outerspace, scnn
+
+__all__ = ["gemmini", "matraptor", "mergers", "outerspace", "scnn"]

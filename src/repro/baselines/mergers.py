@@ -1,0 +1,172 @@
+"""Partial-matrix mergers: SpArch-style flattened vs GAMMA-style
+row-partitioned (paper Section VI-D, Figures 18 and 19).
+
+Sparse matmul accelerators that produce scattered partial matrices need a
+merge stage.  Two designs from prior work:
+
+* **Row-partitioned** (GAMMA [38], Figure 19a): one PE per output row;
+  each PE merges its row's fibers and emits one element per cycle.
+  Cheap (one comparator per PE) but sensitive to row-length imbalance --
+  a PE with a long row runs on while the others idle.
+* **Flattened** (SpArch [39], Figure 19b): rows are flattened into one
+  contiguous fiber and a comparator matrix pops up to ``throughput``
+  elements per cycle regardless of row balance.  Over 60% of SpArch's
+  area (128 64-bit comparators for throughput 16).
+
+The experiment of Figure 18 merges the partial matrices produced by
+SpArch's execution order (outer products of consecutive columns, combined
+in rounds of ``ways``) and reports merged elements per cycle for a
+32-wide row-partitioned merger against a 16-wide flattened one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, NamedTuple, Sequence, Tuple
+
+import heapq
+
+from ..formats.csr import CSCMatrix, CSRMatrix
+
+PartialMatrix = List[Tuple[int, int, float]]  # sorted (row, col, value)
+
+
+class MergeResult(NamedTuple):
+    merged_elements: int
+    cycles: int
+
+    @property
+    def elements_per_cycle(self) -> float:
+        return self.merged_elements / self.cycles if self.cycles else 0.0
+
+
+def merge_reference(partials: Sequence[PartialMatrix]) -> PartialMatrix:
+    """Ground-truth merge: combine duplicates, sorted by (row, col)."""
+    acc: Dict[Tuple[int, int], float] = {}
+    for partial in partials:
+        for row, col, value in partial:
+            acc[(row, col)] = acc.get((row, col), 0.0) + value
+    return [(r, c, v) for (r, c), v in sorted(acc.items())]
+
+
+def flattened_merge(
+    partials: Sequence[PartialMatrix], throughput: int = 16
+) -> MergeResult:
+    """SpArch's flattened merger: rows are flattened into one contiguous
+    fiber and the comparator matrix pops up to ``throughput`` *merged*
+    elements per cycle regardless of row balance (Figure 19b).
+
+    Cycles: merged outputs at ``throughput`` per cycle, plus a pipeline
+    depth to fill the comparator tree.
+    """
+    merged = merge_reference(partials)
+    if not merged:
+        return MergeResult(0, 1)
+    tree_depth = max(1, (max(1, len(partials)) - 1).bit_length()) + 2
+    cycles = -(-len(merged) // throughput) + tree_depth
+    return MergeResult(len(merged), cycles)
+
+
+def row_partitioned_merge(
+    partials: Sequence[PartialMatrix], pe_count: int = 32
+) -> MergeResult:
+    """GAMMA-style merger: output rows are distributed across ``pe_count``
+    PEs, each merging one row at a time and "generating one element every
+    cycle" (Figure 19a).  The makespan is the most-loaded PE's merged
+    output count plus per-row fiber-switch overheads -- where row-length
+    imbalance bites.
+    """
+    merged = merge_reference(partials)
+    if not merged:
+        return MergeResult(0, 1)
+    per_row_outputs: Dict[int, int] = {}
+    for row, _col, _value in merged:
+        per_row_outputs[row] = per_row_outputs.get(row, 0) + 1
+
+    # Static row-to-PE assignment (row mod pe_count), as the cheap
+    # hardware row distributor does -- no global work scheduler.
+    loads = [0] * pe_count
+    for row, count in per_row_outputs.items():
+        loads[row % pe_count] += count + 1  # +1: per-row fiber switch
+    return MergeResult(len(merged), max(1, max(loads)))
+
+
+# ---------------------------------------------------------------------------
+# SpArch execution order (Figure 18's workload)
+# ---------------------------------------------------------------------------
+
+
+def sparch_partial_matrices(a: CSRMatrix, ways: int = 64) -> List[List[PartialMatrix]]:
+    """Partial matrices of ``A x A`` in SpArch's execution order: one
+    partial matrix per column-k outer product, merged in rounds of
+    ``ways`` consecutive partials.  These rounds are exactly the "many
+    small partial matrices which can have highly imbalanced row-lengths"
+    the paper describes."""
+    at = a.transpose()  # CSC view of A
+    partials: List[PartialMatrix] = []
+    for k in range(a.shape[0]):
+        col_rows = at.indices[at.indptr[k] : at.indptr[k + 1]]
+        col_vals = at.data[at.indptr[k] : at.indptr[k + 1]]
+        row_cols = a.indices[a.indptr[k] : a.indptr[k + 1]]
+        row_vals = a.data[a.indptr[k] : a.indptr[k + 1]]
+        if len(col_rows) == 0 or len(row_cols) == 0:
+            continue
+        partial = [
+            (int(r), int(c), float(rv * cv))
+            for r, rv in zip(col_rows, col_vals)
+            for c, cv in zip(row_cols, row_vals)
+        ]
+        partials.append(partial)
+    return [partials[i : i + ways] for i in range(0, len(partials), ways)]
+
+
+class MatrixMergeComparison(NamedTuple):
+    name: str
+    flattened_epc: float
+    row_partitioned_epc: float
+
+    @property
+    def relative(self) -> float:
+        """Row-partitioned throughput relative to flattened (Figure 18)."""
+        if self.flattened_epc == 0:
+            return 1.0
+        return self.row_partitioned_epc / self.flattened_epc
+
+
+def compare_mergers(
+    a: CSRMatrix,
+    name: str = "",
+    flattened_throughput: int = 16,
+    row_pe_count: int = 32,
+    ways: int = 64,
+) -> MatrixMergeComparison:
+    """Figure 18's per-matrix comparison: merged elements per cycle for
+    both mergers over the full SpArch-order merge schedule."""
+    rounds = sparch_partial_matrices(a, ways)
+    # The flattened merger streams across rounds (the comparator matrix
+    # refills while outputs drain); the row-partitioned merger pays each
+    # round's imbalance in full -- the next round merges against this
+    # round's results, so rounds synchronize.
+    flat_merged = 0
+    row_elements = row_cycles = 0
+    for round_partials in rounds:
+        flat = flattened_merge(round_partials, flattened_throughput)
+        rowp = row_partitioned_merge(round_partials, row_pe_count)
+        flat_merged += flat.merged_elements
+        row_elements += rowp.merged_elements
+        row_cycles += rowp.cycles
+    tree_depth = max(1, (max(1, ways) - 1).bit_length()) + 2
+    flat_cycles = -(-flat_merged // flattened_throughput) + tree_depth
+    return MatrixMergeComparison(
+        name or "matrix",
+        flat_merged / flat_cycles if flat_cycles else 0.0,
+        row_elements / row_cycles if row_cycles else 0.0,
+    )
+
+
+def sweep_mergers(
+    matrices: Dict[str, CSRMatrix], **kwargs
+) -> List[MatrixMergeComparison]:
+    return [
+        compare_mergers(matrix, name=name, **kwargs)
+        for name, matrix in sorted(matrices.items())
+    ]

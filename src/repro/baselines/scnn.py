@@ -1,0 +1,128 @@
+"""SCNN [28] baseline and its Stellar-generated counterpart
+(paper Section VI-B, Figure 15).
+
+SCNN targets convolutional networks pruned for unstructured weight and
+activation sparsity: an 8x8 array of PEs, each with a 4x4 (F x I)
+multiplier array consuming compressed weight/activation streams and
+scattering products into banked accumulators.  Its PE utilization is
+limited by three effects, all modeled here from layer statistics:
+
+* *intersection fragmentation*: each cycle a PE pairs F=4 compressed
+  weights with I=4 compressed activations; when a fiber's nonzero count is
+  not a multiple of 4, multiplier slots idle;
+* *accumulator bank conflicts*: 16 products scatter into 32 banks;
+  colliding products serialize;
+* *halo/edge effects* on the output tiling.
+
+The Stellar-generated SCNN adds per-tile start overhead and regfile
+priming latency (Section VI-B's "83%-94% of the hand-designed
+accelerator's reported performance"): layers with little work per tile
+amortize it worst.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, NamedTuple
+
+from ..workloads.alexnet import SparseConvLayer
+
+PE_ROWS = 8
+PE_COLS = 8
+PE_COUNT = PE_ROWS * PE_COLS
+F = 4  # weights consumed per PE per cycle
+I = 4  # activations consumed per PE per cycle
+MULTS_PER_PE = F * I
+ACCUMULATOR_BANKS = 32
+
+#: Per-tile start overhead of the Stellar-generated SCNN (global start,
+#: time-counter reset, regfile priming) in cycles.
+STELLAR_TILE_OVERHEAD_CYCLES = 70
+
+
+class SCNNLayerResult(NamedTuple):
+    name: str
+    effective_macs: int
+    cycles: int
+    utilization: float
+
+
+def _fragmentation_factor(density: float, window: int, chunk: int) -> float:
+    """Expected efficiency of chunked consumption of a compressed fiber.
+
+    Nonzeros in a ``window``-long fiber are binomial(window, density); the
+    hardware consumes them ``chunk`` at a time, so a fiber with ``n``
+    nonzeros occupies ``ceil(n / chunk)`` cycles.  Returns
+    ``E[n] / (chunk * E[ceil(n / chunk)])``.
+    """
+    if density <= 0:
+        return 1.0
+    mean_n = 0.0
+    mean_slots = 0.0
+    # Binomial expectation, truncated where the mass is negligible.
+    log_p = math.log(density) if density > 0 else float("-inf")
+    log_q = math.log(1 - density) if density < 1 else float("-inf")
+    for n in range(window + 1):
+        if density < 1:
+            log_prob = (
+                math.lgamma(window + 1)
+                - math.lgamma(n + 1)
+                - math.lgamma(window - n + 1)
+                + n * log_p
+                + (window - n) * log_q
+            )
+            prob = math.exp(log_prob)
+        else:
+            prob = 1.0 if n == window else 0.0
+        mean_n += prob * n
+        mean_slots += prob * chunk * math.ceil(n / chunk)
+    return mean_n / mean_slots if mean_slots else 1.0
+
+
+def _bank_conflict_factor(products_per_cycle: int = MULTS_PER_PE,
+                          banks: int = ACCUMULATOR_BANKS) -> float:
+    """Throughput factor from accumulator bank conflicts: expected number
+    of distinct banks hit by ``products_per_cycle`` uniform scatters,
+    divided by the products issued (conflicting products replay)."""
+    distinct = banks * (1.0 - (1.0 - 1.0 / banks) ** products_per_cycle)
+    return distinct / products_per_cycle
+
+
+def handwritten_layer(layer: SparseConvLayer) -> SCNNLayerResult:
+    """Handwritten SCNN utilization on one pruned layer."""
+    frag_w = _fragmentation_factor(layer.weight_density, window=16, chunk=F)
+    frag_a = _fragmentation_factor(layer.activation_density, window=16, chunk=I)
+    halo = 1.0 - 2.0 / max(4, layer.output_size)  # edge/halo losses
+    utilization = frag_w * frag_a * _bank_conflict_factor() * halo
+    cycles = int(layer.effective_macs / (PE_COUNT * MULTS_PER_PE * utilization))
+    return SCNNLayerResult(layer.name, layer.effective_macs, max(1, cycles), utilization)
+
+
+def _tile_count(layer: SparseConvLayer) -> int:
+    """Output tiles processed per layer (channels x spatial partitions)."""
+    spatial_tiles = max(1, (layer.output_size // PE_ROWS) ** 2)
+    channel_tiles = max(1, layer.out_channels // 64)
+    return spatial_tiles * channel_tiles * 8
+
+
+def stellar_layer(layer: SparseConvLayer) -> SCNNLayerResult:
+    """Stellar-generated SCNN: handwritten behaviour plus per-tile start
+    overheads, which amortize with the work per tile."""
+    base = handwritten_layer(layer)
+    overhead = _tile_count(layer) * STELLAR_TILE_OVERHEAD_CYCLES
+    cycles = base.cycles + overhead
+    utilization = base.utilization * base.cycles / cycles
+    return SCNNLayerResult(layer.name, layer.effective_macs, cycles, utilization)
+
+
+def relative_performance(layer: SparseConvLayer) -> float:
+    """Stellar / handwritten performance ratio (Figure 15's comparison)."""
+    return handwritten_layer(layer).cycles / stellar_layer(layer).cycles
+
+
+def network_results(layers: List[SparseConvLayer]):
+    """(handwritten, stellar) results for every layer."""
+    return (
+        [handwritten_layer(L) for L in layers],
+        [stellar_layer(L) for L in layers],
+    )

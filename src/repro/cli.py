@@ -1,0 +1,266 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the Figure 1 flow for quick use without writing Python:
+
+* ``generate`` -- compile a design and emit Verilog;
+* ``simulate`` -- run a random workload through the cycle-level simulator;
+* ``area`` -- print the calibrated area breakdown;
+* ``explore`` -- sweep dataflow/sparsity/balancing and print the Pareto
+  table;
+* ``report`` -- the consolidated design report (structure, regfiles,
+  area, Verilog stats);
+* ``frameworks`` -- print the Table I comparison.
+
+Specs, dataflows, sparsity structures, and balancing schemes are selected
+by name; the registries below are the same objects the library exposes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from .core import Accelerator, Bounds, matmul_spec
+from .core.balancing import (
+    LoadBalancingScheme,
+    flexible_pe_scheme,
+    row_shift_scheme,
+)
+from .core.dataflow import (
+    hexagonal,
+    input_stationary,
+    output_stationary,
+    weight_stationary,
+)
+from .core.functionality import batched_matmul_spec, conv1d_spec
+from .core.sparsity import (
+    SparsityStructure,
+    a100_two_four,
+    csr_b_matrix,
+    csr_csc_both,
+)
+
+SPECS: Dict[str, Callable] = {
+    "matmul": matmul_spec,
+    "conv1d": conv1d_spec,
+    "bmm": batched_matmul_spec,
+}
+
+TRANSFORMS: Dict[str, Callable] = {
+    "output-stationary": output_stationary,
+    "input-stationary": input_stationary,
+    "weight-stationary": weight_stationary,
+    "hexagonal": hexagonal,
+}
+
+SPARSITIES: Dict[str, Optional[Callable]] = {
+    "dense": None,
+    "b-csr": csr_b_matrix,
+    "outer-product": csr_csc_both,
+    "a100-2-4": a100_two_four,
+}
+
+BALANCINGS: Dict[str, Optional[Callable]] = {
+    "none": None,
+    "row-shift": lambda size: row_shift_scheme(size // 2),
+    "flexible-pe": lambda size: flexible_pe_scheme(size),
+}
+
+
+def _build_accelerator(args) -> Accelerator:
+    spec = SPECS[args.spec]()
+    bounds = Bounds({name: args.size for name in spec.index_names})
+    sparsity_factory = SPARSITIES[args.sparsity]
+    balancing_factory = BALANCINGS[args.balancing]
+    return Accelerator(
+        spec=spec,
+        bounds=bounds,
+        transform=TRANSFORMS[args.dataflow](),
+        sparsity=sparsity_factory(spec) if sparsity_factory else SparsityStructure(),
+        balancing=(
+            balancing_factory(args.size) if balancing_factory
+            else LoadBalancingScheme()
+        ),
+    )
+
+
+def _random_tensors(spec, size: int, seed: int):
+    """Random inputs sized to cover every access the spec makes.
+
+    Subscripts may be affine combinations of indices (``I[ox + f]``), so
+    each tensor axis is sized to the maximum subscript value over the
+    iteration domain plus one.
+    """
+    from .core.expr import IndexExpr
+    from .core.functionality import AssignmentKind
+
+    bounds = Bounds({name: size for name in spec.index_names})
+    max_env = {name: size - 1 for name in spec.index_names}
+    extents: Dict[str, list] = {}
+    for assignment in spec.assignments:
+        if assignment.kind is AssignmentKind.OUTPUT:
+            continue
+        for access in assignment.rhs.references():
+            if access.target.name not in {t.name for t in spec.input_tensors()}:
+                continue
+            sizes = extents.setdefault(access.target.name, [1] * access.target.rank)
+            for axis, sub in enumerate(access.subscripts):
+                if isinstance(sub, IndexExpr):
+                    sizes[axis] = max(sizes[axis], sub.evaluate(max_env, bounds) + 1)
+                else:
+                    sizes[axis] = max(sizes[axis], size)
+
+    rng = np.random.default_rng(seed)
+    tensors = {}
+    for tensor in spec.input_tensors():
+        shape = tuple(extents.get(tensor.name, [size] * tensor.rank))
+        tensors[tensor.name] = rng.integers(-4, 5, shape)
+    return tensors
+
+
+def cmd_generate(args) -> int:
+    design = _build_accelerator(args).build()
+    problems = design.to_netlist().lint()
+    if problems:
+        for problem in problems:
+            print(f"lint: {problem}", file=sys.stderr)
+        return 1
+    verilog = design.to_verilog()
+    if args.output == "-":
+        print(verilog)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(verilog)
+        print(
+            f"wrote {len(verilog.splitlines())} lines of lint-clean Verilog"
+            f" to {args.output}  ({design.pe_count} PEs)"
+        )
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    accelerator = _build_accelerator(args)
+    design = accelerator.build()
+    tensors = _random_tensors(accelerator.spec, args.size, args.seed)
+    result = design.run(tensors)
+    reference = accelerator.spec.interpret(accelerator.bounds, tensors)
+    ok = all(
+        np.array_equal(result.outputs[name], reference[name])
+        for name in reference
+    )
+    print(design.summary())
+    print(
+        f"\ncycles={result.cycles} macs={result.counters.macs}"
+        f" utilization={result.utilization:.1%}"
+        f" outputs-match-reference={ok}"
+    )
+    return 0 if ok else 1
+
+
+def cmd_area(args) -> int:
+    design = _build_accelerator(args).build()
+    print(design.area_report(include_host_cpu=args.with_cpu).table())
+    return 0
+
+
+def cmd_explore(args) -> int:
+    from .dse import explore
+
+    spec = SPECS[args.spec]()
+    bounds = Bounds({name: args.size for name in spec.index_names})
+    tensors = _random_tensors(spec, args.size, args.seed)
+    sparsities = {"dense": SparsityStructure()}
+    for name, factory in SPARSITIES.items():
+        if factory is not None and args.spec == "matmul":
+            sparsities[name] = factory(spec)
+    result = explore(
+        spec,
+        bounds,
+        tensors,
+        transforms={name: factory() for name, factory in TRANSFORMS.items()},
+        sparsities=sparsities,
+        balancings={
+            "none": LoadBalancingScheme(),
+            "row-shift": row_shift_scheme(args.size // 2),
+        },
+    )
+    print(result.table())
+    best = result.best_by("adp")
+    print(f"\nbest area-delay product: {best.name}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .report import design_report
+
+    design = _build_accelerator(args).build()
+    print(design_report(design, include_host_cpu=args.with_cpu))
+    return 0
+
+
+def cmd_frameworks(args) -> int:
+    from .meta import render_table
+
+    print(render_table())
+    return 0
+
+
+def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--spec", choices=sorted(SPECS), default="matmul")
+    parser.add_argument(
+        "--dataflow", choices=sorted(TRANSFORMS), default="output-stationary"
+    )
+    parser.add_argument("--sparsity", choices=sorted(SPARSITIES), default="dense")
+    parser.add_argument("--balancing", choices=sorted(BALANCINGS), default="none")
+    parser.add_argument("--size", type=int, default=4, help="per-index bound")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stellar reproduction: generate and evaluate spatial accelerators",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="compile and emit Verilog")
+    _add_design_arguments(generate)
+    generate.add_argument("-o", "--output", default="-")
+    generate.set_defaults(func=cmd_generate)
+
+    simulate = sub.add_parser("simulate", help="run a random workload")
+    _add_design_arguments(simulate)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=cmd_simulate)
+
+    area = sub.add_parser("area", help="print the area breakdown")
+    _add_design_arguments(area)
+    area.add_argument("--with-cpu", action="store_true")
+    area.set_defaults(func=cmd_area)
+
+    explore_cmd = sub.add_parser("explore", help="sweep the design space")
+    explore_cmd.add_argument("--spec", choices=sorted(SPECS), default="matmul")
+    explore_cmd.add_argument("--size", type=int, default=4)
+    explore_cmd.add_argument("--seed", type=int, default=0)
+    explore_cmd.set_defaults(func=cmd_explore)
+
+    report = sub.add_parser("report", help="full design report")
+    _add_design_arguments(report)
+    report.add_argument("--with-cpu", action="store_true")
+    report.set_defaults(func=cmd_report)
+
+    frameworks = sub.add_parser("frameworks", help="print the Table I matrix")
+    frameworks.set_defaults(func=cmd_frameworks)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

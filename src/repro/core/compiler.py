@@ -1,0 +1,274 @@
+"""The Stellar compiler: from five independent specifications to a
+hardware representation (paper Section IV, Figure 7).
+
+:func:`compile_design` elaborates a functional spec into the
+``IterationSpace`` IR, applies sparsity and load-balancing pruning,
+maps the result through the space-time transform, and runs the
+register-file optimization ladder -- producing a :class:`CompiledDesign`
+that the RTL backend, the simulator, and the area model all consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .balancing import LoadBalancingScheme
+from .dataflow import SpaceTimeTransform, classify_dataflow, validate_schedule
+from .expr import Bounds, SpecError
+from .functionality import AssignmentKind, FunctionalSpec
+from .iterspace import (
+    IODirection,
+    IterationSpace,
+    PhysicalArray,
+    apply_transform,
+    elaborate,
+)
+from .memspec import MemoryBufferSpec
+from .passes.pipelining import PipeliningReport, analyze_pipelining
+from .passes.prune import PruneReport, prune_for_balancing, prune_for_sparsity
+from .passes.regfile_opt import (
+    RegfileKind,
+    RegfilePlan,
+    choose_regfile,
+    consumption_order,
+)
+from .sparsity import SparsityStructure
+
+
+class BalancerPlan:
+    """A generated load-balancer module (paper Section IV-E): the regfiles
+    it monitors and the space-time biases it can apply at runtime."""
+
+    def __init__(
+        self,
+        monitored_variables: Sequence[str],
+        bias_vectors: Sequence[Tuple[int, ...]],
+        granularity: str,
+    ):
+        self.monitored_variables = list(monitored_variables)
+        self.bias_vectors = [tuple(b) for b in bias_vectors]
+        self.granularity = granularity  # "row" or "pe"
+
+    def __repr__(self) -> str:
+        return (
+            f"BalancerPlan(monitors={self.monitored_variables},"
+            f" biases={self.bias_vectors}, granularity={self.granularity!r})"
+        )
+
+
+class CompiledDesign:
+    """Everything the backends need about one compiled accelerator."""
+
+    def __init__(
+        self,
+        spec: FunctionalSpec,
+        bounds: Bounds,
+        transform: SpaceTimeTransform,
+        functional_iterspace: IterationSpace,
+        pruned_iterspace: IterationSpace,
+        array: PhysicalArray,
+        regfile_plans: Dict[str, RegfilePlan],
+        membufs: Dict[str, MemoryBufferSpec],
+        balancer: Optional[BalancerPlan],
+        sparsity: SparsityStructure,
+        balancing: LoadBalancingScheme,
+        prune_reports: List[PruneReport],
+        pipelining: PipeliningReport,
+        dataflow_roles: Dict[str, str],
+    ):
+        self.spec = spec
+        self.bounds = bounds
+        self.transform = transform
+        self.functional_iterspace = functional_iterspace
+        self.pruned_iterspace = pruned_iterspace
+        self.array = array
+        self.regfile_plans = regfile_plans
+        self.membufs = membufs
+        self.balancer = balancer
+        self.sparsity = sparsity
+        self.balancing = balancing
+        self.prune_reports = prune_reports
+        self.pipelining = pipelining
+        self.dataflow_roles = dataflow_roles
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def pe_count(self) -> int:
+        return self.array.pe_count
+
+    def pruned_variables(self) -> List[str]:
+        out: List[str] = []
+        for report in self.prune_reports:
+            out.extend(report.pruned_variables)
+        return out
+
+    def summary(self) -> str:
+        lines = [
+            f"design {self.name}: {self.pe_count} PEs,"
+            f" schedule length {self.array.schedule_length}",
+            f"  dataflow roles: {self.dataflow_roles}",
+            f"  connections: {len(self.array.conns)}"
+            f" (pruned variables: {self.pruned_variables() or 'none'})",
+        ]
+        for variable, plan in sorted(self.regfile_plans.items()):
+            lines.append(
+                f"  regfile[{variable}]: {plan.kind.value}"
+                f" ({plan.entries} entries) -- {plan.reason}"
+            )
+        if self.balancer is not None:
+            lines.append(f"  balancer: {self.balancer!r}")
+        return "\n".join(lines)
+
+
+def compile_design(
+    spec: FunctionalSpec,
+    bounds: Bounds,
+    transform: SpaceTimeTransform,
+    sparsity: Optional[SparsityStructure] = None,
+    balancing: Optional[LoadBalancingScheme] = None,
+    membufs: Optional[Mapping[str, MemoryBufferSpec]] = None,
+    element_bits: int = 32,
+) -> CompiledDesign:
+    """Run the full compilation pipeline of Figure 7.
+
+    Parameters mirror the five design axes of Section III: ``spec``
+    (functionality), ``transform`` (dataflow), ``sparsity``, ``balancing``,
+    and ``membufs`` (private memory buffers, keyed by tensor name).
+    """
+    sparsity = sparsity or SparsityStructure()
+    balancing = balancing or LoadBalancingScheme()
+    membufs = dict(membufs or {})
+
+    validate_schedule(spec, transform)
+
+    # Stage 1: the functional IterationSpace (Figure 9a).
+    functional = elaborate(spec, bounds)
+
+    # Stage 2: prune connections for sparsity and balancing (Figure 9b).
+    reports: List[PruneReport] = []
+    pruned, report = prune_for_sparsity(functional, sparsity)
+    reports.append(report)
+    pruned, report = prune_for_balancing(pruned, balancing)
+    reports.append(report)
+
+    # Stage 3: map to physical space-time (Figure 9c).
+    array = apply_transform(pruned, transform)
+
+    # Stage 4: the register-file optimization ladder (Figure 14).
+    regfile_plans = _plan_regfiles(
+        spec, pruned, transform, membufs, sparsity, element_bits
+    )
+
+    balancer = _plan_balancer(spec, balancing)
+    pipelining = analyze_pipelining(spec, transform)
+    roles = classify_dataflow(spec, transform)
+
+    return CompiledDesign(
+        spec=spec,
+        bounds=bounds,
+        transform=transform,
+        functional_iterspace=functional,
+        pruned_iterspace=pruned,
+        array=array,
+        regfile_plans=regfile_plans,
+        membufs=membufs,
+        balancer=balancer,
+        sparsity=sparsity,
+        balancing=balancing,
+        prune_reports=reports,
+        pipelining=pipelining,
+        dataflow_roles=roles,
+    )
+
+
+def _plan_regfiles(
+    spec: FunctionalSpec,
+    pruned: IterationSpace,
+    transform: SpaceTimeTransform,
+    membufs: Mapping[str, MemoryBufferSpec],
+    sparsity: SparsityStructure,
+    element_bits: int,
+) -> Dict[str, RegfilePlan]:
+    """One regfile per local variable with IO traffic (Section IV-D)."""
+    plans: Dict[str, RegfilePlan] = {}
+    data_dependent = spec.has_data_dependent_accesses()
+    sparse_iters = sparsity.skipped_iterators()
+
+    for variable in sorted(
+        {io.variable for io in pruned.io_conns}
+        | set(spec.difference_vectors())
+    ):
+        inputs = [
+            io for io in pruned.io_for(variable) if io.direction is IODirection.INPUT
+        ]
+        outputs = [
+            io for io in pruned.io_for(variable) if io.direction is IODirection.OUTPUT
+        ]
+        if not inputs and not outputs:
+            continue
+
+        consumer = consumption_order(pruned, transform, variable, IODirection.INPUT)
+        tensor = next((io.tensor for io in inputs if io.tensor), None) or next(
+            (io.tensor for io in outputs if io.tensor), None
+        )
+        producer = None
+        if tensor is not None and tensor in membufs:
+            producer = _producer_order_for(membufs[tensor], consumer)
+        # A variable whose identity involves a skipped (compressed) iterator
+        # has runtime-expanded coordinates: its regfile must search entries.
+        dep_sparse = bool(spec.dependence_set(variable) & sparse_iters)
+
+        entries = len(consumer) if consumer else None
+        # Port counts: one regfile port per distinct PE position touching
+        # this variable (after pruning, IO may reach interior PEs -- the
+        # "more ports to outer register files" cost of Figure 4).
+        in_positions = {
+            transform.space(io.point.coords) for io in inputs
+        }
+        out_positions = {
+            transform.space(io.point.coords) for io in outputs
+        }
+        plans[variable] = choose_regfile(
+            variable,
+            producer,
+            consumer,
+            entries=entries,
+            in_ports=max(1, len(in_positions)),
+            out_ports=max(1, len(out_positions)),
+            element_bits=element_bits,
+            data_dependent=data_dependent or dep_sparse,
+        )
+    return plans
+
+
+def _producer_order_for(membuf: MemoryBufferSpec, consumer) -> Optional[List[Tuple[int, ...]]]:
+    order = membuf.provable_read_order()
+    if order is None:
+        return None
+    # The buffer emits elements by storage coordinates; the consumer order is
+    # expressed in dependence-set coordinates.  They are directly comparable
+    # when both are tuples of the same rank.
+    if consumer and order and len(order[0]) != len(consumer[0]):
+        return None
+    return order
+
+
+def _plan_balancer(
+    spec: FunctionalSpec, balancing: LoadBalancingScheme
+) -> Optional[BalancerPlan]:
+    if balancing.is_disabled():
+        return None
+    order = spec.index_names
+    biases = [shift.bias_vector(order) for shift in balancing]
+    granularity = (
+        "row" if all(s.is_row_granular(order) for s in balancing) else "pe"
+    )
+    monitored = sorted(
+        v
+        for v in spec.difference_vectors()
+        if spec.dependence_set(v)
+    )
+    return BalancerPlan(monitored, biases, granularity)

@@ -1,0 +1,435 @@
+"""The ``IterationSpace`` intermediate representation (paper Section IV-B).
+
+The compiler's central IR mirrors Figure 9: an :class:`IterationSpace` is a
+set of :class:`Point` s, each corresponding to one assignment of values to
+the tensor iterators; :class:`Point2PointConn` s describing data
+dependencies between points; and :class:`IOConn` s representing input or
+output requests to external register files.  The IR evolves in three
+stages:
+
+1. *Functional* (Figure 9a) -- built purely from the functional spec; one
+   point per iteration-domain element, connections along each variable's
+   difference vector, IO connections at domain boundaries.
+2. *Pruned* (Figure 9b) -- after sparsity and load-balancing analyses
+   remove connections no longer guaranteed to carry useful values and
+   replace them with IO connections (:mod:`repro.core.passes.prune`).
+3. *Physical* (Figure 9c) -- after the space-time transform maps points to
+   PEs; multiple iteration points that share space coordinates fold into a
+   single PE with a time-varying role.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .dataflow import SpaceTimeTransform
+from .expr import Bounds, SpecError
+from .functionality import Assignment, AssignmentKind, FunctionalSpec
+
+
+class IODirection(enum.Enum):
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+class Point:
+    """One element of the tensor iteration space."""
+
+    __slots__ = ("coords",)
+
+    def __init__(self, coords: Sequence[int]):
+        self.coords = tuple(coords)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Point) and self.coords == other.coords
+
+    def __hash__(self) -> int:
+        return hash(self.coords)
+
+    def __repr__(self) -> str:
+        return f"Point{self.coords}"
+
+
+class Point2PointConn:
+    """A data dependency between two iteration points for one variable."""
+
+    __slots__ = ("variable", "src", "dst", "bundle")
+
+    def __init__(self, variable: str, src: Point, dst: Point, bundle: int = 1):
+        self.variable = variable
+        self.src = src
+        self.dst = dst
+        self.bundle = bundle  # >1 for OptimisticSkip widened connections
+
+    def offset(self) -> Tuple[int, ...]:
+        return tuple(d - s for s, d in zip(self.src.coords, self.dst.coords))
+
+    def __repr__(self) -> str:
+        wide = f" x{self.bundle}" if self.bundle > 1 else ""
+        return f"P2P({self.variable}: {self.src!r} -> {self.dst!r}{wide})"
+
+
+class IOConn:
+    """An input- or output-request to an external register file."""
+
+    __slots__ = ("variable", "point", "direction", "tensor")
+
+    def __init__(
+        self,
+        variable: str,
+        point: Point,
+        direction: IODirection,
+        tensor: Optional[str] = None,
+    ):
+        self.variable = variable
+        self.point = point
+        self.direction = direction
+        self.tensor = tensor
+
+    def __repr__(self) -> str:
+        arrow = "<-" if self.direction is IODirection.INPUT else "->"
+        target = self.tensor or "regfile"
+        return f"IO({self.variable} @ {self.point!r} {arrow} {target})"
+
+
+class IterationSpace:
+    """The compiler IR: points, connections, IO requests (Figure 9)."""
+
+    def __init__(
+        self,
+        spec: FunctionalSpec,
+        bounds: Bounds,
+        points: Iterable[Point],
+        p2p_conns: Iterable[Point2PointConn],
+        io_conns: Iterable[IOConn],
+    ):
+        self.spec = spec
+        self.bounds = bounds
+        self.points: List[Point] = list(points)
+        self.p2p_conns: List[Point2PointConn] = list(p2p_conns)
+        self.io_conns: List[IOConn] = list(io_conns)
+        self._point_set: Set[Point] = set(self.points)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def conns_for(self, variable: str) -> List[Point2PointConn]:
+        return [c for c in self.p2p_conns if c.variable == variable]
+
+    def io_for(self, variable: str) -> List[IOConn]:
+        return [c for c in self.io_conns if c.variable == variable]
+
+    def connected_variables(self) -> FrozenSet[str]:
+        return frozenset(c.variable for c in self.p2p_conns)
+
+    def io_variables(self) -> FrozenSet[str]:
+        return frozenset(c.variable for c in self.io_conns)
+
+    def has_point(self, point: Point) -> bool:
+        return point in self._point_set
+
+    def conn_count(self) -> int:
+        return len(self.p2p_conns)
+
+    def io_count(self) -> int:
+        return len(self.io_conns)
+
+    # ------------------------------------------------------------------
+    # Rewrites
+    # ------------------------------------------------------------------
+
+    def without_conns(
+        self, variables: Iterable[str], replace_with_io: bool = True
+    ) -> "IterationSpace":
+        """Remove every connection of the given variables, optionally
+        replacing each removed connection with regfile IO at its endpoints
+        (the Figure 2a -> Figure 4 rewrite)."""
+        doomed = set(variables)
+        kept = [c for c in self.p2p_conns if c.variable not in doomed]
+        new_io = list(self.io_conns)
+        if replace_with_io:
+            existing = {
+                (c.variable, c.point, c.direction) for c in self.io_conns
+            }
+            for conn in self.p2p_conns:
+                if conn.variable not in doomed:
+                    continue
+                for point, direction in (
+                    (conn.dst, IODirection.INPUT),
+                    (conn.src, IODirection.OUTPUT),
+                ):
+                    key = (conn.variable, point, direction)
+                    if key not in existing:
+                        existing.add(key)
+                        new_io.append(IOConn(conn.variable, point, direction))
+        return IterationSpace(self.spec, self.bounds, self.points, kept, new_io)
+
+    def widened(self, variable: str, bundle: int) -> "IterationSpace":
+        """Widen a variable's connections to carry value bundles
+        (OptimisticSkip, Figure 5)."""
+        conns = [
+            Point2PointConn(c.variable, c.src, c.dst, bundle)
+            if c.variable == variable
+            else c
+            for c in self.p2p_conns
+        ]
+        return IterationSpace(self.spec, self.bounds, self.points, conns, self.io_conns)
+
+
+def elaborate(spec: FunctionalSpec, bounds: Bounds) -> IterationSpace:
+    """Build the functional-stage IR of Figure 9a.
+
+    One point per element of the iteration domain; per-variable connections
+    along the variable's difference vector; IO connections where boundary
+    assignments load inputs or store outputs.
+    """
+    order = spec.index_names
+    for name in order:
+        if name not in bounds:
+            raise SpecError(f"bounds missing index {name!r}")
+
+    points = [Point(coords) for coords in bounds.domain(order)]
+    point_set = set(points)
+
+    p2p: List[Point2PointConn] = []
+    for variable, d in spec.difference_vectors().items():
+        if all(v == 0 for v in d):
+            continue
+        for point in points:
+            src = Point(tuple(c - delta for c, delta in zip(point.coords, d)))
+            if src in point_set:
+                p2p.append(Point2PointConn(variable, src, point))
+
+    io: List[IOConn] = []
+    for assignment in spec.assignments:
+        if assignment.kind is AssignmentKind.INPUT:
+            tensor = next(
+                (
+                    access.target.name
+                    for access in assignment.rhs.references()
+                    if access.target.name not in {v.name for v in spec.locals()}
+                ),
+                None,
+            )
+            for point in _boundary_points(assignment, spec, bounds, points):
+                io.append(
+                    IOConn(assignment.variable.name, point, IODirection.INPUT, tensor)
+                )
+        elif assignment.kind is AssignmentKind.OUTPUT:
+            source_locals = {
+                access.target.name
+                for access in assignment.rhs.references()
+            }
+            for point in _output_points(assignment, spec, bounds, points):
+                for local_name in source_locals:
+                    io.append(
+                        IOConn(
+                            local_name,
+                            point,
+                            IODirection.OUTPUT,
+                            assignment.lhs.target.name,
+                        )
+                    )
+
+    return IterationSpace(spec, bounds, points, p2p, io)
+
+
+def _boundary_points(
+    assignment: Assignment,
+    spec: FunctionalSpec,
+    bounds: Bounds,
+    points: Sequence[Point],
+) -> Iterable[Point]:
+    conditions = assignment.boundary_conditions()
+    targets = {}
+    for name, which in conditions.items():
+        lo, hi = bounds[name]
+        targets[spec.index_names.index(name)] = lo if which == "lb" else hi
+    for point in points:
+        if all(point.coords[axis] == val for axis, val in targets.items()):
+            yield point
+
+
+def _output_points(
+    assignment: Assignment,
+    spec: FunctionalSpec,
+    bounds: Bounds,
+    points: Sequence[Point],
+) -> Iterable[Point]:
+    # Outputs fire where the RHS's bound markers hold (e.g. k == k.upperBound).
+    from .expr import BoundMarker
+
+    targets = {}
+    for access in assignment.rhs.references():
+        for sub in access.subscripts:
+            if isinstance(sub, BoundMarker):
+                lo, hi = bounds[sub.index.name]
+                targets[spec.index_names.index(sub.index.name)] = (
+                    lo if sub.which == "lb" else hi
+                )
+    for point in points:
+        if all(point.coords[axis] == val for axis, val in targets.items()):
+            yield point
+
+
+# ---------------------------------------------------------------------------
+# Physical (post-transform) representation
+# ---------------------------------------------------------------------------
+
+
+class PhysicalConn:
+    """A PE-to-PE connection in physical space: offset and register depth."""
+
+    __slots__ = ("variable", "space_offset", "time_offset", "bundle")
+
+    def __init__(
+        self,
+        variable: str,
+        space_offset: Tuple[int, ...],
+        time_offset: int,
+        bundle: int = 1,
+    ):
+        self.variable = variable
+        self.space_offset = space_offset
+        self.time_offset = time_offset
+        self.bundle = bundle
+
+    @property
+    def is_broadcast(self) -> bool:
+        """Zero time offset with nonzero space offset: a combinational chain."""
+        return self.time_offset == 0 and any(self.space_offset)
+
+    @property
+    def is_stationary(self) -> bool:
+        return not any(self.space_offset)
+
+    def __repr__(self) -> str:
+        return (
+            f"PhysicalConn({self.variable}, dspace={self.space_offset},"
+            f" dt={self.time_offset}, bundle={self.bundle})"
+        )
+
+
+class PhysicalPE:
+    """One processing element of the generated spatial array (Figure 11)."""
+
+    __slots__ = ("position", "iteration_points", "io_count")
+
+    def __init__(self, position: Tuple[int, ...]):
+        self.position = position
+        self.iteration_points: List[Tuple[Tuple[int, ...], int]] = []  # (coords, t)
+        self.io_count = 0
+
+    @property
+    def timestep_count(self) -> int:
+        return len(self.iteration_points)
+
+    def __repr__(self) -> str:
+        return f"PhysicalPE{self.position}"
+
+
+class PhysicalArray:
+    """The physical-stage IR of Figure 9c: PEs plus uniform connections."""
+
+    def __init__(
+        self,
+        iterspace: IterationSpace,
+        transform: SpaceTimeTransform,
+        pes: Dict[Tuple[int, ...], PhysicalPE],
+        conns: List[PhysicalConn],
+        io_ports: Dict[str, int],
+        schedule_length: int,
+    ):
+        self.iterspace = iterspace
+        self.transform = transform
+        self.pes = pes
+        self.conns = conns
+        self.io_ports = io_ports  # variable -> number of regfile ports needed
+        self.schedule_length = schedule_length
+
+    @property
+    def pe_count(self) -> int:
+        return len(self.pes)
+
+    def positions(self) -> List[Tuple[int, ...]]:
+        return sorted(self.pes)
+
+    def conns_for(self, variable: str) -> List[PhysicalConn]:
+        return [c for c in self.conns if c.variable == variable]
+
+    def total_wire_length(self) -> int:
+        """Manhattan wire length summed over all PE-to-PE connections --
+        the congestion proxy used when comparing dataflows (Section I)."""
+        per_pe = sum(
+            sum(abs(v) for v in conn.space_offset)
+            for conn in self.conns
+            if not conn.is_stationary
+        )
+        return per_pe * self.pe_count
+
+    def utilization_bound(self) -> float:
+        """Fraction of PE-timesteps holding real work (dense upper bound)."""
+        total_slots = self.pe_count * self.schedule_length
+        work = sum(pe.timestep_count for pe in self.pes.values())
+        return work / total_slots if total_slots else 0.0
+
+
+def apply_transform(
+    iterspace: IterationSpace, transform: SpaceTimeTransform
+) -> PhysicalArray:
+    """Map a (pruned) IterationSpace through a space-time transform,
+    producing the physical array of Figure 9c."""
+    if transform.rank != len(iterspace.spec.index_names):
+        raise SpecError(
+            f"transform rank {transform.rank} does not match spec indices"
+            f" {iterspace.spec.index_names}"
+        )
+
+    pes: Dict[Tuple[int, ...], PhysicalPE] = {}
+    times: List[int] = []
+    for point in iterspace.points:
+        st = transform.apply(point.coords)
+        space = st[: transform.space_dims]
+        t = st[transform.space_dims]
+        pe = pes.get(space)
+        if pe is None:
+            pe = pes[space] = PhysicalPE(space)
+        pe.iteration_points.append((point.coords, t))
+        times.append(t)
+
+    # Uniform connections: every variable's connections share one offset by
+    # construction (difference vectors are constant), so deduplicate.
+    seen: Dict[Tuple[str, Tuple[int, ...], int, int], PhysicalConn] = {}
+    for conn in iterspace.p2p_conns:
+        disp = transform.apply(conn.offset())
+        space_offset = disp[: transform.space_dims]
+        time_offset = disp[transform.space_dims]
+        if time_offset < 0:
+            raise SpecError(
+                f"transform violates causality for {conn.variable!r}"
+                f" (time delta {time_offset})"
+            )
+        key = (conn.variable, space_offset, time_offset, conn.bundle)
+        if key not in seen:
+            seen[key] = PhysicalConn(
+                conn.variable, space_offset, time_offset, conn.bundle
+            )
+
+    io_ports: Dict[str, int] = {}
+    per_pe_io: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+    for io in iterspace.io_conns:
+        st = transform.apply(io.point.coords)
+        space = st[: transform.space_dims]
+        key = (io.variable, space)
+        per_pe_io[key] = per_pe_io.get(key, 0) + 1
+        if space in pes:
+            pes[space].io_count += 1
+    for (variable, _), __ in per_pe_io.items():
+        io_ports[variable] = io_ports.get(variable, 0) + 1
+
+    schedule_length = (max(times) - min(times) + 1) if times else 0
+    return PhysicalArray(
+        iterspace, transform, pes, list(seen.values()), io_ports, schedule_length
+    )

@@ -1,0 +1,108 @@
+"""A library of functional specifications beyond plain tensor algebra.
+
+Section III-A notes that Stellar's functional notation "supports
+data-dependent accesses to input or output tensors, which are useful for
+specifying merging and sorting algorithms for sparse workloads", and
+Sections IV-F/VI-D use exactly that generality to express SpArch's
+mergers.  This module provides those specs:
+
+* :func:`merge_sorted_spec` -- a row-partitioned merger (Figure 19a):
+  each lane merges two sorted fibers by conditionally advancing
+  data-dependent read pointers, one output element per step;
+* :func:`sort_network_spec` -- a bubble-style sorting network over a
+  small fiber, the pre-/post-processing idiom the paper mentions.
+
+Because these specs contain data-dependent accesses, the compiler's
+register-file ladder falls back to the searching baseline (Figure 14a)
+for them -- the behaviour Section IV-D describes -- and their dataflow is
+restricted to the affine schedules Section IV-F discusses.
+"""
+
+from __future__ import annotations
+
+from .expr import Index, Local, Select, Tensor, maximum, minimum
+from .functionality import FunctionalSpec
+
+#: Sentinel appended past the end of each input fiber so the merger can
+#: drain one list after the other is exhausted.  Callers pad their fibers
+#: with it (see tests and the merge example).
+MERGE_SENTINEL = 1 << 30
+
+
+def merge_sorted_spec(name: str = "merge") -> FunctionalSpec:
+    """A row-partitioned two-way merger (Figure 19a) as a functional spec.
+
+    Iteration indices: ``l`` (the merge lane -- one output row per lane)
+    and ``t`` (the output position within the lane).  Inputs ``A(l, .)``
+    and ``B(l, .)`` are sorted fibers padded with :data:`MERGE_SENTINEL`;
+    output ``M(l, t)`` is the merged stream.
+
+    The defining rules use *data-dependent accesses*: the read pointers
+    ``pa`` and ``pb`` advance based on the comparison of the values they
+    point at, so the coordinate of the next element read from ``A`` is not
+    known until runtime::
+
+        take_a(l, t) = A(l, pa(l, t-1)) <= B(l, pb(l, t-1))
+        pa(l, t)     = pa(l, t-1) + take_a
+        pb(l, t)     = pb(l, t-1) + (1 - take_a)
+        M(l, t)      = min(A(l, pa(l, t-1)), B(l, pb(l, t-1)))
+    """
+    l, t = Index("l"), Index("t")
+    A, B, M = Tensor("A", 2), Tensor("B", 2), Tensor("M", 2)
+    pa, pb, out = Local("pa", 2), Local("pb", 2), Local("out", 2)
+
+    spec = FunctionalSpec(name, [l, t])
+    spec.let(pa[l, t.lower_bound], 0)
+    spec.let(pb[l, t.lower_bound], 0)
+
+    a_head = A[l, pa[l, t - 1]]
+    b_head = B[l, pb[l, t - 1]]
+    take_a = a_head <= b_head
+
+    spec.let(pa[l, t], pa[l, t - 1] + Select(take_a, 1, 0))
+    spec.let(pb[l, t], pb[l, t - 1] + Select(take_a, 0, 1))
+    spec.let(out[l, t], Select(take_a, a_head, b_head))
+    spec.let(M[l, t], out[l, t])
+    return spec
+
+
+def sort_network_spec(name: str = "sort") -> FunctionalSpec:
+    """An odd-even transposition sorting network as a functional spec.
+
+    Iteration indices: ``p`` (pass) and ``e`` (element position).  In pass
+    ``p``, elements where ``(e + p)`` is even take the minimum of
+    themselves and their right neighbour; the others take the maximum of
+    themselves and their left neighbour -- a compare-exchange network.
+    After ``n`` passes over an ``n``-element fiber ``V``, the output
+    ``S(e) = s(p.upperBound, e)`` is sorted.
+
+    Edge elements read phantom neighbours pinned to +/-infinity sentinels
+    by boundary rules, so the network needs no special-case hardware at
+    the fiber ends.
+    """
+    from .expr import BinOp, Comparison, Const, IndexValue
+
+    p, e = Index("p"), Index("e")
+    V, S = Tensor("V", 1), Tensor("S", 1)
+    s = Local("s", 2)
+    big = Const(MERGE_SENTINEL)
+    small = Const(-MERGE_SENTINEL)
+
+    spec = FunctionalSpec(name, [p, e])
+    spec.let(s[p.lower_bound, e], V[e])  # pass "-1": the unsorted fiber
+    spec.let(s[p, e.lower_bound], small)  # phantom left neighbour
+    spec.let(s[p, e.upper_bound], big)  # phantom right neighbour
+
+    is_left_of_pair = Comparison(
+        "==", BinOp("%", IndexValue(p + e), Const(2)), Const(0)
+    )
+    spec.let(
+        s[p, e],
+        Select(
+            is_left_of_pair,
+            minimum(s[p - 1, e], s[p - 1, e + 1]),
+            maximum(s[p - 1, e - 1], s[p - 1, e]),
+        ),
+    )
+    spec.let(S[e], s[p.upper_bound, e])
+    return spec

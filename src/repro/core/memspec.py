@@ -1,0 +1,265 @@
+"""Private memory-buffer specifications (paper Sections III-E and IV-C).
+
+Buffers are described with the fibertree notation [31]: every axis of a
+stored tensor is given a dense or sparse per-axis format.  CSR, for
+example, is a Dense outer axis over a Compressed inner axis; block-CRS
+(Figure 12) is Dense over Compressed over two Dense block axes.
+
+From an :class:`AxisFormat` list, Stellar generates one read/write pipeline
+stage per axis: Dense axes become simple affine address generators, while
+Compressed / Bitvector / LinkedList axes require indirect metadata lookups
+(row pointers, coordinate lists, bitmask popcounts, next pointers) before
+the final data address is known.  The per-stage latency/SRAM-port costs
+feed the simulator (:mod:`repro.sim.membuf`) and the area model.
+
+Users can *hardcode* read/write request parameters before generation
+(Listing 6); hardcoded parameters both simplify the address generators and
+let the compiler prove the order in which elements leave the buffer, which
+unlocks the register-file optimizations of Section IV-D (Figure 13).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .expr import SpecError
+
+
+class AxisType(enum.Enum):
+    """Per-axis storage formats from the fibertree taxonomy."""
+
+    DENSE = "Dense"
+    COMPRESSED = "Compressed"  # coordinate list + segment pointers (CSR-like)
+    BITVECTOR = "Bitvector"  # occupancy bitmask + popcount offsets
+    LINKED_LIST = "LinkedList"  # next-pointer chains
+
+    @property
+    def is_sparse(self) -> bool:
+        return self is not AxisType.DENSE
+
+
+class AxisFormat:
+    """One axis of a stored tensor: its format and optional fixed size."""
+
+    def __init__(self, axis_type: AxisType, size: Optional[int] = None, name: str = ""):
+        self.axis_type = axis_type
+        self.size = size
+        self.name = name
+
+    # Metadata the generated pipeline stage must consult for this axis.
+    def metadata_kinds(self) -> Tuple[str, ...]:
+        if self.axis_type is AxisType.DENSE:
+            return ()
+        if self.axis_type is AxisType.COMPRESSED:
+            return ("ROW_ID", "COORD")
+        if self.axis_type is AxisType.BITVECTOR:
+            return ("BITMASK",)
+        return ("NEXT_PTR", "COORD")
+
+    def stage_latency(self) -> int:
+        """Pipeline latency in cycles of this axis's address-resolution stage.
+
+        Dense axes are a single adder; Compressed axes read a segment
+        pointer then a coordinate (two dependent SRAM accesses); Bitvector
+        axes read and popcount a mask; LinkedList axes chase one pointer.
+        """
+        return {
+            AxisType.DENSE: 1,
+            AxisType.COMPRESSED: 2,
+            AxisType.BITVECTOR: 2,
+            AxisType.LINKED_LIST: 3,
+        }[self.axis_type]
+
+    def __repr__(self) -> str:
+        size = f", size={self.size}" if self.size is not None else ""
+        return f"AxisFormat({self.axis_type.value}{size})"
+
+
+def Dense(size: Optional[int] = None, name: str = "") -> AxisFormat:
+    return AxisFormat(AxisType.DENSE, size, name)
+
+
+def Compressed(size: Optional[int] = None, name: str = "") -> AxisFormat:
+    return AxisFormat(AxisType.COMPRESSED, size, name)
+
+
+def Bitvector(size: Optional[int] = None, name: str = "") -> AxisFormat:
+    return AxisFormat(AxisType.BITVECTOR, size, name)
+
+
+def LinkedList(size: Optional[int] = None, name: str = "") -> AxisFormat:
+    return AxisFormat(AxisType.LINKED_LIST, size, name)
+
+
+class HardcodedParams:
+    """Read/write request parameters fixed before hardware generation
+    (Listing 6): per-axis spans and data strides.
+
+    Hardcoding a full read shape lets the compiler enumerate the exact
+    order in which elements exit the buffer (Figure 13a), which the
+    register-file optimizer matches against the spatial array's consumption
+    order (Figure 13b).
+    """
+
+    def __init__(
+        self,
+        spans: Optional[Mapping[int, int]] = None,
+        data_strides: Optional[Mapping[int, int]] = None,
+        wavefront: bool = False,
+    ):
+        self.spans: Dict[int, int] = dict(spans or {})
+        self.data_strides: Dict[int, int] = dict(data_strides or {})
+        # ``wavefront`` requests elements along anti-diagonals (the order of
+        # Figure 13a) rather than row-major order.
+        self.wavefront = wavefront
+
+    def is_fully_specified(self, rank: int) -> bool:
+        return all(axis in self.spans for axis in range(rank))
+
+    def emission_order(self) -> List[Tuple[int, ...]]:
+        """The exact element order leaving the buffer, if provable.
+
+        Only available when every span is hardcoded.  For two-dimensional
+        wavefront reads this reproduces Figure 13a: ``(0,0)``; ``(1,0),
+        (0,1)``; ``(2,0), (1,1), (0,2)``; ...
+        """
+        rank = len(self.spans)
+        if not self.is_fully_specified(rank) or rank == 0:
+            raise SpecError("emission order requires fully hardcoded spans")
+        shape = [self.spans[axis] for axis in range(rank)]
+        points: List[Tuple[int, ...]] = []
+
+        def rec(prefix: List[int], axis: int):
+            if axis == rank:
+                points.append(tuple(prefix))
+                return
+            for value in range(shape[axis]):
+                prefix.append(value)
+                rec(prefix, axis + 1)
+                prefix.pop()
+
+        rec([], 0)
+        if self.wavefront:
+            points.sort(key=lambda p: (sum(p), [-v for v in p]))
+        return points
+
+    def __repr__(self) -> str:
+        return (
+            f"HardcodedParams(spans={self.spans!r},"
+            f" data_strides={self.data_strides!r}, wavefront={self.wavefront})"
+        )
+
+
+class MemoryBufferSpec:
+    """A private memory buffer: per-axis formats, capacity, and bandwidth.
+
+    ``axes`` are ordered outermost-first, mirroring the order read/write
+    requests traverse the generated pipeline stages (Figure 12).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        axes: Sequence[AxisFormat],
+        capacity_bytes: int = 64 * 1024,
+        element_bits: int = 32,
+        read_ports: int = 1,
+        write_ports: int = 1,
+        hardcoded_read: Optional[HardcodedParams] = None,
+        hardcoded_write: Optional[HardcodedParams] = None,
+    ):
+        if not axes:
+            raise SpecError("a memory buffer needs at least one axis")
+        if capacity_bytes <= 0 or element_bits <= 0:
+            raise SpecError("capacity and element width must be positive")
+        self.name = name
+        self.axes: Tuple[AxisFormat, ...] = tuple(axes)
+        self.capacity_bytes = capacity_bytes
+        self.element_bits = element_bits
+        self.read_ports = read_ports
+        self.write_ports = write_ports
+        self.hardcoded_read = hardcoded_read
+        self.hardcoded_write = hardcoded_write
+
+    @property
+    def rank(self) -> int:
+        return len(self.axes)
+
+    def is_dense(self) -> bool:
+        return all(axis.axis_type is AxisType.DENSE for axis in self.axes)
+
+    def pipeline_stage_latencies(self) -> Tuple[int, ...]:
+        """One entry per axis, outermost-first (Section IV-C: one pipeline
+        stage per axis of the stored tensors)."""
+        return tuple(axis.stage_latency() for axis in self.axes)
+
+    def access_latency(self) -> int:
+        """Latency of a request through all address-resolution stages plus
+        the final data SRAM read."""
+        return sum(self.pipeline_stage_latencies()) + 1
+
+    def metadata_sram_count(self) -> int:
+        """Number of distinct metadata SRAMs the buffer instantiates."""
+        return sum(len(axis.metadata_kinds()) for axis in self.axes)
+
+    def capacity_elements(self) -> int:
+        return (self.capacity_bytes * 8) // self.element_bits
+
+    def provable_read_order(self) -> Optional[List[Tuple[int, ...]]]:
+        """Element emission order, when hardcoded parameters prove it."""
+        hardcoded = self.hardcoded_read
+        if hardcoded is None or not hardcoded.is_fully_specified(self.rank):
+            return None
+        if not self.is_dense():
+            return None  # sparse axes emit data-dependent orders
+        return hardcoded.emission_order()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(axis.axis_type.value for axis in self.axes)
+        return f"MemoryBufferSpec({self.name!r}, [{inner}])"
+
+
+# ---------------------------------------------------------------------------
+# Canonical formats
+# ---------------------------------------------------------------------------
+
+
+def dense_matrix_buffer(name: str, rows: int, cols: int, **kwargs) -> MemoryBufferSpec:
+    return MemoryBufferSpec(name, [Dense(rows, "row"), Dense(cols, "col")], **kwargs)
+
+
+def csr_buffer(name: str, rows: int, **kwargs) -> MemoryBufferSpec:
+    """CSR: Dense rows over Compressed columns (Section III-E's example)."""
+    return MemoryBufferSpec(name, [Dense(rows, "row"), Compressed(name="col")], **kwargs)
+
+
+def csc_buffer(name: str, cols: int, **kwargs) -> MemoryBufferSpec:
+    """CSC: Dense columns over Compressed rows."""
+    return MemoryBufferSpec(name, [Dense(cols, "col"), Compressed(name="row")], **kwargs)
+
+
+def block_crs_buffer(
+    name: str, block_rows: int, block: int = 4, **kwargs
+) -> MemoryBufferSpec:
+    """Block-CRS [9] (Figure 12): Dense block-rows, Compressed block-columns,
+    then two Dense intra-block axes."""
+    return MemoryBufferSpec(
+        name,
+        [
+            Dense(block_rows, "block_row"),
+            Compressed(name="block_col"),
+            Dense(block, "intra_row"),
+            Dense(block, "intra_col"),
+        ],
+        **kwargs,
+    )
+
+
+def bitvector_matrix_buffer(name: str, rows: int, **kwargs) -> MemoryBufferSpec:
+    return MemoryBufferSpec(name, [Dense(rows, "row"), Bitvector(name="col")], **kwargs)
+
+
+def linked_list_buffer(name: str, rows: int, **kwargs) -> MemoryBufferSpec:
+    """Dense rows of linked-list fibers (MatRaptor-style row storage)."""
+    return MemoryBufferSpec(name, [Dense(rows, "row"), LinkedList(name="col")], **kwargs)

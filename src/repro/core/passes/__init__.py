@@ -1,0 +1,22 @@
+"""Compiler optimization passes (paper Section IV)."""
+
+from .prune import PruneReport, prune_for_balancing, prune_for_sparsity
+from .regfile_opt import (
+    RegfileKind,
+    RegfilePlan,
+    choose_regfile,
+    consumption_order,
+)
+from .pipelining import PipeliningReport, analyze_pipelining
+
+__all__ = [
+    "PruneReport",
+    "prune_for_balancing",
+    "prune_for_sparsity",
+    "RegfileKind",
+    "RegfilePlan",
+    "choose_regfile",
+    "consumption_order",
+    "PipeliningReport",
+    "analyze_pipelining",
+]

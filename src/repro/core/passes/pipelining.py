@@ -1,0 +1,72 @@
+"""Pipelining analysis (paper Figure 3).
+
+The lowest row of the space-time transform decides how aggressively the
+spatial array is pipelined: scaling the time row inserts more pipeline
+registers along each moving variable's path, shortening the critical path
+(higher achievable clock) at the cost of more register area and a longer
+schedule.  This pass summarizes those effects so the timing/area models and
+the Figure 3 bench can compare strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..dataflow import SpaceTimeTransform
+from ..functionality import FunctionalSpec
+
+
+class PipeliningReport:
+    """Register counts and combinational-chain lengths for one transform."""
+
+    def __init__(
+        self,
+        registers_per_variable: Dict[str, int],
+        broadcast_variables: Sequence[str],
+        schedule_scale: int,
+    ):
+        self.registers_per_variable = dict(registers_per_variable)
+        self.broadcast_variables = list(broadcast_variables)
+        self.schedule_scale = schedule_scale
+
+    @property
+    def total_registers_per_pe(self) -> int:
+        return sum(self.registers_per_variable.values())
+
+    @property
+    def max_combinational_span(self) -> int:
+        """Longest combinational PE chain (1 = fully pipelined).
+
+        A broadcast variable (zero time delta across a nonzero space hop)
+        creates a combinational chain across the whole array dimension --
+        the slow-but-small end of Figure 3's spectrum.
+        """
+        return 1 + len(self.broadcast_variables)
+
+    def __repr__(self) -> str:
+        return (
+            f"PipeliningReport(registers={self.registers_per_variable},"
+            f" broadcasts={self.broadcast_variables},"
+            f" schedule_scale={self.schedule_scale})"
+        )
+
+
+def analyze_pipelining(
+    spec: FunctionalSpec, transform: SpaceTimeTransform
+) -> PipeliningReport:
+    """Derive per-variable pipeline register counts from the time row."""
+    registers: Dict[str, int] = {}
+    broadcasts = []
+    for name, d in spec.difference_vectors().items():
+        disp = transform.displacement(d)
+        space = disp[: transform.space_dims]
+        dt = disp[transform.space_dims]
+        if any(space):
+            registers[name] = abs(dt)
+            if dt == 0:
+                broadcasts.append(name)
+        else:
+            registers[name] = 0  # stationary: held, not pipelined
+    time_row = transform.matrix[transform.space_dims]
+    schedule_scale = max(1, max(abs(v) for v in time_row))
+    return PipeliningReport(registers, broadcasts, schedule_scale)

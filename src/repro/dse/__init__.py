@@ -1,0 +1,5 @@
+"""Automated design-space exploration (the paper's Section I use case)."""
+
+from .explorer import DesignPoint, ExplorationResult, explore
+
+__all__ = ["DesignPoint", "ExplorationResult", "explore"]

@@ -1,0 +1,184 @@
+"""Automated design-space exploration over Stellar's five axes.
+
+The paper motivates Stellar by the need for "automated and rapid design
+space exploration" with a strong separation of concerns: architects should
+be able to "modify these different design considerations in isolation and
+observe the subtle interactions between them to determine the best
+accelerator design choice" (Section I).  This module is that loop: it
+takes per-axis candidate lists, compiles the cross product, evaluates each
+design on a user workload with the cycle-level simulator and the area
+model, and extracts the Pareto frontier over (cycles, area).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..area.model import estimate_design_area
+from ..core.accelerator import Accelerator
+from ..core.balancing import LoadBalancingScheme
+from ..core.dataflow import SpaceTimeTransform
+from ..core.expr import Bounds, SpecError
+from ..core.functionality import FunctionalSpec
+from ..core.sparsity import SparsityStructure
+from ..sim.spatial_array import SpatialArraySim
+
+
+class DesignPoint:
+    """One evaluated configuration of the design space."""
+
+    def __init__(
+        self,
+        name: str,
+        transform_name: str,
+        sparsity_name: str,
+        balancing_name: str,
+        cycles: int,
+        utilization: float,
+        area_um2: float,
+        pe_count: int,
+        conn_count: int,
+        pruned_variables: Sequence[str],
+    ):
+        self.name = name
+        self.transform_name = transform_name
+        self.sparsity_name = sparsity_name
+        self.balancing_name = balancing_name
+        self.cycles = cycles
+        self.utilization = utilization
+        self.area_um2 = area_um2
+        self.pe_count = pe_count
+        self.conn_count = conn_count
+        self.pruned_variables = list(pruned_variables)
+
+    @property
+    def area_delay_product(self) -> float:
+        """The classic ADP figure of merit (lower is better)."""
+        return self.area_um2 * self.cycles
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance over (cycles, area): no worse on both, better
+        on at least one."""
+        no_worse = self.cycles <= other.cycles and self.area_um2 <= other.area_um2
+        better = self.cycles < other.cycles or self.area_um2 < other.area_um2
+        return no_worse and better
+
+    def __repr__(self) -> str:
+        return (
+            f"DesignPoint({self.name!r}, cycles={self.cycles},"
+            f" area={self.area_um2:,.0f})"
+        )
+
+
+class ExplorationResult:
+    """All evaluated points plus derived selections."""
+
+    def __init__(self, points: List[DesignPoint]):
+        self.points = points
+
+    def pareto_frontier(self) -> List[DesignPoint]:
+        """Points not dominated by any other, sorted by cycles."""
+        frontier = [
+            p
+            for p in self.points
+            if not any(q.dominates(p) for q in self.points)
+        ]
+        return sorted(frontier, key=lambda p: (p.cycles, p.area_um2))
+
+    def best_by(self, metric: str) -> DesignPoint:
+        """The single best point by ``cycles``, ``area``, ``utilization``,
+        or ``adp``."""
+        keys = {
+            "cycles": lambda p: p.cycles,
+            "area": lambda p: p.area_um2,
+            "utilization": lambda p: -p.utilization,
+            "adp": lambda p: p.area_delay_product,
+        }
+        if metric not in keys:
+            raise ValueError(f"unknown metric {metric!r}; pick from {sorted(keys)}")
+        return min(self.points, key=keys[metric])
+
+    def table(self) -> str:
+        lines = [
+            f"{'design':44s} {'cycles':>7s} {'util':>7s} {'area (um^2)':>12s}"
+            f" {'conns':>6s} {'pareto':>7s}"
+        ]
+        frontier = set(id(p) for p in self.pareto_frontier())
+        for point in sorted(self.points, key=lambda p: p.cycles):
+            lines.append(
+                f"{point.name:44s} {point.cycles:7d} {point.utilization:7.1%}"
+                f" {point.area_um2:12,.0f} {point.conn_count:6d}"
+                f" {'  *' if id(point) in frontier else '':>7s}"
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+
+def explore(
+    spec: FunctionalSpec,
+    bounds: Bounds,
+    tensors: Mapping[str, np.ndarray],
+    transforms: Mapping[str, SpaceTimeTransform],
+    sparsities: Optional[Mapping[str, SparsityStructure]] = None,
+    balancings: Optional[Mapping[str, LoadBalancingScheme]] = None,
+    element_bits: int = 32,
+    skip_illegal: bool = True,
+) -> ExplorationResult:
+    """Evaluate the cross product of per-axis candidates on one workload.
+
+    Each candidate mapping is ``display name -> axis value``.  Illegal
+    combinations (e.g. transforms violating causality for the spec) are
+    skipped when ``skip_illegal`` is set, mirroring how an architect would
+    sweep broadly and keep what elaborates.
+    """
+    sparsities = dict(sparsities or {"dense": SparsityStructure()})
+    balancings = dict(balancings or {"none": LoadBalancingScheme()})
+
+    points: List[DesignPoint] = []
+    for (t_name, transform), (s_name, sparsity), (b_name, balancing) in (
+        itertools.product(
+            transforms.items(), sparsities.items(), balancings.items()
+        )
+    ):
+        name = f"{t_name} / {s_name} / {b_name}"
+        accelerator = Accelerator(
+            spec=spec,
+            bounds=bounds,
+            transform=transform,
+            sparsity=sparsity,
+            balancing=balancing,
+            element_bits=element_bits,
+        )
+        try:
+            design = accelerator.build()
+            result = SpatialArraySim(design.compiled).run(tensors)
+        except SpecError:
+            if skip_illegal:
+                continue
+            raise
+        area = estimate_design_area(design.compiled)
+        points.append(
+            DesignPoint(
+                name=name,
+                transform_name=t_name,
+                sparsity_name=s_name,
+                balancing_name=b_name,
+                cycles=result.cycles,
+                utilization=result.utilization,
+                area_um2=area.total,
+                pe_count=design.pe_count,
+                conn_count=len(design.compiled.array.conns),
+                pruned_variables=design.compiled.pruned_variables(),
+            )
+        )
+    if not points:
+        raise SpecError("no legal design points in the given space")
+    return ExplorationResult(points)

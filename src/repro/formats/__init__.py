@@ -1,0 +1,29 @@
+"""Fibertree tensor formats and classic sparse encodings."""
+
+from .bitvector import BitvectorMatrix
+from .block_crs import BlockCRSMatrix
+from .convert import dense_to_format, format_footprint_bits, roundtrip_equal
+from .csr import (
+    CSCMatrix,
+    CSRMatrix,
+    outer_product_partials,
+    spgemm_reference,
+)
+from .fibertree import Fiber, FibertreeTensor
+from .linked_list import LinkedListFiber, LinkedListMatrix
+
+__all__ = [
+    "BitvectorMatrix",
+    "BlockCRSMatrix",
+    "dense_to_format",
+    "format_footprint_bits",
+    "roundtrip_equal",
+    "CSCMatrix",
+    "CSRMatrix",
+    "outer_product_partials",
+    "spgemm_reference",
+    "Fiber",
+    "FibertreeTensor",
+    "LinkedListFiber",
+    "LinkedListMatrix",
+]

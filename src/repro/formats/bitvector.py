@@ -1,0 +1,78 @@
+"""Bitvector (bitmask) sparse matrix format.
+
+Each row stores an occupancy bitmask plus a packed value list; the value
+position of a set bit is the popcount of the mask below it.  This is the
+``Bitvector`` axis type of Section III-E, and the format SIGMA-style
+accelerators use for moderately sparse DNN weights.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+class BitvectorMatrix:
+    """Row-major bitmask format: per-row mask + packed non-zero values."""
+
+    def __init__(self, shape: Tuple[int, int], masks: List[int], values: List[np.ndarray]):
+        rows, cols = shape
+        if len(masks) != rows or len(values) != rows:
+            raise ValueError("one mask and value list per row required")
+        for r, (mask, vals) in enumerate(zip(masks, values)):
+            if mask >> cols:
+                raise ValueError(f"row {r} mask has bits beyond {cols} columns")
+            if bin(mask).count("1") != len(vals):
+                raise ValueError(f"row {r}: popcount != value count")
+        self.shape = shape
+        self.masks = masks
+        self.values = values
+
+    @classmethod
+    def from_dense(cls, array: np.ndarray) -> "BitvectorMatrix":
+        array = np.asarray(array)
+        if array.ndim != 2:
+            raise ValueError("BitvectorMatrix requires a matrix")
+        masks: List[int] = []
+        values: List[np.ndarray] = []
+        for row in array:
+            nz = np.nonzero(row)[0]
+            mask = 0
+            for c in nz:
+                mask |= 1 << int(c)
+            masks.append(mask)
+            values.append(row[nz].copy())
+        return cls(array.shape, masks, values)
+
+    def read(self, r: int, c: int):
+        """Read via mask test + popcount, as the hardware stage does."""
+        mask = self.masks[r]
+        if not (mask >> c) & 1:
+            return 0
+        position = bin(mask & ((1 << c) - 1)).count("1")
+        return self.values[r][position]
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        for r in range(self.shape[0]):
+            mask = self.masks[r]
+            position = 0
+            c = 0
+            while mask:
+                if mask & 1:
+                    out[r, c] = self.values[r][position]
+                    position += 1
+                mask >>= 1
+                c += 1
+        return out
+
+    @property
+    def nnz(self) -> int:
+        return sum(len(v) for v in self.values)
+
+    def footprint_bits(self, element_bits: int = 32) -> int:
+        return self.shape[0] * self.shape[1] + self.nnz * element_bits
+
+    def __repr__(self) -> str:
+        return f"BitvectorMatrix(shape={self.shape}, nnz={self.nnz})"

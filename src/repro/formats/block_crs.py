@@ -1,0 +1,97 @@
+"""Block compressed row storage (block-CRS [9], paper Figure 12).
+
+The matrix is tiled into fixed-size dense blocks; only blocks containing
+non-zeros are stored, compressed along the block-column axis.  In
+fibertree terms: Dense(block-row) / Compressed(block-col) / Dense / Dense
+-- the four pipeline stages of Figure 12's example memory buffer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+class BlockCRSMatrix:
+    """Block-CRS with square ``block`` x ``block`` dense blocks."""
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        block: int,
+        indptr: np.ndarray,
+        block_cols: np.ndarray,
+        blocks: List[np.ndarray],
+    ):
+        self.shape = shape
+        self.block = block
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.block_cols = np.asarray(block_cols, dtype=np.int64)
+        self.blocks = blocks
+        if len(block_cols) != len(blocks):
+            raise ValueError("one block per stored block-column index")
+
+    @classmethod
+    def from_dense(cls, array: np.ndarray, block: int = 4) -> "BlockCRSMatrix":
+        array = np.asarray(array)
+        rows, cols = array.shape
+        if rows % block or cols % block:
+            raise ValueError(f"shape {array.shape} not divisible by block {block}")
+        brows, bcols = rows // block, cols // block
+        indptr = [0]
+        block_cols: List[int] = []
+        blocks: List[np.ndarray] = []
+        for br in range(brows):
+            for bc in range(bcols):
+                tile = array[
+                    br * block : (br + 1) * block, bc * block : (bc + 1) * block
+                ]
+                if np.any(tile):
+                    block_cols.append(bc)
+                    blocks.append(tile.copy())
+            indptr.append(len(block_cols))
+        return cls(
+            array.shape, block, np.asarray(indptr), np.asarray(block_cols), blocks
+        )
+
+    def read(self, r: int, c: int):
+        """Read through the four Figure 12 stages: dense block-row, then a
+        compressed block-column lookup, then two dense intra-block axes."""
+        br, bc = r // self.block, c // self.block
+        lo, hi = self.indptr[br], self.indptr[br + 1]
+        for pos in range(lo, hi):
+            if self.block_cols[pos] == bc:
+                return self.blocks[pos][r % self.block, c % self.block]
+        return 0
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        brows = self.shape[0] // self.block
+        for br in range(brows):
+            for pos in range(self.indptr[br], self.indptr[br + 1]):
+                bc = int(self.block_cols[pos])
+                out[
+                    br * self.block : (br + 1) * self.block,
+                    bc * self.block : (bc + 1) * self.block,
+                ] = self.blocks[pos]
+        return out
+
+    @property
+    def stored_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def nnz(self) -> int:
+        return int(sum(np.count_nonzero(b) for b in self.blocks))
+
+    def footprint_bits(self, element_bits: int = 32, coord_bits: int = 32) -> int:
+        data = self.stored_blocks * self.block * self.block * element_bits
+        metadata = (len(self.indptr) + len(self.block_cols)) * coord_bits
+        return data + metadata
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockCRSMatrix(shape={self.shape}, block={self.block},"
+            f" blocks={self.stored_blocks})"
+        )

@@ -1,0 +1,73 @@
+"""Conversions between tensor formats.
+
+Sparse accelerators routinely convert at tile boundaries (SCNN converts
+between dense and compressed activations per layer, Section VI-B); these
+helpers are shared by the workloads, baselines, and ISA data movers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.memspec import AxisType
+from .bitvector import BitvectorMatrix
+from .block_crs import BlockCRSMatrix
+from .csr import CSCMatrix, CSRMatrix
+from .fibertree import FibertreeTensor
+from .linked_list import LinkedListMatrix
+
+
+def dense_to_format(array: np.ndarray, fmt: str, block: int = 4):
+    """Convert a dense array to a named format.
+
+    ``fmt`` is one of ``csr``, ``csc``, ``bitvector``, ``linked_list``,
+    ``block_crs``, or ``fibertree:<axis>,<axis>,...`` using axis type
+    names (e.g. ``fibertree:Dense,Compressed``).
+    """
+    if fmt == "csr":
+        return CSRMatrix.from_dense(array)
+    if fmt == "csc":
+        return CSCMatrix.from_dense(array)
+    if fmt == "bitvector":
+        return BitvectorMatrix.from_dense(array)
+    if fmt == "linked_list":
+        return LinkedListMatrix.from_dense(array)
+    if fmt == "block_crs":
+        return BlockCRSMatrix.from_dense(array, block)
+    if fmt.startswith("fibertree:"):
+        names = fmt.split(":", 1)[1].split(",")
+        axis_types = [AxisType(name.strip()) for name in names]
+        return FibertreeTensor.from_dense(array, axis_types)
+    raise ValueError(f"unknown format {fmt!r}")
+
+
+def roundtrip_equal(array: np.ndarray, fmt: str, block: int = 4) -> bool:
+    """Convert to a format and back; True when lossless."""
+    converted = dense_to_format(array, fmt, block)
+    return np.allclose(converted.to_dense(), array)
+
+
+def format_footprint_bits(array: np.ndarray, fmt: str, element_bits: int = 32) -> int:
+    """Storage cost of an array in a given format (for format comparisons)."""
+    converted = dense_to_format(array, fmt)
+    if isinstance(converted, (BitvectorMatrix, BlockCRSMatrix)):
+        return converted.footprint_bits(element_bits)
+    if isinstance(converted, FibertreeTensor):
+        return converted.footprint_bits(element_bits)
+    if isinstance(converted, CSRMatrix):
+        coord_bits = 32
+        return (
+            converted.nnz * (element_bits + coord_bits)
+            + (converted.shape[0] + 1) * coord_bits
+        )
+    if isinstance(converted, CSCMatrix):
+        coord_bits = 32
+        return (
+            converted.nnz * (element_bits + coord_bits)
+            + (converted.shape[1] + 1) * coord_bits
+        )
+    if isinstance(converted, LinkedListMatrix):
+        return converted.nnz * (element_bits + 64)
+    raise ValueError(f"no footprint rule for {type(converted).__name__}")

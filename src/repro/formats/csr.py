@@ -1,0 +1,197 @@
+"""Classic compressed sparse row/column matrices.
+
+These array-based formats (index pointers + coordinates + values, the
+encoding of Listing 7's ``matrix_B_row_ids`` / ``matrix_B_coords`` /
+``matrix_B_data``) are the workhorses of the sparse baselines: OuterSPACE
+reads CSC x CSR, GAMMA consumes CSR rows, SpArch merges CSR partial
+matrices.  Implemented on numpy without scipy.sparse so every traversal
+the accelerators perform is explicit and countable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+
+class CSRMatrix:
+    """Compressed sparse row: ``indptr`` (rows+1), ``indices``, ``data``."""
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+    ):
+        rows, cols = shape
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        data = np.asarray(data)
+        if indptr.shape != (rows + 1,):
+            raise ValueError(f"indptr must have length rows+1 ({rows + 1})")
+        if indptr[0] != 0 or indptr[-1] != len(indices) or len(indices) != len(data):
+            raise ValueError("inconsistent CSR structure")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if len(indices) and (indices.min() < 0 or indices.max() >= cols):
+            raise ValueError("column index out of range")
+        self.shape = (rows, cols)
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, array: np.ndarray) -> "CSRMatrix":
+        array = np.asarray(array)
+        if array.ndim != 2:
+            raise ValueError("CSR requires a matrix")
+        rows, cols = array.shape
+        indptr = [0]
+        indices: List[int] = []
+        data: List[float] = []
+        for r in range(rows):
+            nz = np.nonzero(array[r])[0]
+            indices.extend(int(c) for c in nz)
+            data.extend(array[r, c] for c in nz)
+            indptr.append(len(indices))
+        return cls(
+            (rows, cols),
+            np.asarray(indptr),
+            np.asarray(indices, dtype=np.int64),
+            np.asarray(data),
+        )
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=self.data.dtype if len(self.data) else float)
+        for r in range(self.shape[0]):
+            for pos in range(self.indptr[r], self.indptr[r + 1]):
+                out[r, self.indices[pos]] = self.data[pos]
+        return out
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return len(self.data)
+
+    @property
+    def density(self) -> float:
+        total = self.shape[0] * self.shape[1]
+        return self.nnz / total if total else 0.0
+
+    def row(self, r: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(column indices, values) of one row."""
+        lo, hi = self.indptr[r], self.indptr[r + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def row_lengths(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def row_imbalance(self) -> float:
+        """Max/mean nonzeros-per-row over non-empty rows: the row-length
+        imbalance that starves row-partitioned mergers (Section VI-D)."""
+        lengths = self.row_lengths()
+        nonzero = lengths[lengths > 0]
+        if len(nonzero) == 0:
+            return 1.0
+        return float(nonzero.max() / nonzero.mean())
+
+    def transpose(self) -> "CSRMatrix":
+        rows, cols = self.shape
+        counts = np.zeros(cols + 1, dtype=np.int64)
+        for c in self.indices:
+            counts[c + 1] += 1
+        indptr = np.cumsum(counts)
+        indices = np.zeros(self.nnz, dtype=np.int64)
+        data = np.zeros(self.nnz, dtype=self.data.dtype if len(self.data) else float)
+        cursor = indptr[:-1].copy()
+        for r in range(rows):
+            for pos in range(self.indptr[r], self.indptr[r + 1]):
+                c = self.indices[pos]
+                indices[cursor[c]] = r
+                data[cursor[c]] = self.data[pos]
+                cursor[c] += 1
+        return CSRMatrix((cols, rows), indptr, indices, data)
+
+    def __repr__(self) -> str:
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"
+
+
+class CSCMatrix:
+    """Compressed sparse column, stored as the CSR of the transpose."""
+
+    def __init__(self, csr_of_transpose: CSRMatrix, shape: Tuple[int, int]):
+        self._t = csr_of_transpose
+        self.shape = shape
+
+    @classmethod
+    def from_dense(cls, array: np.ndarray) -> "CSCMatrix":
+        array = np.asarray(array)
+        return cls(CSRMatrix.from_dense(array.T), array.shape)
+
+    def column(self, c: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(row indices, values) of one column."""
+        return self._t.row(c)
+
+    def to_dense(self) -> np.ndarray:
+        return self._t.to_dense().T
+
+    @property
+    def nnz(self) -> int:
+        return self._t.nnz
+
+    def __repr__(self) -> str:
+        return f"CSCMatrix(shape={self.shape}, nnz={self.nnz})"
+
+
+def spgemm_reference(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+    """Ground-truth sparse matmul (row-by-row Gustavson), for validation."""
+    if a.shape[1] != b.shape[0]:
+        raise ValueError("inner dimensions must agree")
+    rows, cols = a.shape[0], b.shape[1]
+    indptr = [0]
+    indices: List[int] = []
+    data: List[float] = []
+    for r in range(rows):
+        acc: dict = {}
+        a_cols, a_vals = a.row(r)
+        for k, av in zip(a_cols, a_vals):
+            b_cols, b_vals = b.row(int(k))
+            for c, bv in zip(b_cols, b_vals):
+                acc[int(c)] = acc.get(int(c), 0) + av * bv
+        for c in sorted(acc):
+            if acc[c] != 0:
+                indices.append(c)
+                data.append(acc[c])
+        indptr.append(len(indices))
+    return CSRMatrix(
+        (rows, cols),
+        np.asarray(indptr),
+        np.asarray(indices, dtype=np.int64),
+        np.asarray(data),
+    )
+
+
+def outer_product_partials(
+    a: CSCMatrix, b: CSRMatrix
+) -> List[List[Tuple[int, int, float]]]:
+    """OuterSPACE's multiply phase [26]: for each k, the outer product of
+    A's column k with B's row k, as a list of (row, col, value) partial
+    products.  The merge phase later combines the K partial matrices."""
+    if a.shape[1] != b.shape[0]:
+        raise ValueError("inner dimensions must agree")
+    partials: List[List[Tuple[int, int, float]]] = []
+    for k in range(a.shape[1]):
+        rows, row_vals = a.column(k)
+        cols, col_vals = b.row(k)
+        partial = [
+            (int(r), int(c), float(rv * cv))
+            for r, rv in zip(rows, row_vals)
+            for c, cv in zip(cols, col_vals)
+        ]
+        partials.append(partial)
+    return partials

@@ -1,0 +1,239 @@
+"""Fibertree tensor representation (paper Sections III-E and IV-C, [31]).
+
+A fibertree describes a tensor as nested *fibers*: each axis (rank) has a
+format -- Dense, Compressed, Bitvector, or LinkedList -- and each fiber of
+that axis stores (coordinate, payload) pairs in a format-specific way.
+Composing per-axis formats yields the classic sparse formats: CSR is
+Dense(rows) over Compressed(cols); a bitmap matrix is Dense over
+Bitvector; MatRaptor-style row lists are Dense over LinkedList.
+
+:class:`FibertreeTensor` is the substrate shared by the memory-buffer
+simulator, the ISA data movers, and the sparse workload generators.  It
+tracks format-faithful metadata so footprints and traversal costs can be
+measured, while keeping values in plain Python/numpy scalars.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.memspec import AxisType
+
+
+class Fiber:
+    """One fiber: an ordered sequence of (coordinate, payload) pairs.
+
+    The payloads of non-leaf fibers are sub-fibers; leaf payloads are
+    scalar values.  ``fmt`` controls which metadata the fiber would carry
+    in hardware (and therefore its footprint), not the Python storage.
+    """
+
+    __slots__ = ("fmt", "coords", "payloads", "extent")
+
+    def __init__(
+        self,
+        fmt: AxisType,
+        coords: List[int],
+        payloads: List[object],
+        extent: int,
+    ):
+        self.fmt = fmt
+        self.coords = coords
+        self.payloads = payloads
+        self.extent = extent
+
+    def lookup(self, coord: int) -> Optional[object]:
+        """Find the payload at a coordinate (None when absent).
+
+        Dense fibers index directly; Compressed fibers binary-search their
+        coordinate list; Bitvector fibers test the mask then popcount;
+        LinkedList fibers walk node-by-node.  The Python implementation
+        uses the same asymptotics so traversal *counts* are faithful.
+        """
+        if self.fmt is AxisType.DENSE:
+            if 0 <= coord < len(self.payloads):
+                return self.payloads[coord]
+            return None
+        if self.fmt is AxisType.LINKED_LIST:
+            for c, payload in zip(self.coords, self.payloads):
+                if c == coord:
+                    return payload
+            return None
+        # Compressed / Bitvector: ordered coordinate list.
+        lo, hi = 0, len(self.coords)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.coords[mid] < coord:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(self.coords) and self.coords[lo] == coord:
+            return self.payloads[lo]
+        return None
+
+    def nonzero_count(self) -> int:
+        if self.fmt is AxisType.DENSE:
+            return sum(1 for p in self.payloads if p is not None)
+        return len(self.payloads)
+
+    def items(self) -> Iterable[Tuple[int, object]]:
+        if self.fmt is AxisType.DENSE:
+            for coord, payload in enumerate(self.payloads):
+                if payload is not None:
+                    yield coord, payload
+        else:
+            yield from zip(self.coords, self.payloads)
+
+    def metadata_bits(self, coord_bits: int = 32) -> int:
+        """Bits of metadata this fiber's format requires."""
+        if self.fmt is AxisType.DENSE:
+            return 0
+        if self.fmt is AxisType.COMPRESSED:
+            return len(self.coords) * coord_bits + coord_bits  # coords + segment ptr
+        if self.fmt is AxisType.BITVECTOR:
+            return self.extent  # one bit per possible coordinate
+        # Linked list: next pointer + coordinate per node.
+        return len(self.coords) * 2 * coord_bits
+
+    def __len__(self) -> int:
+        return len(self.payloads)
+
+    def __repr__(self) -> str:
+        return f"Fiber({self.fmt.value}, n={len(self.payloads)}, extent={self.extent})"
+
+
+class FibertreeTensor:
+    """A tensor stored as a fibertree with one format per axis."""
+
+    def __init__(self, root: Fiber, axis_types: Sequence[AxisType], shape: Tuple[int, ...]):
+        self.root = root
+        self.axis_types = tuple(axis_types)
+        self.shape = tuple(shape)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dense(
+        cls, array: np.ndarray, axis_types: Sequence[AxisType]
+    ) -> "FibertreeTensor":
+        array = np.asarray(array)
+        if array.ndim != len(axis_types):
+            raise ValueError(
+                f"array rank {array.ndim} != number of axis formats"
+                f" {len(axis_types)}"
+            )
+
+        def build(sub: np.ndarray, depth: int) -> Optional[Fiber]:
+            fmt = axis_types[depth]
+            extent = sub.shape[0]
+            is_leaf = depth == array.ndim - 1
+            coords: List[int] = []
+            payloads: List[object] = []
+            if fmt is AxisType.DENSE:
+                dense_payloads: List[object] = []
+                for coord in range(extent):
+                    if is_leaf:
+                        value = sub[coord].item()
+                        dense_payloads.append(value if value != 0 else None)
+                    else:
+                        child = build(sub[coord], depth + 1)
+                        dense_payloads.append(child)
+                return Fiber(fmt, list(range(extent)), dense_payloads, extent)
+            for coord in range(extent):
+                if is_leaf:
+                    value = sub[coord].item()
+                    if value != 0:
+                        coords.append(coord)
+                        payloads.append(value)
+                else:
+                    child = build(sub[coord], depth + 1)
+                    if child is not None and child.nonzero_count() > 0:
+                        coords.append(coord)
+                        payloads.append(child)
+            return Fiber(fmt, coords, payloads, extent)
+
+        root = build(array, 0)
+        return cls(root, axis_types, array.shape)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def read(self, coords: Sequence[int]):
+        """Read one element; absent coordinates read as zero."""
+        if len(coords) != len(self.shape):
+            raise ValueError(
+                f"expected {len(self.shape)} coordinates, got {len(coords)}"
+            )
+        node: object = self.root
+        for depth, coord in enumerate(coords):
+            if node is None:
+                return 0
+            payload = node.lookup(int(coord))
+            if payload is None:
+                return 0
+            node = payload
+        return node
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+
+        def fill(fiber: Fiber, prefix: Tuple[int, ...]):
+            for coord, payload in fiber.items():
+                if isinstance(payload, Fiber):
+                    fill(payload, prefix + (coord,))
+                else:
+                    out[prefix + (coord,)] = payload
+
+        fill(self.root, ())
+        return out
+
+    def nonzeros(self) -> Iterable[Tuple[Tuple[int, ...], object]]:
+        def walk(fiber: Fiber, prefix: Tuple[int, ...]):
+            for coord, payload in fiber.items():
+                if isinstance(payload, Fiber):
+                    yield from walk(payload, prefix + (coord,))
+                else:
+                    yield prefix + (coord,), payload
+
+        yield from walk(self.root, ())
+
+    @property
+    def nnz(self) -> int:
+        return sum(1 for _ in self.nonzeros())
+
+    # ------------------------------------------------------------------
+    # Footprint
+    # ------------------------------------------------------------------
+
+    def footprint_bits(self, element_bits: int = 32, coord_bits: int = 32) -> int:
+        """Total storage: values plus per-fiber format metadata."""
+        total = 0
+
+        def walk(fiber: Fiber):
+            nonlocal total
+            total += fiber.metadata_bits(coord_bits)
+            for _, payload in fiber.items():
+                if isinstance(payload, Fiber):
+                    walk(payload)
+                else:
+                    total += element_bits
+            if fiber.fmt is AxisType.DENSE:
+                # Dense fibers store a slot per coordinate, zero or not.
+                total += (fiber.extent - fiber.nonzero_count()) * (
+                    element_bits if _is_leaf(fiber) else 0
+                )
+
+        def _is_leaf(fiber: Fiber) -> bool:
+            return not any(isinstance(p, Fiber) for _, p in fiber.items())
+
+        walk(self.root)
+        return total
+
+    def __repr__(self) -> str:
+        fmts = "/".join(t.value for t in self.axis_types)
+        return f"FibertreeTensor({fmts}, shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,117 @@
+"""Linked-list sparse fibers.
+
+The ``LinkedList`` axis type of Section III-E: each row is a chain of
+(coordinate, value, next) nodes.  Appends are O(1) -- which is why
+MatRaptor-style row-wise accumulators use them -- but ordered traversal
+costs one pointer chase per element, which the memory-buffer model charges
+as a per-element pipeline stall.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+class _Node:
+    __slots__ = ("coord", "value", "next")
+
+    def __init__(self, coord: int, value, next_node: Optional["_Node"] = None):
+        self.coord = coord
+        self.value = value
+        self.next = next_node
+
+
+class LinkedListFiber:
+    """A single sparse fiber stored as a singly linked list."""
+
+    def __init__(self):
+        self.head: Optional[_Node] = None
+        self.tail: Optional[_Node] = None
+        self.length = 0
+        self.pointer_hops = 0  # traversal cost counter
+
+    def append(self, coord: int, value) -> None:
+        node = _Node(coord, value)
+        if self.tail is None:
+            self.head = self.tail = node
+        else:
+            self.tail.next = node
+            self.tail = node
+        self.length += 1
+
+    def insert_sorted(self, coord: int, value, combine=None) -> None:
+        """Insert keeping coordinates sorted, combining duplicates."""
+        prev = None
+        node = self.head
+        while node is not None and node.coord < coord:
+            self.pointer_hops += 1
+            prev, node = node, node.next
+        if node is not None and node.coord == coord:
+            node.value = combine(node.value, value) if combine else value
+            return
+        new = _Node(coord, value, node)
+        if prev is None:
+            self.head = new
+        else:
+            prev.next = new
+        if node is None:
+            self.tail = new
+        self.length += 1
+
+    def lookup(self, coord: int):
+        node = self.head
+        while node is not None:
+            self.pointer_hops += 1
+            if node.coord == coord:
+                return node.value
+            node = node.next
+        return None
+
+    def __iter__(self) -> Iterator[Tuple[int, object]]:
+        node = self.head
+        while node is not None:
+            self.pointer_hops += 1
+            yield node.coord, node.value
+            node = node.next
+
+    def __len__(self) -> int:
+        return self.length
+
+
+class LinkedListMatrix:
+    """Dense rows of linked-list fibers."""
+
+    def __init__(self, shape: Tuple[int, int]):
+        self.shape = shape
+        self.rows: List[LinkedListFiber] = [LinkedListFiber() for _ in range(shape[0])]
+
+    @classmethod
+    def from_dense(cls, array: np.ndarray) -> "LinkedListMatrix":
+        array = np.asarray(array)
+        matrix = cls(array.shape)
+        for r in range(array.shape[0]):
+            for c in np.nonzero(array[r])[0]:
+                matrix.rows[r].append(int(c), array[r, c].item())
+        return matrix
+
+    def accumulate(self, r: int, c: int, value) -> None:
+        self.rows[r].insert_sorted(c, value, combine=lambda a, b: a + b)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        for r, fiber in enumerate(self.rows):
+            for c, value in fiber:
+                out[r, c] = value
+        return out
+
+    @property
+    def nnz(self) -> int:
+        return sum(len(f) for f in self.rows)
+
+    def total_pointer_hops(self) -> int:
+        return sum(f.pointer_hops for f in self.rows)
+
+    def __repr__(self) -> str:
+        return f"LinkedListMatrix(shape={self.shape}, nnz={self.nnz})"

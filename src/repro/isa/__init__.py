@@ -1,0 +1,34 @@
+"""Stellar's RISC-V-style programming interface (paper Section V)."""
+
+from .driver import ISAExecutor, StellarDriver
+from .encoding import (
+    ENTIRE_AXIS,
+    AxisTypeCode,
+    ConstantId,
+    Instruction,
+    MetadataType,
+    Opcode,
+    Target,
+    decode,
+    encode,
+    make,
+)
+from .machine import BufferStore, DRAMSpace, Machine
+
+__all__ = [
+    "ISAExecutor",
+    "StellarDriver",
+    "ENTIRE_AXIS",
+    "AxisTypeCode",
+    "ConstantId",
+    "Instruction",
+    "MetadataType",
+    "Opcode",
+    "Target",
+    "decode",
+    "encode",
+    "make",
+    "BufferStore",
+    "DRAMSpace",
+    "Machine",
+]

@@ -1,0 +1,122 @@
+"""Encoding of Stellar's 64-bit RISC-V custom instructions (paper Table II).
+
+Every instruction is a (opcode, rs1, rs2) triple issued over the RoCC-style
+custom-instruction interface.  ``rs1[19:16]`` selects whether the setting
+applies to the transfer's source, destination, or both; ``rs1[15:0]``
+carries the axis (and, for ``set_metadata_stride``, the metadata type);
+``rs2`` carries the value -- an address, span, stride, axis type, or
+constant.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple, Tuple
+
+
+class Opcode(enum.IntEnum):
+    """The command subset of Table II."""
+
+    SET_ADDRESS = 0
+    SET_SPAN = 1
+    SET_DATA_STRIDE = 2
+    SET_METADATA_STRIDE = 3
+    SET_AXIS_TYPE = 4
+    SET_CONSTANT = 5
+    SET_SRC_AND_DST = 6
+    SET_METADATA_ADDRESS = 7
+    ISSUE = 8
+
+
+class Target(enum.IntEnum):
+    """rs1[19:16]: which side of the transfer a setting applies to."""
+
+    FOR_SRC = 1
+    FOR_DST = 2
+    FOR_BOTH = 3
+
+
+class MetadataType(enum.IntEnum):
+    """Metadata streams of sparse fibertree axes (Listing 7)."""
+
+    ROW_ID = 0
+    COORD = 1
+    BITMASK = 2
+    NEXT_PTR = 3
+
+
+class AxisTypeCode(enum.IntEnum):
+    """rs2 values for ``set_axis_type``."""
+
+    DENSE = 0
+    COMPRESSED = 1
+    BITVECTOR = 2
+    LINKED_LIST = 3
+
+
+class ConstantId(enum.IntEnum):
+    """Scalar/boolean constants settable via ``set_constant`` (Table II)."""
+
+    SHOULD_TRAIL_READS = 0
+    SHOULD_INTERLEAVE = 1
+    LAST_AXIS = 2
+    AXIS_SIZE = 3
+
+
+#: Span value meaning "the whole (data-dependent) axis" (Listing 7's
+#: ``ENTIRE_AXIS`` for compressed fibers whose length is in metadata).
+ENTIRE_AXIS = (1 << 32) - 1
+
+_AXIS_MASK = 0xFF
+_META_SHIFT = 8
+
+
+class Instruction(NamedTuple):
+    """A decoded instruction."""
+
+    opcode: Opcode
+    target: Target
+    axis: int
+    metadata_type: int
+    value: int
+
+    def encode(self) -> Tuple[int, int, int]:
+        """Encode to the (funct7-selected opcode, rs1, rs2) register triple."""
+        if not 0 <= self.axis <= _AXIS_MASK:
+            raise ValueError(f"axis {self.axis} out of range")
+        rs1 = (int(self.target) << 16) | (
+            (int(self.metadata_type) << _META_SHIFT) | int(self.axis)
+        )
+        rs2 = int(self.value) & ((1 << 64) - 1)
+        return int(self.opcode), rs1, rs2
+
+
+def encode(instruction: Instruction) -> Tuple[int, int, int]:
+    return instruction.encode()
+
+
+def decode(opcode: int, rs1: int, rs2: int) -> Instruction:
+    """Decode a register triple back to an :class:`Instruction`."""
+    try:
+        op = Opcode(opcode)
+    except ValueError:
+        raise ValueError(f"unknown opcode {opcode}") from None
+    target_bits = (rs1 >> 16) & 0xF
+    try:
+        target = Target(target_bits) if target_bits else Target.FOR_BOTH
+    except ValueError:
+        raise ValueError(f"invalid target bits {target_bits}") from None
+    axis = rs1 & _AXIS_MASK
+    metadata_type = (rs1 >> _META_SHIFT) & _AXIS_MASK
+    return Instruction(op, target, axis, metadata_type, rs2)
+
+
+def make(
+    opcode: Opcode,
+    target: Target = Target.FOR_BOTH,
+    axis: int = 0,
+    metadata_type: int = 0,
+    value: int = 0,
+) -> Instruction:
+    """Convenience constructor with defaults."""
+    return Instruction(opcode, target, axis, metadata_type, value)

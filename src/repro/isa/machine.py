@@ -1,0 +1,121 @@
+"""The memory-system model the ISA executes against.
+
+A :class:`Machine` owns a word-addressable DRAM, a set of named private
+memory buffers, and a DMA/DRAM timing model.  Instruction streams built by
+the driver (Listing 7) move tensors between these units; the machine
+performs real address arithmetic -- data addresses, metadata addresses,
+per-axis strides -- so the programming-interface semantics of Section V
+are executable and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.memspec import MemoryBufferSpec
+from ..sim.dma import DMASim, TransferDescriptor
+from ..sim.dram import DRAMModel
+
+
+class DRAMSpace:
+    """Word-addressable DRAM backed by a dict (sparse address space)."""
+
+    def __init__(self, word_bytes: int = 4):
+        self.word_bytes = word_bytes
+        self._words: Dict[int, float] = {}
+
+    def place_array(self, address: int, array: np.ndarray) -> int:
+        """Store a flattened array starting at ``address`` (word-addressed).
+        Returns the first free address after it."""
+        flat = np.asarray(array).reshape(-1)
+        for offset, value in enumerate(flat):
+            self._words[address + offset] = value.item()
+        return address + len(flat)
+
+    def read_word(self, address: int):
+        return self._words.get(address, 0)
+
+    def write_word(self, address: int, value) -> None:
+        self._words[address] = value
+
+    def read_block(self, address: int, count: int) -> List:
+        return [self.read_word(address + i) for i in range(count)]
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+
+class BufferStore:
+    """A private memory buffer's contents: data plus per-axis metadata.
+
+    Mirrors the generated hardware's data SRAM + metadata SRAMs
+    (Figure 12).  Contents are stored exactly as moved in: a data array
+    and named metadata arrays (ROW_ID, COORD, ...).
+    """
+
+    def __init__(self, spec: MemoryBufferSpec):
+        self.spec = spec
+        self.data: List = []
+        self.metadata: Dict[Tuple[int, str], List] = {}
+
+    def clear(self) -> None:
+        self.data = []
+        self.metadata = {}
+
+    def metadata_for(self, axis: int, kind: str) -> List:
+        return self.metadata.setdefault((axis, kind), [])
+
+    def to_dense_matrix(self, rows: int, cols: int) -> np.ndarray:
+        """Reassemble a 2-D matrix from the stored data + metadata."""
+        out = np.zeros((rows, cols))
+        row_ids = self.metadata.get((0, "ROW_ID"))
+        coords = self.metadata.get((0, "COORD"))
+        if row_ids is not None and coords is not None:
+            # CSR-style contents.
+            for r in range(rows):
+                lo, hi = int(row_ids[r]), int(row_ids[r + 1])
+                for pos in range(lo, hi):
+                    out[r, int(coords[pos])] = self.data[pos]
+            return out
+        flat = np.asarray(self.data)
+        return flat.reshape(rows, cols)
+
+    def __repr__(self) -> str:
+        return f"BufferStore({self.spec.name!r}, elements={len(self.data)})"
+
+
+class Machine:
+    """DRAM + private buffers + DMA timing for ISA execution."""
+
+    def __init__(
+        self,
+        membufs: Sequence[MemoryBufferSpec],
+        dram_latency: int = 100,
+        dram_bandwidth: int = 16,
+        dma_max_inflight: int = 1,
+        word_bytes: int = 4,
+    ):
+        self.dram = DRAMSpace(word_bytes)
+        self.buffers: Dict[str, BufferStore] = {
+            spec.name: BufferStore(spec) for spec in membufs
+        }
+        self.dram_model = DRAMModel(dram_latency, dram_bandwidth)
+        self.dma = DMASim(self.dram_model, dma_max_inflight)
+        self.word_bytes = word_bytes
+        self.total_cycles = 0
+
+    def buffer(self, name: str) -> BufferStore:
+        try:
+            return self.buffers[name]
+        except KeyError:
+            raise KeyError(
+                f"no buffer named {name!r}; have {sorted(self.buffers)}"
+            ) from None
+
+    def charge_transfers(self, transfers: Sequence[TransferDescriptor]) -> int:
+        """Run the DMA timing model and accumulate cycles."""
+        result = self.dma.run(list(transfers))
+        self.total_cycles += result.total_cycles
+        return result.total_cycles

@@ -1,0 +1,5 @@
+"""Meta-level registries (the framework comparison of Table I)."""
+
+from .frameworks import FRAMEWORKS, Framework, get, render_table, stellar_distinguishers
+
+__all__ = ["FRAMEWORKS", "Framework", "get", "render_table", "stellar_distinguishers"]

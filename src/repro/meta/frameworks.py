@@ -1,0 +1,110 @@
+"""The framework-comparison matrix of paper Table I.
+
+A small data registry of the accelerator design frameworks the paper
+compares against, with the design-specification, hardware-output, and
+programming-interface capabilities Table I tabulates.  The Table I bench
+renders this registry and checks Stellar's distinguishing row: the only
+framework with all five design axes, synthesizable RTL, and both
+application- and ISA-level programming interfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple
+
+#: Capability values: True, False, or "implicit" (DSAGen/Spatial encode
+#: dataflow implicitly in their program representations).
+Capability = object
+
+
+class Framework(NamedTuple):
+    name: str
+    category: str  # "dense", "sparse", or "stellar"
+    functionality: Capability
+    dataflow: Capability
+    sparse_data_structures: Capability
+    load_balancing: Capability
+    private_memory_buffers: Capability
+    simulators: Capability
+    synthesizable_rtl: Capability
+    application_level: Capability
+    isa_level: Capability
+
+
+FRAMEWORKS: List[Framework] = [
+    Framework("PolySA", "dense", True, True, False, False, True, False, True, True, False),
+    Framework("AutoSA", "dense", True, True, False, False, True, False, True, True, False),
+    Framework("Interstellar", "dense", True, True, False, False, True, False, True, True, False),
+    Framework("Tabla", "dense", True, False, False, False, True, False, True, True, False),
+    Framework("Sparseloop", "sparse", True, True, True, False, True, True, False, False, False),
+    Framework("TeAAL", "sparse", True, True, True, True, True, True, False, False, False),
+    Framework("SAM", "sparse", True, True, True, False, True, True, False, False, False),
+    Framework("DSAGen", "sparse", True, "implicit", False, True, True, False, True, True, False),
+    Framework("Spatial", "sparse", True, "implicit", False, False, True, False, True, True, False),
+    Framework("Stellar", "stellar", True, True, True, True, True, False, True, True, True),
+]
+
+_ROWS = [
+    ("Functionality", "functionality"),
+    ("Dataflow", "dataflow"),
+    ("Sparse data structures", "sparse_data_structures"),
+    ("Load-balancing", "load_balancing"),
+    ("Private memory buffers", "private_memory_buffers"),
+    ("Simulators", "simulators"),
+    ("Synthesizable RTL", "synthesizable_rtl"),
+    ("Application-level", "application_level"),
+    ("ISA-level", "isa_level"),
+]
+
+
+def get(name: str) -> Framework:
+    for framework in FRAMEWORKS:
+        if framework.name == name:
+            return framework
+    raise KeyError(f"unknown framework {name!r}")
+
+
+def _mark(value: Capability) -> str:
+    if value == "implicit":
+        return "Implicit"
+    return "yes" if value else "no"
+
+
+def render_table() -> str:
+    """Render Table I as aligned text."""
+    names = [f.name for f in FRAMEWORKS]
+    width = max(len(label) for label, _ in _ROWS) + 2
+    col = max(max(len(n) for n in names), 8) + 2
+    lines = [" " * width + "".join(n.ljust(col) for n in names)]
+    for label, field in _ROWS:
+        cells = [_mark(getattr(f, field)) for f in FRAMEWORKS]
+        lines.append(label.ljust(width) + "".join(c.ljust(col) for c in cells))
+    return "\n".join(lines)
+
+
+def stellar_distinguishers() -> Dict[str, bool]:
+    """The capabilities only Stellar combines, per Table I."""
+    stellar = get("Stellar")
+    others = [f for f in FRAMEWORKS if f.name != "Stellar"]
+    return {
+        "only_isa_level": stellar.isa_level
+        and not any(f.isa_level for f in others),
+        "only_sparse_plus_rtl": (
+            stellar.sparse_data_structures is True
+            and stellar.synthesizable_rtl is True
+            and not any(
+                f.sparse_data_structures is True and f.synthesizable_rtl is True
+                for f in others
+            )
+        ),
+        "all_five_axes": all(
+            getattr(stellar, field) is True
+            for field in (
+                "functionality",
+                "dataflow",
+                "sparse_data_structures",
+                "load_balancing",
+                "private_memory_buffers",
+            )
+        ),
+    }

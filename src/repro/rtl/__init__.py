@@ -1,0 +1,37 @@
+"""Structural RTL backend: netlist IR, Verilog emitter, lint, lowering."""
+
+from .lint import lint_module, lint_netlist
+from .lowering import lower_design
+from .netlist import (
+    Assign,
+    Instance,
+    Module,
+    Net,
+    Netlist,
+    Port,
+    PortDir,
+    RTLError,
+    SyncBlock,
+)
+from .sim import RTLSimulator, parse_expression, parse_statement
+from .verilog import emit_module, emit_netlist
+
+__all__ = [
+    "lint_module",
+    "lint_netlist",
+    "lower_design",
+    "Assign",
+    "Instance",
+    "Module",
+    "Net",
+    "Netlist",
+    "Port",
+    "PortDir",
+    "RTLError",
+    "SyncBlock",
+    "emit_module",
+    "emit_netlist",
+    "RTLSimulator",
+    "parse_expression",
+    "parse_statement",
+]

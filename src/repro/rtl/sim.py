@@ -1,0 +1,448 @@
+"""An RTL interpreter for generated netlists.
+
+The paper validates its generated RTL with cycle-exact FPGA simulation
+(FireSim); offline, this module plays that role for the emitted designs:
+it *executes* a :class:`~repro.rtl.netlist.Netlist` cycle by cycle --
+evaluating continuous assigns to a combinational fixpoint, propagating
+values across module instances (including slice-connected buses), and
+committing synchronous blocks on each clock edge with synchronous reset.
+
+The expression language is exactly the subset the lowering emits:
+identifiers, sized literals (``16'd3``, ``1'b0``), ``+ - * < <= > >= ==
+!= & | !``, bit-slices ``x[hi:lo]``, memory subscripts ``mem[expr]``,
+concatenations ``{a, b}``, and guarded non-blocking assignments
+``if (cond) lhs <= rhs;``.  Values are Python integers masked to their
+declared widths, so overflow behaves as hardware would.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .netlist import Module, Netlist, PortDir, RTLError
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<sized>\d+'[bdh][0-9a-fA-F_]+)|(?P<num>\d+)"
+    r"|(?P<id>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op><=|>=|==|!=|<|>|\+|-|\*|&|\||!|~|\(|\)|\[|\]|\{|\}|,|:|;))"
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise RTLError(f"cannot tokenize {text[pos:]!r} in {text!r}")
+        tokens.append(match.group(0).strip())
+        pos = match.end()
+    return tokens
+
+
+def _literal_value(token: str) -> Tuple[int, int]:
+    """Parse a sized literal; returns (value, width)."""
+    width_text, rest = token.split("'")
+    base = {"b": 2, "d": 10, "h": 16}[rest[0]]
+    return int(rest[1:].replace("_", ""), base), int(width_text)
+
+
+class _Parser:
+    """Recursive-descent parser for the emitted expression subset."""
+
+    def __init__(self, tokens: List[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self, expected: Optional[str] = None) -> str:
+        token = self.peek()
+        if token is None:
+            raise RTLError("unexpected end of expression")
+        if expected is not None and token != expected:
+            raise RTLError(f"expected {expected!r}, found {token!r}")
+        self.pos += 1
+        return token
+
+    # expression := comparison (('&'|'|') comparison)*
+    def expression(self):
+        node = self.comparison()
+        while self.peek() in ("&", "|"):
+            op = self.take()
+            node = ("binop", op, node, self.comparison())
+        return node
+
+    def comparison(self):
+        node = self.sum()
+        while self.peek() in ("==", "!=", "<", "<=", ">", ">="):
+            op = self.take()
+            node = ("binop", op, node, self.sum())
+        return node
+
+    def sum(self):
+        node = self.term()
+        while self.peek() in ("+", "-"):
+            op = self.take()
+            node = ("binop", op, node, self.term())
+        return node
+
+    def term(self):
+        node = self.unary()
+        while self.peek() == "*":
+            self.take()
+            node = ("binop", "*", node, self.unary())
+        return node
+
+    def unary(self):
+        if self.peek() in ("!", "~", "-"):
+            op = self.take()
+            return ("unop", op, self.unary())
+        return self.primary()
+
+    def primary(self):
+        token = self.peek()
+        if token == "(":
+            self.take()
+            node = self.expression()
+            self.take(")")
+            return self._postfix(node)
+        if token == "{":
+            self.take()
+            first = self.expression()
+            if self.peek() == "{":
+                # Replication: {N{expr}}.
+                self.take()
+                inner = self.expression()
+                self.take("}")
+                self.take("}")
+                return ("repl", first, inner)
+            parts = [first]
+            while self.peek() == ",":
+                self.take()
+                parts.append(self.expression())
+            self.take("}")
+            return ("concat", parts)
+        if token is None:
+            raise RTLError("unexpected end of expression")
+        if "'" in token:
+            value, width = _literal_value(self.take())
+            return ("literal", value, width)
+        if token.isdigit():
+            return ("literal", int(self.take()), 32)
+        name = self.take()
+        return self._postfix(("ref", name))
+
+    def _postfix(self, node):
+        while self.peek() == "[":
+            self.take()
+            first = self.expression()
+            if self.peek() == ":":
+                self.take()
+                second = self.expression()
+                self.take("]")
+                node = ("slice", node, first, second)
+            else:
+                self.take("]")
+                node = ("index", node, first)
+        return node
+
+
+def parse_expression(text: str):
+    parser = _Parser(_tokenize(text))
+    node = parser.expression()
+    if parser.peek() not in (None, ";"):
+        raise RTLError(f"trailing tokens in expression {text!r}")
+    return node
+
+
+def parse_statement(text: str):
+    """Parse ``[if (cond)] lvalue <= expr ;`` into (cond, lvalue, expr)."""
+    tokens = _tokenize(text)
+    parser = _Parser(tokens)
+    cond = None
+    if parser.peek() == "if":
+        parser.take()
+        parser.take("(")
+        cond = parser.expression()
+        parser.take(")")
+    lvalue = parser._postfix(("ref", parser.take()))
+    parser.take("<=")
+    rhs = parser.expression()
+    if parser.peek() == ";":
+        parser.take()
+    if parser.peek() is not None:
+        raise RTLError(f"trailing tokens in statement {text!r}")
+    return cond, lvalue, rhs
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+
+def _mask(value: int, width: int) -> int:
+    return value & ((1 << width) - 1)
+
+
+class _ModuleState:
+    """Runtime state of one module instance."""
+
+    def __init__(self, module: Module, netlist: Netlist, path: str):
+        self.module = module
+        self.path = path
+        self.widths: Dict[str, int] = {}
+        self.values: Dict[str, int] = {}
+        self.memories: Dict[str, Dict[int, int]] = {}
+        for port in module.ports:
+            self.widths[port.name] = port.width
+            self.values[port.name] = 0
+        for net in module.nets:
+            self.widths[net.name] = net.width
+            if net.depth:
+                self.memories[net.name] = {}
+            else:
+                self.values[net.name] = 0
+        # Pre-parse everything once.
+        self.assigns = [
+            (parse_expression(a.lhs), parse_expression(a.rhs))
+            for a in module.assigns
+        ]
+        self.sync_blocks = [
+            (
+                [parse_statement(s) for s in block.statements],
+                [parse_statement(s) for s in block.reset_statements],
+            )
+            for block in module.sync_blocks
+        ]
+        self.children: List[Tuple["_ModuleState", Dict[str, object]]] = []
+        for inst in module.instances:
+            child = _ModuleState(
+                netlist.module(inst.module_name),
+                netlist,
+                f"{path}.{inst.instance_name}",
+            )
+            parsed_conns = {
+                port: parse_expression(signal)
+                for port, signal in inst.connections.items()
+            }
+            self.children.append((child, parsed_conns))
+
+    # -- expression evaluation -----------------------------------------
+
+    def eval(self, node) -> int:
+        kind = node[0]
+        if kind == "literal":
+            return _mask(node[1], node[2])
+        if kind == "ref":
+            name = node[1]
+            if name in self.memories:
+                raise RTLError(f"memory {name!r} used without a subscript")
+            if name not in self.values:
+                raise RTLError(f"undefined signal {name!r} in {self.path}")
+            return self.values[name]
+        if kind == "index":
+            base = node[1]
+            index = self.eval(node[2])
+            if base[0] == "ref" and base[1] in self.memories:
+                return self.memories[base[1]].get(index, 0)
+            return (self.eval(base) >> index) & 1
+        if kind == "slice":
+            value = self.eval(node[1])
+            hi, lo = self.eval(node[2]), self.eval(node[3])
+            return (value >> lo) & ((1 << (hi - lo + 1)) - 1)
+        if kind == "concat":
+            out = 0
+            for part in node[1]:
+                width = self._width_of(part)
+                out = (out << width) | _mask(self.eval(part), width)
+            return out
+        if kind == "repl":
+            count = self.eval(node[1])
+            width = self._width_of(node[2])
+            piece = _mask(self.eval(node[2]), width)
+            out = 0
+            for _ in range(count):
+                out = (out << width) | piece
+            return out
+        if kind == "unop":
+            value = self.eval(node[2])
+            if node[1] == "!":
+                return 0 if value else 1
+            if node[1] == "~":
+                return ~value
+            return -value
+        if kind == "binop":
+            op = node[1]
+            lhs, rhs = self.eval(node[2]), self.eval(node[3])
+            return {
+                "+": lambda: lhs + rhs,
+                "-": lambda: lhs - rhs,
+                "*": lambda: lhs * rhs,
+                "&": lambda: lhs & rhs,
+                "|": lambda: lhs | rhs,
+                "==": lambda: int(lhs == rhs),
+                "!=": lambda: int(lhs != rhs),
+                "<": lambda: int(lhs < rhs),
+                "<=": lambda: int(lhs <= rhs),
+                ">": lambda: int(lhs > rhs),
+                ">=": lambda: int(lhs >= rhs),
+            }[op]()
+        raise RTLError(f"unknown AST node {node!r}")
+
+    def _width_of(self, node) -> int:
+        if node[0] == "literal":
+            return node[2]
+        if node[0] == "ref":
+            return self.widths.get(node[1], 32)
+        if node[0] == "slice":
+            # Widths in emitted slices are literal bounds.
+            return self.eval(node[2]) - self.eval(node[3]) + 1
+        return 32
+
+    # -- writes ----------------------------------------------------------
+
+    def write(self, lvalue, value: int) -> bool:
+        """Write an lvalue; returns True if a visible value changed."""
+        if lvalue[0] == "ref":
+            name = lvalue[1]
+            width = self.widths.get(name, 32)
+            new = _mask(value, width)
+            if self.values.get(name) != new:
+                self.values[name] = new
+                return True
+            return False
+        if lvalue[0] == "index":
+            base = lvalue[1]
+            index = self.eval(lvalue[2])
+            if base[0] == "ref" and base[1] in self.memories:
+                memory = self.memories[base[1]]
+                new = _mask(value, self.widths[base[1]])
+                if memory.get(index) != new:
+                    memory[index] = new
+                    return True
+                return False
+            # Single-bit write into a packed register.
+            name = base[1]
+            current = self.values.get(name, 0)
+            updated = (current & ~(1 << index)) | ((value & 1) << index)
+            changed = updated != current
+            self.values[name] = _mask(updated, self.widths.get(name, 32))
+            return changed
+        if lvalue[0] == "slice":
+            name = lvalue[1][1]
+            hi, lo = self.eval(lvalue[2]), self.eval(lvalue[3])
+            width = hi - lo + 1
+            field_mask = ((1 << width) - 1) << lo
+            current = self.values.get(name, 0)
+            updated = (current & ~field_mask) | ((_mask(value, width)) << lo)
+            changed = updated != current
+            self.values[name] = _mask(updated, self.widths.get(name, 32))
+            return changed
+        raise RTLError(f"unsupported lvalue {lvalue!r}")
+
+    # -- combinational settle --------------------------------------------
+
+    def settle(self) -> bool:
+        """One combinational sweep; returns True if anything changed."""
+        changed = False
+        for lhs, rhs in self.assigns:
+            changed |= self.write(lhs, self.eval(rhs))
+        for child, conns in self.children:
+            child_module = child.module
+            for port in child_module.ports:
+                expr = conns.get(port.name)
+                if expr is None:
+                    continue
+                if port.direction is PortDir.INPUT:
+                    changed |= child.write(("ref", port.name), self.eval(expr))
+            changed |= child.settle()
+            for port in child_module.ports:
+                expr = conns.get(port.name)
+                if expr is None:
+                    continue
+                if port.direction is PortDir.OUTPUT:
+                    changed |= self.write(expr, child.values[port.name])
+        return changed
+
+    # -- clock edge --------------------------------------------------------
+
+    def sample_edge(self, reset: bool) -> List[Tuple["_ModuleState", object, int]]:
+        """Evaluate all sync blocks against pre-edge state; returns the
+        deferred writes (non-blocking assignment semantics)."""
+        writes: List[Tuple[_ModuleState, object, int]] = []
+        for statements, reset_statements in self.sync_blocks:
+            active = reset_statements if reset and reset_statements else statements
+            if reset and not reset_statements:
+                active = statements
+            for cond, lvalue, rhs in active:
+                if cond is None or self.eval(cond):
+                    writes.append((self, lvalue, self.eval(rhs)))
+        for child, _ in self.children:
+            writes.extend(child.sample_edge(reset))
+        return writes
+
+
+class RTLSimulator:
+    """Executes a netlist: ``poke`` inputs, ``step`` clocks, ``peek`` any
+    signal by hierarchical path."""
+
+    MAX_SETTLE_ITERATIONS = 256
+
+    def __init__(self, netlist: Netlist, top: Optional[str] = None):
+        self.netlist = netlist
+        module = netlist.module(top or netlist.top_name)
+        self.top = _ModuleState(module, netlist, module.name)
+        self.cycle = 0
+        self._settle()
+
+    def _settle(self) -> None:
+        for _ in range(self.MAX_SETTLE_ITERATIONS):
+            if not self.top.settle():
+                return
+        raise RTLError("combinational logic failed to settle (loop?)")
+
+    def _resolve(self, path: str) -> Tuple[_ModuleState, str]:
+        parts = path.split(".")
+        state = self.top
+        for part in parts[:-1]:
+            for child, _ in state.children:
+                if child.path.endswith("." + part) or child.path == part:
+                    state = child
+                    break
+            else:
+                raise RTLError(f"no instance {part!r} under {state.path}")
+        return state, parts[-1]
+
+    def poke(self, path: str, value: int) -> None:
+        state, name = self._resolve(path)
+        state.write(("ref", name), value)
+        self._settle()
+
+    def peek(self, path: str) -> int:
+        state, name = self._resolve(path)
+        if name in state.memories:
+            raise RTLError(f"{name!r} is a memory; use peek_memory")
+        return state.values[name]
+
+    def peek_memory(self, path: str, index: int) -> int:
+        state, name = self._resolve(path)
+        return state.memories[name].get(index, 0)
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the clock; synchronous reset follows the ``rst`` input."""
+        for _ in range(cycles):
+            reset = bool(self.top.values.get("rst", 0))
+            writes = self.top.sample_edge(reset)
+            for state, lvalue, value in writes:
+                state.write(lvalue, value)
+            self.cycle += 1
+            self._settle()
+
+    def reset(self, cycles: int = 1) -> None:
+        """Pulse ``rst`` for the given number of cycles."""
+        self.poke("rst", 1)
+        self.step(cycles)
+        self.poke("rst", 0)

@@ -1,0 +1,32 @@
+"""Cycle-level simulation substrate for generated accelerators."""
+
+from .balancer import (
+    BalancedRunResult,
+    balanced_makespan,
+    speedup_from_balancing,
+    unbalanced_makespan,
+)
+from .counters import PerfCounters
+from .dma import DMAResult, DMASim, TransferDescriptor, pointer_chase_transfers
+from .dram import DRAMModel
+from .membuf import MemBufSim
+from .regfile import RegfileError, RegfileSim
+from .spatial_array import SimResult, SpatialArraySim
+
+__all__ = [
+    "BalancedRunResult",
+    "balanced_makespan",
+    "speedup_from_balancing",
+    "unbalanced_makespan",
+    "PerfCounters",
+    "DMAResult",
+    "DMASim",
+    "TransferDescriptor",
+    "pointer_chase_transfers",
+    "DRAMModel",
+    "MemBufSim",
+    "RegfileError",
+    "RegfileSim",
+    "SimResult",
+    "SpatialArraySim",
+]

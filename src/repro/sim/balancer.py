@@ -1,0 +1,177 @@
+"""Load-balancer simulation (paper Sections III-D, IV-E, Figure 6).
+
+Stellar's generated load balancers watch register-file occupancy to find
+idle PEs and apply space-time biases so those PEs execute work that would
+otherwise wait on over-utilized PEs.  This module provides a makespan
+simulator over per-row work queues:
+
+* without balancing, each row drains its own queue; the array finishes at
+  the *longest* queue (Figure 6 left);
+* with row-granular balancing (Listing 3), a target row that drains early
+  may take whole work chunks from its paired source row one step ahead;
+* with PE-granular balancing (Listing 4 / Figure 10b), individual PEs
+  steal single work items from any permitted source.
+
+The simulator charges one cycle per work item per PE and counts the
+shifts applied, matching the counters the generated hardware exposes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.balancing import LoadBalancingScheme, Offset, Range, Shift
+
+
+class BalancedRunResult:
+    def __init__(self, cycles: int, shifts: int, per_row_busy: List[int]):
+        self.cycles = cycles
+        self.shifts = shifts
+        self.per_row_busy = per_row_busy
+
+    def utilization(self) -> float:
+        if not self.cycles or not self.per_row_busy:
+            return 0.0
+        total_slots = self.cycles * len(self.per_row_busy)
+        return sum(self.per_row_busy) / total_slots
+
+    def __repr__(self) -> str:
+        return f"BalancedRunResult(cycles={self.cycles}, shifts={self.shifts})"
+
+
+def unbalanced_makespan(work_per_row: Sequence[int]) -> BalancedRunResult:
+    """Each row drains its own queue at one item per cycle."""
+    cycles = max(work_per_row) if work_per_row else 0
+    return BalancedRunResult(cycles, 0, list(work_per_row))
+
+
+def balanced_makespan(
+    work_per_row: Sequence[int],
+    scheme: LoadBalancingScheme,
+    row_axis: str = "i",
+    index_names: Sequence[str] = ("i", "j", "k"),
+) -> BalancedRunResult:
+    """Makespan with the given load-balancing scheme applied.
+
+    Each :class:`Shift` names a source row range and a target row range on
+    ``row_axis``; once a target row exhausts its own work, it takes work
+    from its paired source row (row-granular) or any source row
+    (PE-granular).  Work moves only if the donor still has more than one
+    cycle of work left (you cannot steal work already begun).
+    """
+    if scheme.is_disabled():
+        return unbalanced_makespan(work_per_row)
+
+    remaining = list(work_per_row)
+    rows = len(remaining)
+    busy = [0] * rows
+    shifts = 0
+    axis_pos = list(index_names).index(row_axis)
+
+    pairings: List[Tuple[int, List[int], bool]] = []  # (target, sources, row_granular)
+    for shift in scheme:
+        src_clause = shift.src.get(row_axis)
+        dst_clause = shift.dst.get(row_axis)
+        if not isinstance(dst_clause, Range):
+            continue
+        row_granular = shift.is_row_granular(index_names)
+        targets = [r for r in range(rows) if r in dst_clause]
+        if isinstance(src_clause, Range):
+            sources = [r for r in range(rows) if r in src_clause]
+        else:
+            sources = [r for r in range(rows) if r not in dst_clause]
+        if row_granular and isinstance(src_clause, Range):
+            # Pair target row r with source row at the same offset.
+            for offset, target in enumerate(targets):
+                paired = [sources[offset]] if offset < len(sources) else []
+                pairings.append((target, paired, True))
+        else:
+            for target in targets:
+                pairings.append((target, sources, False))
+
+    donors_of: Dict[int, List[int]] = {}
+    for target, sources, _ in pairings:
+        donors_of.setdefault(target, []).extend(sources)
+
+    cycle = 0
+    while any(r > 0 for r in remaining):
+        cycle += 1
+        for row in range(rows):
+            if remaining[row] > 0:
+                remaining[row] -= 1
+                busy[row] += 1
+            elif row in donors_of:
+                # Idle target: steal one item from the donor with the most
+                # remaining work (the balancer watches regfile occupancy).
+                candidates = [d for d in donors_of[row] if remaining[d] > 1]
+                if candidates:
+                    donor = max(candidates, key=lambda d: remaining[d])
+                    remaining[donor] -= 1
+                    busy[row] += 1
+                    shifts += 1
+        if cycle > sum(work_per_row) + rows + 1:
+            raise RuntimeError("balancer simulation failed to converge")
+
+    return BalancedRunResult(cycle, shifts, busy)
+
+
+def spatial_balanced_makespan(
+    work_per_row: Sequence[int], granularity: str
+) -> BalancedRunResult:
+    """Makespan over *spatial* rows of the generated array (Figure 6).
+
+    ``granularity`` comes from the compiled :class:`BalancerPlan`:
+
+    * ``"row"`` -- only directly adjacent rows share work (the Listing 3
+      scheme under the paper's dataflow: "only direct adjacent rows of the
+      spatial array can share work");
+    * ``"pe"`` -- any row may take work from any other (the flexible
+      Listing 4 scheme, at the cost of the Figure 10b connection pruning).
+    """
+    if granularity not in ("row", "pe"):
+        raise ValueError(f"granularity must be 'row' or 'pe', got {granularity!r}")
+    remaining = list(work_per_row)
+    rows = len(remaining)
+    busy = [0] * rows
+    shifts = 0
+    cycle = 0
+    while any(r > 0 for r in remaining):
+        cycle += 1
+        stolen_this_cycle: set = set()
+        for row in range(rows):
+            if remaining[row] > 0:
+                remaining[row] -= 1
+                busy[row] += 1
+                continue
+            if granularity == "row":
+                candidates = [
+                    d
+                    for d in (row - 1, row + 1)
+                    if 0 <= d < rows and remaining[d] > 1 and d not in stolen_this_cycle
+                ]
+            else:
+                candidates = [
+                    d
+                    for d in range(rows)
+                    if d != row and remaining[d] > 1 and d not in stolen_this_cycle
+                ]
+            if candidates:
+                donor = max(candidates, key=lambda d: remaining[d])
+                remaining[donor] -= 1
+                stolen_this_cycle.add(donor)
+                busy[row] += 1
+                shifts += 1
+        if cycle > sum(work_per_row) + rows + 1:
+            raise RuntimeError("spatial balancer simulation failed to converge")
+    return BalancedRunResult(cycle, shifts, busy)
+
+
+def speedup_from_balancing(
+    work_per_row: Sequence[int], scheme: LoadBalancingScheme, **kwargs
+) -> float:
+    """Makespan ratio unbalanced/balanced (>= 1 when balancing helps)."""
+    base = unbalanced_makespan(work_per_row)
+    balanced = balanced_makespan(work_per_row, scheme, **kwargs)
+    if balanced.cycles == 0:
+        return 1.0
+    return base.cycles / balanced.cycles

@@ -1,0 +1,64 @@
+"""Performance counters shared by all simulator components."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class PerfCounters:
+    """A bag of monotonically increasing counters plus derived metrics.
+
+    Every simulator component increments counters here; experiment
+    harnesses read utilization/throughput from one place.
+    """
+
+    def __init__(self):
+        self.cycles: int = 0
+        self.pe_busy_cycles: int = 0
+        self.pe_idle_cycles: int = 0
+        self.macs: int = 0
+        self.regfile_reads: int = 0
+        self.regfile_writes: int = 0
+        self.membuf_reads: int = 0
+        self.membuf_writes: int = 0
+        self.dram_requests: int = 0
+        self.dram_bytes: int = 0
+        self.dma_stall_cycles: int = 0
+        self.balancer_shifts: int = 0
+        self.custom: Dict[str, int] = {}
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.custom[name] = self.custom.get(name, 0) + amount
+
+    @property
+    def pe_utilization(self) -> float:
+        total = self.pe_busy_cycles + self.pe_idle_cycles
+        return self.pe_busy_cycles / total if total else 0.0
+
+    def throughput_macs_per_cycle(self) -> float:
+        return self.macs / self.cycles if self.cycles else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        out = {
+            "cycles": self.cycles,
+            "pe_busy_cycles": self.pe_busy_cycles,
+            "pe_idle_cycles": self.pe_idle_cycles,
+            "macs": self.macs,
+            "regfile_reads": self.regfile_reads,
+            "regfile_writes": self.regfile_writes,
+            "membuf_reads": self.membuf_reads,
+            "membuf_writes": self.membuf_writes,
+            "dram_requests": self.dram_requests,
+            "dram_bytes": self.dram_bytes,
+            "dma_stall_cycles": self.dma_stall_cycles,
+            "balancer_shifts": self.balancer_shifts,
+            "pe_utilization": self.pe_utilization,
+        }
+        out.update(self.custom)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"PerfCounters(cycles={self.cycles}, macs={self.macs},"
+            f" util={self.pe_utilization:.3f})"
+        )

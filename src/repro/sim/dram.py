@@ -1,0 +1,63 @@
+"""A simple DRAM latency/bandwidth model.
+
+Models the two properties the paper's OuterSPACE study hinges on
+(Section VI-C): a fixed access latency for every request, and a shared
+bandwidth that contiguous bursts use efficiently while scattered scalar
+reads (pointer chasing) waste -- one outstanding scalar read returns a
+single value after the full latency, so serialized pointer accesses
+starve even a modest array.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class DRAMModel:
+    """Fixed-latency, bandwidth-limited DRAM.
+
+    Parameters
+    ----------
+    latency:
+        Cycles between a request's issue and its first beat of data.
+    bandwidth_bytes:
+        Peak bytes deliverable per cycle across all in-flight requests.
+    """
+
+    def __init__(self, latency: int = 100, bandwidth_bytes: int = 16):
+        if latency < 1 or bandwidth_bytes < 1:
+            raise ValueError("latency and bandwidth must be positive")
+        self.latency = latency
+        self.bandwidth_bytes = bandwidth_bytes
+        # The cycle at which the data bus is next free.
+        self._bus_free_at = 0
+        self.total_requests = 0
+        self.total_bytes = 0
+
+    def reset(self) -> None:
+        self._bus_free_at = 0
+        self.total_requests = 0
+        self.total_bytes = 0
+
+    def request(self, issue_cycle: int, size_bytes: int) -> int:
+        """Issue a request; returns the completion cycle.
+
+        The transfer occupies the data bus for ``size / bandwidth`` cycles
+        starting no earlier than ``issue + latency`` and no earlier than the
+        previous transfer's bus release (bandwidth sharing).
+        """
+        if size_bytes < 1:
+            raise ValueError("request size must be positive")
+        self.total_requests += 1
+        self.total_bytes += size_bytes
+        transfer_cycles = max(1, -(-size_bytes // self.bandwidth_bytes))
+        start = max(issue_cycle + self.latency, self._bus_free_at)
+        finish = start + transfer_cycles
+        self._bus_free_at = finish
+        return finish
+
+    def __repr__(self) -> str:
+        return (
+            f"DRAMModel(latency={self.latency},"
+            f" bandwidth={self.bandwidth_bytes} B/cycle)"
+        )

@@ -1,0 +1,114 @@
+"""Cycle-level private memory buffer model (paper Section IV-C, Figure 12).
+
+A :class:`MemBufSim` holds one tensor in the fibertree format of its
+:class:`~repro.core.memspec.MemoryBufferSpec` and services read/write
+requests through one pipeline stage per axis.  Dense axes cost a single
+address-generation cycle; Compressed/Bitvector/LinkedList axes cost their
+metadata-lookup latency.  Requests are pipelined: a stream of ``n``
+elements completes in ``access_latency + n - 1`` cycles unless an
+indirection stalls the pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.memspec import AxisType, HardcodedParams, MemoryBufferSpec
+from ..formats.fibertree import FibertreeTensor
+
+
+class MemBufSim:
+    """One private memory buffer holding a single tensor."""
+
+    def __init__(self, spec: MemoryBufferSpec):
+        self.spec = spec
+        self.tensor: Optional[FibertreeTensor] = None
+        self.reads = 0
+        self.writes = 0
+        self.busy_until = 0
+
+    # ------------------------------------------------------------------
+    # Data movement
+    # ------------------------------------------------------------------
+
+    def load(self, array: np.ndarray, start_cycle: int = 0) -> int:
+        """Store a dense array into the buffer in the spec's format.
+
+        Returns the completion cycle: writes stream one element per cycle
+        through the axis pipeline (only non-zeros for sparse formats).
+        """
+        if array.ndim != self.spec.rank:
+            # Allow block formats to reinterpret; otherwise must match.
+            if not (self.spec.rank > array.ndim):
+                raise ValueError(
+                    f"array rank {array.ndim} does not match buffer rank"
+                    f" {self.spec.rank}"
+                )
+        self.tensor = FibertreeTensor.from_dense(
+            array, [axis.axis_type for axis in self.spec.axes[: array.ndim]]
+        )
+        elements = self.tensor.nnz if not self.spec.is_dense() else array.size
+        if elements > self.spec.capacity_elements():
+            raise ValueError(
+                f"tensor with {elements} elements exceeds buffer capacity"
+                f" {self.spec.capacity_elements()}"
+            )
+        self.writes += elements
+        done = start_cycle + self.spec.access_latency() + max(0, elements - 1)
+        self.busy_until = max(self.busy_until, done)
+        return done
+
+    def read_element(self, coords: Tuple[int, ...], start_cycle: int = 0) -> Tuple[object, int]:
+        """Read one element; returns (value, completion_cycle)."""
+        if self.tensor is None:
+            raise RuntimeError(f"buffer {self.spec.name!r} is empty")
+        self.reads += 1
+        value = self.tensor.read(coords)
+        done = max(start_cycle, self.busy_until) + self.spec.access_latency()
+        return value, done
+
+    def stream_read(
+        self,
+        count: int,
+        start_cycle: int = 0,
+    ) -> int:
+        """Completion cycle of a pipelined read of ``count`` elements."""
+        if count <= 0:
+            return start_cycle
+        self.reads += count
+        stall_per_element = self._indirection_stalls()
+        done = (
+            max(start_cycle, self.busy_until)
+            + self.spec.access_latency()
+            + (count - 1) * (1 + stall_per_element)
+        )
+        self.busy_until = done
+        return done
+
+    def _indirection_stalls(self) -> int:
+        """Extra cycles per element for axes whose lookups cannot be
+        perfectly pipelined (linked lists serialize on the next pointer)."""
+        return sum(
+            1
+            for axis in self.spec.axes
+            if axis.axis_type is AxisType.LINKED_LIST
+        )
+
+    # ------------------------------------------------------------------
+    # Provable orders (Figure 13)
+    # ------------------------------------------------------------------
+
+    def emission_order(self) -> Optional[List[Tuple[int, ...]]]:
+        return self.spec.provable_read_order()
+
+    def emit_elements(self) -> Optional[List[Tuple[Tuple[int, ...], object]]]:
+        """Elements in the buffer's provable emission order, with values."""
+        order = self.emission_order()
+        if order is None or self.tensor is None:
+            return None
+        return [(coords, self.tensor.read(coords)) for coords in order]
+
+    def __repr__(self) -> str:
+        return f"MemBufSim({self.spec!r}, reads={self.reads}, writes={self.writes})"

@@ -1,0 +1,119 @@
+"""Cycle-level register-file models for the four variants of Figure 14.
+
+Each model stores (coordinate, value) pairs and charges the access costs
+implied by its structure:
+
+* ``FEEDFORWARD``: strict FIFO; reads must arrive in fill order.
+* ``TRANSPOSING``: FIFO whose read order is the coordinate transpose of
+  the fill order (the data-layout transform of Figure 14d).
+* ``EDGE``: accepts any read order over a filled tile, but only at edge
+  throughput (one element per port per cycle).
+* ``CROSSBAR``: fully associative search by coordinate; supports
+  data-dependent (runtime-expanded) coordinates at the cost of searching
+  every entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Optional, Tuple
+
+from ..core.passes.regfile_opt import RegfileKind
+
+
+class RegfileError(RuntimeError):
+    """An access violated the structural constraints of the regfile kind."""
+
+
+class RegfileSim:
+    """A register file instance of a given :class:`RegfileKind`."""
+
+    def __init__(self, kind: RegfileKind, capacity: int = 1 << 16):
+        self.kind = kind
+        self.capacity = capacity
+        self._fifo: Deque[Tuple[Tuple[int, ...], object]] = deque()
+        self._store: "OrderedDict[Tuple[int, ...], object]" = OrderedDict()
+        self.reads = 0
+        self.writes = 0
+        self.searched_entries = 0
+
+    def __len__(self) -> int:
+        return len(self._fifo) if self._is_fifo() else len(self._store)
+
+    def _is_fifo(self) -> bool:
+        return self.kind in (RegfileKind.FEEDFORWARD, RegfileKind.TRANSPOSING)
+
+    # ------------------------------------------------------------------
+
+    def write(self, coord: Tuple[int, ...], value) -> None:
+        if len(self) >= self.capacity:
+            raise RegfileError(f"regfile overflow at {len(self)} entries")
+        self.writes += 1
+        if self._is_fifo():
+            self._fifo.append((tuple(coord), value))
+        else:
+            self._store[tuple(coord)] = value
+
+    def read(self, coord: Tuple[int, ...]):
+        """Read the element with the given coordinate.
+
+        Feedforward regfiles *require* the requested coordinate to be the
+        head of the FIFO -- the compiler only selects them when it proved
+        the orders match, and this model enforces that proof at runtime.
+        """
+        self.reads += 1
+        coord = tuple(coord)
+        if self.kind is RegfileKind.FEEDFORWARD:
+            if not self._fifo:
+                raise RegfileError("read from empty feedforward regfile")
+            head_coord, value = self._fifo.popleft()
+            if head_coord != coord:
+                raise RegfileError(
+                    f"feedforward order violation: head {head_coord},"
+                    f" requested {coord}"
+                )
+            self.searched_entries += 1
+            return value
+        if self.kind is RegfileKind.TRANSPOSING:
+            if not self._fifo:
+                raise RegfileError("read from empty transposing regfile")
+            head_coord, value = self._fifo.popleft()
+            if tuple(reversed(head_coord)) != coord:
+                raise RegfileError(
+                    f"transposing order violation: head {head_coord},"
+                    f" requested {coord}"
+                )
+            self.searched_entries += 1
+            return value
+        # EDGE and CROSSBAR search the store.
+        if coord not in self._store:
+            raise RegfileError(f"no entry with coordinate {coord}")
+        self.searched_entries += (
+            len(self._store) if self.kind is RegfileKind.CROSSBAR else 1
+        )
+        return self._store.pop(coord)
+
+    def peek(self, coord: Tuple[int, ...]):
+        coord = tuple(coord)
+        if self._is_fifo():
+            for stored, value in self._fifo:
+                key = (
+                    tuple(reversed(stored))
+                    if self.kind is RegfileKind.TRANSPOSING
+                    else stored
+                )
+                if key == coord:
+                    return value
+            return None
+        return self._store.get(coord)
+
+    def access_latency(self) -> int:
+        """Read latency in cycles, by structure."""
+        if self.kind is RegfileKind.FEEDFORWARD:
+            return 1
+        if self.kind in (RegfileKind.TRANSPOSING, RegfileKind.EDGE):
+            return 1
+        return 2  # crossbar: match then mux
+
+    def __repr__(self) -> str:
+        return f"RegfileSim({self.kind.value}, entries={len(self)})"

@@ -1,0 +1,379 @@
+"""Cycle-level simulation of generated spatial arrays.
+
+:class:`SpatialArraySim` executes a :class:`~repro.core.compiler.CompiledDesign`
+the way the generated hardware would (paper Figure 11): every timestep,
+each PE reconstructs its tensor-iteration point by multiplying its
+space-time coordinates through ``T^-1``; if the point is live it performs
+its assignments, pulling operands from PE-to-PE connections or register
+files, and counting busy/idle cycles and IO traffic.
+
+Dense designs execute the full iteration domain.  Sparse designs -- those
+compiled with pessimistic ``Skip`` s -- first *compress* each skipped
+iterator against the actual tensor contents (only nonzero coordinates
+occupy iteration slots) and schedule the compressed points; workload
+imbalance then appears exactly as in the paper's Figure 6: short fibers
+leave their PEs idle while long fibers run on.  When the design has a
+load-balancing scheme, the balancer simulator redistributes that work and
+shortens the schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.compiler import CompiledDesign
+from ..core.expr import EvalContext, SpecError, WILDCARD
+from ..core.functionality import AssignmentKind
+from ..core.iterspace import IODirection
+from .balancer import spatial_balanced_makespan
+from .counters import PerfCounters
+
+
+class SimResult:
+    """Outputs plus performance statistics of one simulated invocation."""
+
+    def __init__(
+        self,
+        outputs: Dict[str, np.ndarray],
+        counters: PerfCounters,
+        schedule_length: int,
+    ):
+        self.outputs = outputs
+        self.counters = counters
+        self.schedule_length = schedule_length
+
+    @property
+    def cycles(self) -> int:
+        return self.counters.cycles
+
+    @property
+    def utilization(self) -> float:
+        return self.counters.pe_utilization
+
+    def __repr__(self) -> str:
+        return f"SimResult(cycles={self.cycles}, util={self.utilization:.3f})"
+
+
+class SpatialArraySim:
+    """Simulator for one compiled spatial-array design.
+
+    Parameters
+    ----------
+    design:
+        The compiled design to execute.
+    fill_drain_overhead:
+        Extra cycles charged for pipeline fill/drain per invocation.  The
+        paper attributes part of Stellar-Gemmini's ~10% utilization gap to
+        per-tile start overheads and global start/stall signals
+        (Section VI-B); handwritten baselines set this to 0.
+    """
+
+    def __init__(self, design: CompiledDesign, fill_drain_overhead: int = 0):
+        self.design = design
+        self.fill_drain_overhead = fill_drain_overhead
+
+    # ------------------------------------------------------------------
+
+    def run(self, tensors: Mapping[str, np.ndarray]) -> SimResult:
+        tensors = {name: np.asarray(arr) for name, arr in tensors.items()}
+        if self._is_sparse():
+            return self._run_sparse(tensors)
+        return self._run_dense(tensors)
+
+    def _is_sparse(self) -> bool:
+        return any(not skip.optimistic for skip in self.design.sparsity)
+
+    # ------------------------------------------------------------------
+    # Dense execution: exact space-time propagation
+    # ------------------------------------------------------------------
+
+    def _run_dense(self, tensors: Mapping[str, np.ndarray]) -> SimResult:
+        design = self.design
+        spec = design.spec
+        bounds = design.bounds
+        transform = design.transform
+        counters = PerfCounters()
+
+        # Group live iteration points by timestep.  Multi-dimensional time
+        # (e.g. a batched matmul folding the batch axis into a second time
+        # dimension) orders timesteps lexicographically; each occupied
+        # time tuple is one cycle.
+        by_time: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
+        for point in bounds.domain(spec.index_names):
+            st = transform.apply(point)
+            # Round-trip through T^-1 as each PE's IO request generator does.
+            recovered = transform.unapply(st)
+            if recovered != tuple(point):
+                raise SpecError(
+                    f"space-time transform is not invertible on point {point}"
+                )
+            by_time.setdefault(st[transform.space_dims :], []).append(tuple(point))
+
+        values: Dict[Tuple[str, Tuple[int, ...]], object] = {}
+        outputs: Dict[str, Dict[Tuple[int, ...], object]] = {
+            t.name: {} for t in spec.output_tensors()
+        }
+        interpreter = _SimInterpreter(spec, bounds, tensors, values)
+        has_compute = {
+            a.variable.name
+            for a in spec.assignments
+            if a.kind is AssignmentKind.COMPUTE
+        }
+        pe_count = design.array.pe_count
+        macs_per_point = max(1, spec.macs_per_point())
+
+        if transform.time_dims == 1:
+            t_min, t_max = min(by_time)[0], max(by_time)[0]
+            timesteps = [(t,) for t in range(t_min, t_max + 1)]
+        else:
+            timesteps = sorted(by_time)
+        for t in timesteps:
+            live = sorted(by_time.get(t, ()))
+            counters.pe_busy_cycles += len(live)
+            counters.pe_idle_cycles += pe_count - len(live)
+            for point in live:
+                env = dict(zip(spec.index_names, point))
+                ctx = EvalContext(env, bounds, interpreter.read)
+                for assignment in spec.assignments:
+                    if not spec._applies_at(assignment, env, bounds):
+                        continue
+                    if assignment.kind is AssignmentKind.OUTPUT:
+                        coords = tuple(
+                            int(s.evaluate(env, bounds))
+                            for s in assignment.lhs.subscripts
+                        )
+                        outputs[assignment.lhs.target.name][coords] = (
+                            assignment.rhs.evaluate(ctx)
+                        )
+                        counters.regfile_writes += 1
+                    else:
+                        if (
+                            assignment.kind is not AssignmentKind.COMPUTE
+                            and assignment.variable.name in has_compute
+                        ):
+                            continue
+                        key = (assignment.variable.name, point)
+                        if key not in values:
+                            values[key] = assignment.rhs.evaluate(ctx)
+                        if assignment.kind is AssignmentKind.INPUT:
+                            counters.regfile_reads += 1
+                counters.macs += macs_per_point
+
+        schedule = len(timesteps)
+        counters.cycles = schedule + self.fill_drain_overhead
+        counters.pe_idle_cycles += self.fill_drain_overhead * pe_count
+        result_outputs = {
+            name: _cells_to_array(cells) for name, cells in outputs.items()
+        }
+        return SimResult(result_outputs, counters, schedule)
+
+    # ------------------------------------------------------------------
+    # Sparse execution: compressed scheduling
+    # ------------------------------------------------------------------
+
+    def _run_sparse(self, tensors: Mapping[str, np.ndarray]) -> SimResult:
+        design = self.design
+        spec = design.spec
+        bounds = design.bounds
+        transform = design.transform
+        counters = PerfCounters()
+
+        valid_points = self._valid_points(tensors)
+        compressed = self._compress_points(valid_points)
+
+        # Schedule the compressed points through the transform.
+        times: List[int] = []
+        row_slots: Dict[int, set] = {}
+        for original, packed in compressed.items():
+            st = transform.apply(packed)
+            space = st[: transform.space_dims]
+            t = st[transform.space_dims]
+            times.append(t)
+            row_slots.setdefault(space[0], set()).add(t)
+
+        if not times:
+            # No surviving work: outputs are still well-defined (all the
+            # boundary initializations flow straight through).
+            outputs = spec.interpret(bounds, tensors)
+            return SimResult(outputs, counters, 0)
+
+        schedule_length = max(times) - min(times) + 1
+        pe_count = max(1, design.array.pe_count)
+        macs_per_point = max(1, spec.macs_per_point())
+        work = len(compressed)
+
+        if not design.balancing.is_disabled() and design.balancer is not None:
+            # After pruning, rows drain independent work queues; balancing
+            # shortens the longest queue.  The pipeline skew (schedule time
+            # not attributable to queue depth) is unaffected by balancing.
+            row_range = range(min(row_slots), max(row_slots) + 1)
+            per_row = [len(row_slots.get(r, ())) for r in row_range]
+            skew = schedule_length - max(per_row)
+            balanced = spatial_balanced_makespan(
+                per_row, design.balancer.granularity
+            )
+            cycles = min(schedule_length, balanced.cycles + skew)
+            counters.balancer_shifts = balanced.shifts
+        else:
+            cycles = schedule_length
+
+        counters.cycles = cycles + self.fill_drain_overhead
+        counters.macs = work * macs_per_point
+        counters.pe_busy_cycles = work
+        counters.pe_idle_cycles = max(0, counters.cycles * pe_count - work)
+        counters.regfile_reads = sum(
+            1
+            for io in design.pruned_iterspace.io_conns
+            if io.direction is IODirection.INPUT
+        )
+        counters.regfile_writes = sum(
+            1
+            for io in design.pruned_iterspace.io_conns
+            if io.direction is IODirection.OUTPUT
+        )
+
+        # Functional outputs: skipping zero-valued iterations never changes
+        # results, so the reference interpreter provides them.
+        outputs = spec.interpret(bounds, tensors)
+        return SimResult(outputs, counters, schedule_length)
+
+    def _valid_points(
+        self, tensors: Mapping[str, np.ndarray]
+    ) -> List[Tuple[int, ...]]:
+        """Iteration points that survive the pessimistic skip conditions."""
+        spec = self.design.spec
+        bounds = self.design.bounds
+        skips = [s for s in self.design.sparsity if not s.optimistic]
+
+        def read(symbol, coords):
+            array = tensors.get(symbol.name)
+            if array is None:
+                raise SpecError(f"no data for tensor {symbol.name!r}")
+            return array[coords]
+
+        valid: List[Tuple[int, ...]] = []
+        for point in bounds.domain(spec.index_names):
+            env = dict(zip(spec.index_names, point))
+            ctx = EvalContext(env, bounds, read)
+            skipped = False
+            for skip in skips:
+                if _condition_holds(skip.condition, ctx, tensors):
+                    skipped = True
+                    break
+            if not skipped:
+                valid.append(tuple(point))
+        return valid
+
+    def _compress_points(
+        self, valid_points: Sequence[Tuple[int, ...]]
+    ) -> Dict[Tuple[int, ...], Tuple[int, ...]]:
+        """Map each valid point to compressed coordinates: every skipped
+        iterator's value becomes its rank among valid values sharing the
+        same context (the expansion-function inverse of Section IV-B)."""
+        spec = self.design.spec
+        order = spec.index_names
+        expansion = self.design.sparsity.expansion_dependencies()
+        skipped = [name for name in order if name in expansion]
+        if not skipped:
+            return {p: p for p in valid_points}
+
+        axis_of = {name: axis for axis, name in enumerate(order)}
+        # context for skipped iterator s: values of deps(s) --- the fiber it
+        # is compressed within.
+        rank_maps: Dict[str, Dict[Tuple, Dict[int, int]]] = {s: {} for s in skipped}
+        for s in skipped:
+            dep_axes = sorted(axis_of[d] for d in expansion[s] if d in axis_of)
+            fibers: Dict[Tuple, set] = {}
+            for point in valid_points:
+                context = tuple(point[a] for a in dep_axes)
+                fibers.setdefault(context, set()).add(point[axis_of[s]])
+            for context, coords in fibers.items():
+                rank_maps[s][context] = {
+                    coord: rank for rank, coord in enumerate(sorted(coords))
+                }
+
+        compressed: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+        for point in valid_points:
+            packed = list(point)
+            for s in skipped:
+                dep_axes = sorted(axis_of[d] for d in expansion[s] if d in axis_of)
+                context = tuple(point[a] for a in dep_axes)
+                packed[axis_of[s]] = rank_maps[s][context][point[axis_of[s]]]
+            compressed[point] = tuple(packed)
+        return compressed
+
+
+def _condition_holds(condition, ctx: EvalContext, tensors) -> bool:
+    """Evaluate a skip condition, handling wildcard row accesses."""
+    from ..core.expr import Access, Comparison, Const
+
+    if isinstance(condition, Comparison):
+        lhs, rhs = condition.lhs, condition.rhs
+        if isinstance(lhs, Access) and any(s is WILDCARD for s in lhs.subscripts):
+            array = tensors[lhs.target.name]
+            index = [
+                slice(None) if s is WILDCARD else int(s.evaluate(ctx.env, ctx.bounds))
+                for s in lhs.subscripts
+            ]
+            row = np.asarray(array[tuple(index)])
+            value = 0 if not row.any() else 1
+            other = rhs.evaluate(ctx)
+            return Comparison._OPS[condition.op](value, other)
+    return bool(condition.evaluate(ctx))
+
+
+class _SimInterpreter:
+    """Value resolution identical to the reference interpreter's."""
+
+    def __init__(self, spec, bounds, tensors, values):
+        self.spec = spec
+        self.bounds = bounds
+        self.tensors = tensors
+        self.values = values
+
+    def read(self, symbol, coords: Tuple[int, ...]):
+        from ..core.expr import Tensor as TensorSym
+
+        if isinstance(symbol, TensorSym):
+            array = self.tensors.get(symbol.name)
+            if array is None:
+                raise SpecError(f"no data provided for tensor {symbol.name!r}")
+            return array[coords]
+        key = (symbol.name, coords)
+        if key in self.values:
+            return self.values[key]
+        env = dict(zip(self.spec.index_names, coords))
+        for name in reversed(self.spec.index_names):
+            lo, hi = self.bounds[name]
+            if env[name] < lo or env[name] > hi:
+                clamped = dict(env)
+                clamped[name] = lo if env[name] < lo else hi
+                for assignment in self.spec.assignments_for(symbol.name):
+                    conds = assignment.boundary_conditions()
+                    which = conds.get(name)
+                    if which == ("lb" if env[name] < lo else "ub"):
+                        ctx = EvalContext(clamped, self.bounds, self.read)
+                        return assignment.rhs.evaluate(ctx)
+                raise SpecError(
+                    f"read of {symbol.name} at out-of-domain {coords} without"
+                    f" a boundary rule on {name!r}"
+                )
+        raise SpecError(
+            f"read of {symbol.name} at {coords} before its producing timestep"
+            " -- the space-time transform violates a dependency"
+        )
+
+
+def _cells_to_array(cells: Dict[Tuple[int, ...], object]) -> np.ndarray:
+    if not cells:
+        return np.zeros((0,))
+    rank = len(next(iter(cells)))
+    shape = tuple(max(c[axis] for c in cells) + 1 for axis in range(rank))
+    sample = next(iter(cells.values()))
+    dtype = np.float64 if isinstance(sample, float) else np.int64
+    out = np.zeros(shape, dtype=dtype)
+    for coords, value in cells.items():
+        out[coords] = value
+    return out

@@ -1,0 +1,6 @@
+"""Chipyard-style SoC integration: host CPU, shared L2, accelerators."""
+
+from .l2cache import CachedMemorySystem, L2Cache
+from .soc import StellarSoC
+
+__all__ = ["CachedMemorySystem", "L2Cache", "StellarSoC"]

@@ -1,0 +1,142 @@
+"""A shared L2 cache model (paper Section IV-F).
+
+Stellar's private memory buffers are explicitly managed, and the tool
+cannot express hardware-managed caches with custom eviction policies; the
+paper notes this limitation "is mitigated to a degree by Stellar's
+integration with the Chipyard framework, which can provision
+Stellar-generated SoCs with large L2 caches which can be shared by both
+CPUs and accelerators".  This module provides that shared L2: a
+set-associative, LRU, write-back cache in front of the DRAM model, used
+by the SoC wrapper so accelerator DMA traffic with reuse hits in SRAM
+instead of paying DRAM latency.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..sim.dram import DRAMModel
+
+
+class L2Cache:
+    """Set-associative LRU cache over a word-addressed physical space."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = 512 * 1024,
+        line_bytes: int = 64,
+        ways: int = 8,
+        hit_latency: int = 20,
+    ):
+        if capacity_bytes % (line_bytes * ways):
+            raise ValueError("capacity must divide evenly into sets")
+        self.capacity_bytes = capacity_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.hit_latency = hit_latency
+        self.num_sets = capacity_bytes // (line_bytes * ways)
+        # set index -> OrderedDict of tag -> dirty flag (LRU order).
+        self._sets: Dict[int, "OrderedDict[int, bool]"] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Access one line; returns True on hit.  Misses allocate, evicting
+        the LRU way (counting a writeback if it was dirty)."""
+        set_index, tag = self._locate(address)
+        ways = self._sets.setdefault(set_index, OrderedDict())
+        if tag in ways:
+            self.hits += 1
+            dirty = ways.pop(tag)
+            ways[tag] = dirty or is_write
+            return True
+        self.misses += 1
+        if len(ways) >= self.ways:
+            _, evicted_dirty = ways.popitem(last=False)
+            self.evictions += 1
+            if evicted_dirty:
+                self.writebacks += 1
+        ways[tag] = is_write
+        return False
+
+    def access_range(self, address: int, size_bytes: int, is_write: bool = False):
+        """Access every line a [address, address+size) transfer touches;
+        returns (lines_hit, lines_missed)."""
+        first = address // self.line_bytes
+        last = (address + max(1, size_bytes) - 1) // self.line_bytes
+        hit = missed = 0
+        for line in range(first, last + 1):
+            if self.access(line * self.line_bytes, is_write):
+                hit += 1
+            else:
+                missed += 1
+        return hit, missed
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.evictions = self.writebacks = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"L2Cache({self.capacity_bytes // 1024}KiB, {self.ways}-way,"
+            f" hit_rate={self.hit_rate:.2f})"
+        )
+
+
+class CachedMemorySystem:
+    """DRAM fronted by the shared L2: the memory system a Chipyard SoC
+    provides to both the host CPU and Stellar-generated accelerators.
+
+    Exposes the same ``request(issue_cycle, size_bytes)`` contract as
+    :class:`~repro.sim.dram.DRAMModel`, plus an address-aware variant that
+    consults the cache.
+    """
+
+    def __init__(self, dram: DRAMModel, cache: Optional[L2Cache] = None):
+        self.dram = dram
+        self.cache = cache
+
+    def request(
+        self,
+        issue_cycle: int,
+        size_bytes: int,
+        address: Optional[int] = None,
+        is_write: bool = False,
+    ) -> int:
+        """Returns the completion cycle of the transfer."""
+        if self.cache is None or address is None:
+            return self.dram.request(issue_cycle, size_bytes)
+        lines_hit, lines_missed = self.cache.access_range(
+            address, size_bytes, is_write
+        )
+        finish = issue_cycle
+        if lines_hit:
+            # Hit lines stream from the L2 SRAM.
+            finish = max(
+                finish,
+                issue_cycle
+                + self.cache.hit_latency
+                + lines_hit * self.cache.line_bytes // 16,
+            )
+        if lines_missed:
+            finish = max(
+                finish,
+                self.dram.request(
+                    issue_cycle, lines_missed * self.cache.line_bytes
+                ),
+            )
+        return finish
+
+    def __repr__(self) -> str:
+        return f"CachedMemorySystem(cache={self.cache!r})"

@@ -1,0 +1,136 @@
+"""A Chipyard-style SoC wrapper: host CPU + shared L2 + accelerator.
+
+The paper's conclusion notes Stellar "is fully compatible with the
+Chipyard chip design framework, enabling users to integrate their designs
+into complete, programmable SoCs".  This module is the system-level
+harness for such an SoC: a RISC-V-class host core issuing the Table II
+custom instructions, a shared L2 in front of DRAM (Section IV-F's
+mitigation for the explicit-buffer limitation), and one or more generated
+accelerators invoked on tiles of a larger problem.
+
+The interesting system effect it exposes: tiled workloads that re-read
+operands (e.g. a weight matrix shared across tiles) hit in the L2 on
+every pass after the first, which an explicitly-managed-buffer-only
+system would re-fetch from DRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.accelerator import GeneratedDesign
+from ..sim.dram import DRAMModel
+from ..sim.spatial_array import SpatialArraySim
+from .l2cache import CachedMemorySystem, L2Cache
+
+#: Cycles the host core takes to issue one custom instruction (RoCC-style
+#: command queue: dispatch + response handshake).
+HOST_CYCLES_PER_INSTRUCTION = 4
+#: Instructions to configure one tile transfer (Listing 7's dense move:
+#: src/dst + address + 2x(span, axis) + 2x stride + issue).
+INSTRUCTIONS_PER_TRANSFER = 9
+
+
+class StellarSoC:
+    """A host CPU, a shared L2, DRAM, and one generated accelerator."""
+
+    def __init__(
+        self,
+        design: GeneratedDesign,
+        dram_latency: int = 90,
+        dram_bandwidth: int = 16,
+        l2: Optional[L2Cache] = None,
+        element_bytes: int = 1,
+    ):
+        self.design = design
+        self.memory = CachedMemorySystem(
+            DRAMModel(dram_latency, dram_bandwidth), l2
+        )
+        self.element_bytes = element_bytes
+        self.host_cycles = 0
+        self.memory_cycles = 0
+        self.compute_cycles = 0
+
+    @property
+    def l2(self) -> Optional[L2Cache]:
+        return self.memory.cache
+
+    @property
+    def total_cycles(self) -> int:
+        return self.host_cycles + self.memory_cycles + self.compute_cycles
+
+    # ------------------------------------------------------------------
+
+    def _fetch(self, address: int, size_bytes: int) -> int:
+        """One DMA transfer through the shared memory system; returns the
+        cycles it took and accounts them."""
+        done = self.memory.request(0, size_bytes, address=address)
+        self.memory_cycles += done
+        self.host_cycles += (
+            INSTRUCTIONS_PER_TRANSFER * HOST_CYCLES_PER_INSTRUCTION
+        )
+        return done
+
+    def run_tiled_matmul(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        tile: int,
+    ) -> Dict[str, object]:
+        """Execute ``A x B`` as a grid of tile-sized invocations.
+
+        Per output tile the host moves an A tile and (re-)moves the shared
+        B tile, then launches the array.  B tiles are re-read across the
+        ``i`` tile loop: the L2 absorbs those re-reads.
+        """
+        n = a.shape[0]
+        if n % tile or a.shape != b.shape:
+            raise ValueError("square matrices divisible by the tile size required")
+        tiles = n // tile
+        design_bounds = self.design.compiled.bounds
+        if any(design_bounds.size(name) != tile for name in design_bounds.names()):
+            raise ValueError(
+                f"design was compiled for bounds {design_bounds!r};"
+                f" tile size {tile} does not match"
+            )
+
+        out = np.zeros((n, n), dtype=np.result_type(a, b))
+        tile_bytes = tile * tile * self.element_bytes
+        a_base, b_base = 0x100000, 0x900000
+        sim = SpatialArraySim(self.design.compiled)
+        traces: List[Tuple[int, int, int]] = []
+
+        for ti in range(tiles):
+            for tj in range(tiles):
+                acc = np.zeros((tile, tile), dtype=out.dtype)
+                for tk in range(tiles):
+                    a_tile = a[
+                        ti * tile : (ti + 1) * tile, tk * tile : (tk + 1) * tile
+                    ]
+                    b_tile = b[
+                        tk * tile : (tk + 1) * tile, tj * tile : (tj + 1) * tile
+                    ]
+                    move = self._fetch(
+                        a_base + (ti * tiles + tk) * tile_bytes, tile_bytes
+                    )
+                    move += self._fetch(
+                        b_base + (tk * tiles + tj) * tile_bytes, tile_bytes
+                    )
+                    result = sim.run({"A": a_tile, "B": b_tile})
+                    self.compute_cycles += result.cycles
+                    acc += result.outputs["C"]
+                    traces.append((ti * tiles + tj, move, result.cycles))
+                out[ti * tile : (ti + 1) * tile, tj * tile : (tj + 1) * tile] = acc
+
+        assert np.array_equal(out, a @ b)
+        return {
+            "output": out,
+            "total_cycles": self.total_cycles,
+            "host_cycles": self.host_cycles,
+            "memory_cycles": self.memory_cycles,
+            "compute_cycles": self.compute_cycles,
+            "l2_hit_rate": self.l2.hit_rate if self.l2 else 0.0,
+            "tiles": traces,
+        }

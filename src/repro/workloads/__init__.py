@@ -1,0 +1,39 @@
+"""Workloads from the paper's evaluation: ResNet-50, pruned AlexNet, and
+synthetic SuiteSparse stand-ins."""
+
+from .alexnet import SparseConvLayer, alexnet_pruned_layers
+from .im2col import (
+    conv2d_reference,
+    conv2d_via_im2col,
+    im2col,
+    matmul_to_output,
+    weights_to_matrix,
+)
+from .resnet50 import ConvLayer, resnet50_layers, total_macs
+from .suitesparse import (
+    SUITESPARSE_SET,
+    MatrixInfo,
+    info,
+    matrix_names,
+    synthesize,
+    synthesize_all,
+)
+
+__all__ = [
+    "SparseConvLayer",
+    "alexnet_pruned_layers",
+    "conv2d_reference",
+    "conv2d_via_im2col",
+    "im2col",
+    "matmul_to_output",
+    "weights_to_matrix",
+    "ConvLayer",
+    "resnet50_layers",
+    "total_macs",
+    "SUITESPARSE_SET",
+    "MatrixInfo",
+    "info",
+    "matrix_names",
+    "synthesize",
+    "synthesize_all",
+]

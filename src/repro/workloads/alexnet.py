@@ -1,0 +1,62 @@
+"""Pruned AlexNet [20] layer shapes and sparsities for the SCNN study.
+
+SCNN [28] evaluates on AlexNet pruned for unstructured weight sparsity,
+with dynamic activation sparsity from ReLU.  The per-layer densities below
+follow the published pruning results (Han et al.) used by SCNN: weight
+densities of roughly 16-65% and activation densities of 35-85% depending
+on depth.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+
+class SparseConvLayer(NamedTuple):
+    """One pruned conv layer: dense shape plus nonzero densities."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    filter_size: int
+    output_size: int
+    weight_density: float
+    activation_density: float
+
+    @property
+    def dense_macs(self) -> int:
+        return (
+            self.output_size
+            * self.output_size
+            * self.out_channels
+            * self.in_channels
+            * self.filter_size
+            * self.filter_size
+        )
+
+    @property
+    def effective_macs(self) -> int:
+        """MACs that survive both weight and activation sparsity -- the
+        work a perfect sparse accelerator would perform."""
+        return int(self.dense_macs * self.weight_density * self.activation_density)
+
+    @property
+    def nonzero_weights(self) -> int:
+        dense = (
+            self.out_channels
+            * self.in_channels
+            * self.filter_size
+            * self.filter_size
+        )
+        return int(dense * self.weight_density)
+
+
+def alexnet_pruned_layers() -> List[SparseConvLayer]:
+    """The five conv layers of AlexNet with pruned densities [28]."""
+    return [
+        SparseConvLayer("conv1", 3, 96, 11, 55, 0.84, 0.85),
+        SparseConvLayer("conv2", 48, 256, 5, 27, 0.38, 0.62),
+        SparseConvLayer("conv3", 256, 384, 3, 13, 0.35, 0.50),
+        SparseConvLayer("conv4", 192, 384, 3, 13, 0.37, 0.48),
+        SparseConvLayer("conv5", 192, 256, 3, 13, 0.37, 0.42),
+    ]

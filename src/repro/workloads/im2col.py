@@ -1,0 +1,94 @@
+"""Convolution-as-matmul lowering (im2col).
+
+Gemmini executes convolutions by lowering them to matrix multiplications
+(paper Section VI-A: it "performs convolutions and 8-bit quantized matrix
+multiplications"); the per-layer matmul dimensions in
+:mod:`repro.workloads.resnet50` come from exactly this transformation.
+This module performs it concretely, so generated matmul arrays can run
+real convolution layers end to end.
+
+Layout conventions: activations are ``(H, W, C)``, weights are
+``(R, S, C, K)``, outputs are ``(P, Q, K)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def conv2d_reference(
+    activations: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+) -> np.ndarray:
+    """Direct convolution, the ground truth for the im2col path."""
+    h, w, c = activations.shape
+    r, s, c2, k = weights.shape
+    if c != c2:
+        raise ValueError(f"channel mismatch: activations {c}, weights {c2}")
+    p = (h - r) // stride + 1
+    q = (w - s) // stride + 1
+    out = np.zeros((p, q, k), dtype=np.result_type(activations, weights))
+    for oy in range(p):
+        for ox in range(q):
+            window = activations[
+                oy * stride : oy * stride + r, ox * stride : ox * stride + s, :
+            ]
+            for ok in range(k):
+                out[oy, ox, ok] = np.sum(window * weights[:, :, :, ok])
+    return out
+
+
+def im2col(
+    activations: np.ndarray, filter_size: Tuple[int, int], stride: int = 1
+) -> np.ndarray:
+    """Unfold activations into the ``(P*Q) x (R*S*C)`` im2col matrix."""
+    h, w, c = activations.shape
+    r, s = filter_size
+    p = (h - r) // stride + 1
+    q = (w - s) // stride + 1
+    rows = np.zeros((p * q, r * s * c), dtype=activations.dtype)
+    for oy in range(p):
+        for ox in range(q):
+            window = activations[
+                oy * stride : oy * stride + r, ox * stride : ox * stride + s, :
+            ]
+            rows[oy * q + ox] = window.reshape(-1)
+    return rows
+
+
+def weights_to_matrix(weights: np.ndarray) -> np.ndarray:
+    """Reshape ``(R, S, C, K)`` weights to the ``(R*S*C) x K`` matrix."""
+    r, s, c, k = weights.shape
+    return weights.reshape(r * s * c, k)
+
+
+def matmul_to_output(
+    product: np.ndarray, out_spatial: Tuple[int, int]
+) -> np.ndarray:
+    """Fold the ``(P*Q) x K`` matmul result back to ``(P, Q, K)``."""
+    p, q = out_spatial
+    return product.reshape(p, q, -1)
+
+
+def conv2d_via_im2col(
+    activations: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    matmul=None,
+) -> np.ndarray:
+    """Convolution through the matmul path.
+
+    ``matmul`` defaults to numpy; pass a function to route the product
+    through a generated accelerator (see the conv integration tests).
+    """
+    r, s, c, k = weights.shape
+    h, w, _ = activations.shape
+    p = (h - r) // stride + 1
+    q = (w - s) // stride + 1
+    lhs = im2col(activations, (r, s), stride)
+    rhs = weights_to_matrix(weights)
+    product = (matmul or np.matmul)(lhs, rhs)
+    return matmul_to_output(np.asarray(product), (p, q))

@@ -1,0 +1,86 @@
+"""ResNet-50 [15] layer shapes, as used in the Gemmini evaluation
+(paper Section VI-A: end-to-end ResNet-50 inference).
+
+Convolutions are executed as matrix multiplications via im2col, exactly
+as Gemmini does: a conv with ``C`` input channels, ``K`` output channels,
+``R x S`` filters and ``P x Q`` output positions becomes a
+``(P*Q) x (C*R*S) x K`` matmul.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+
+class ConvLayer(NamedTuple):
+    """One convolutional layer's shape (batch size 1)."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    filter_size: int
+    stride: int
+    output_size: int  # spatial output (P == Q)
+
+    @property
+    def matmul_m(self) -> int:
+        return self.output_size * self.output_size
+
+    @property
+    def matmul_k(self) -> int:
+        return self.in_channels * self.filter_size * self.filter_size
+
+    @property
+    def matmul_n(self) -> int:
+        return self.out_channels
+
+    @property
+    def macs(self) -> int:
+        return self.matmul_m * self.matmul_k * self.matmul_n
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.matmul_k * self.matmul_n  # int8
+
+    @property
+    def activation_bytes(self) -> int:
+        return self.matmul_m * self.matmul_k  # int8 im2col footprint
+
+    @property
+    def output_bytes(self) -> int:
+        return self.matmul_m * self.matmul_n
+
+
+def resnet50_layers() -> List[ConvLayer]:
+    """The distinct conv shapes of ResNet-50 (residual stages 1-4 plus the
+    stem), one entry per unique shape; repeats within a stage share a
+    shape and therefore a utilization/energy point."""
+    return [
+        ConvLayer("conv1", 3, 64, 7, 2, 112),
+        # Stage 2 (56x56).
+        ConvLayer("res2_1x1a", 64, 64, 1, 1, 56),
+        ConvLayer("res2_3x3", 64, 64, 3, 1, 56),
+        ConvLayer("res2_1x1b", 64, 256, 1, 1, 56),
+        ConvLayer("res2_proj", 64, 256, 1, 1, 56),
+        # Stage 3 (28x28).
+        ConvLayer("res3_1x1a", 256, 128, 1, 1, 28),
+        ConvLayer("res3_3x3", 128, 128, 3, 1, 28),
+        ConvLayer("res3_1x1b", 128, 512, 1, 1, 28),
+        ConvLayer("res3_proj", 256, 512, 1, 2, 28),
+        # Stage 4 (14x14).
+        ConvLayer("res4_1x1a", 512, 256, 1, 1, 14),
+        ConvLayer("res4_3x3", 256, 256, 3, 1, 14),
+        ConvLayer("res4_1x1b", 256, 1024, 1, 1, 14),
+        ConvLayer("res4_proj", 512, 1024, 1, 2, 14),
+        # Stage 5 (7x7).
+        ConvLayer("res5_1x1a", 1024, 512, 1, 1, 7),
+        ConvLayer("res5_3x3", 512, 512, 3, 1, 7),
+        ConvLayer("res5_1x1b", 512, 2048, 1, 1, 7),
+        ConvLayer("res5_proj", 1024, 2048, 1, 2, 7),
+        # Classifier as a 1x1x2048 -> 1000 matmul.
+        ConvLayer("fc1000", 2048, 1000, 1, 1, 1),
+    ]
+
+
+def total_macs() -> int:
+    return sum(layer.macs for layer in resnet50_layers())

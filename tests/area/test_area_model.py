@@ -1,0 +1,157 @@
+"""Tests for the calibrated area model (Table III, Sections IV-F/VI-D)."""
+
+import pytest
+
+from repro.area.model import (
+    comparator_area,
+    dma_area,
+    estimate_design_area,
+    flattened_merger_area,
+    hierarchical_merger_area,
+    loop_unroller_area,
+    mac_area,
+    membuf_area,
+    pe_area,
+    regfile_area,
+    register_area,
+    row_partitioned_merger_area,
+    sram_area,
+)
+from repro.core import Bounds, compile_design, matmul_spec
+from repro.core.dataflow import input_stationary, output_stationary
+from repro.core.memspec import csr_buffer, dense_matrix_buffer
+from repro.core.passes.regfile_opt import RegfileKind, RegfilePlan
+from repro.core.sparsity import csr_b_matrix
+
+
+class TestPrimitives:
+    def test_mac_scales_superlinearly(self):
+        assert mac_area(16) > 2 * mac_area(8)
+
+    def test_int8_mac_calibration(self):
+        assert mac_area(8) == pytest.approx(896, rel=0.05)
+
+    def test_register_linear(self):
+        assert register_area(64) == 2 * register_area(32)
+
+    def test_sram_multiport_premium(self):
+        assert sram_area(1024, ports=2) > sram_area(1024, ports=1)
+
+    def test_comparator(self):
+        assert comparator_area(64) == 2 * comparator_area(32)
+
+
+class TestComponents:
+    def test_time_counter_costs_area(self):
+        """Table III's matmul-array delta: the Figure 11 time counter and
+        global signals make a Stellar PE bigger."""
+        plain = pe_area(8)
+        stellar = pe_area(8, has_time_counter=True, has_global_signals=True)
+        assert stellar > plain
+        assert stellar / plain < 1.5  # but not absurdly so
+
+    def test_io_ports_cost_area(self):
+        assert pe_area(8, io_ports=3) > pe_area(8, io_ports=0)
+
+    def test_regfile_kind_ordering(self):
+        """Figure 14: the ladder's kinds are ordered by cost."""
+        plans = [
+            RegfilePlan("x", kind, 64, 1, 1)
+            for kind in (
+                RegfileKind.FEEDFORWARD,
+                RegfileKind.TRANSPOSING,
+                RegfileKind.EDGE,
+                RegfileKind.CROSSBAR,
+            )
+        ]
+        areas = [regfile_area(p) for p in plans]
+        assert areas == sorted(areas)
+        assert areas[-1] > 2 * areas[0]
+
+    def test_sparse_membuf_costs_more(self):
+        dense = membuf_area(dense_matrix_buffer("A", 16, 16))
+        sparse = membuf_area(csr_buffer("B", rows=16))
+        assert sparse > dense
+
+    def test_dma_inflight_scaling(self):
+        assert dma_area(16) > dma_area(1)
+
+    def test_unroller_distribution_tradeoff(self):
+        """Table III: distributed generators cost more area overall."""
+        assert loop_unroller_area(7, centralized=False) > loop_unroller_area(
+            7, centralized=True
+        )
+
+
+class TestDesignEstimates:
+    def test_breakdown_structure(self, spec, bounds4):
+        design = compile_design(spec, bounds4, output_stationary())
+        report = estimate_design_area(design)
+        assert report.total > 0
+        for key in ("Matmul array", "Regfiles", "Loop unrollers", "Dma"):
+            assert key in report.components
+
+    def test_percentages_sum_to_100(self, spec, bounds4):
+        design = compile_design(spec, bounds4, output_stationary())
+        report = estimate_design_area(design)
+        assert sum(report.percent(k) for k in report.components) == pytest.approx(100)
+
+    def test_host_cpu_optional(self, spec, bounds4):
+        design = compile_design(spec, bounds4, output_stationary())
+        without = estimate_design_area(design)
+        with_cpu = estimate_design_area(design, include_host_cpu=True)
+        assert "Host CPU" in with_cpu.components
+        assert with_cpu.total > without.total
+
+    def test_balancer_adds_area(self, spec, bounds4):
+        from repro.core.balancing import row_shift_scheme
+
+        plain = compile_design(spec, bounds4, input_stationary())
+        balanced = compile_design(
+            spec, bounds4, input_stationary(), balancing=row_shift_scheme(2)
+        )
+        assert (
+            "Load balancer" in estimate_design_area(balanced).components
+        )
+        assert "Load balancer" not in estimate_design_area(plain).components
+
+    def test_membufs_counted(self, spec, bounds4):
+        design = compile_design(
+            spec, bounds4, output_stationary(),
+            membufs={"A": dense_matrix_buffer("A", 4, 4)},
+        )
+        report = estimate_design_area(design)
+        assert report["SRAMs"] > 0
+
+    def test_table_renders(self, spec, bounds4):
+        design = compile_design(spec, bounds4, output_stationary())
+        text = estimate_design_area(design).table()
+        assert "Total" in text and "%" in text
+
+
+class TestMergerAreas:
+    def test_section_6d_ratio(self):
+        """SpArch's flattened mergers vs GAMMA-like row-partitioned ones:
+        'GAMMA-like mergers, when synthesized with Stellar, consume 13x
+        less area' (Section VI-D)."""
+        flattened = flattened_merger_area(throughput=16)
+        row = row_partitioned_merger_area(throughput=32)
+        ratio = flattened / row
+        assert 10 <= ratio <= 16
+
+    def test_section_4f_hierarchical_ratio(self):
+        """Section IV-F: SpArch's hierarchical mergers consumed ~13x the
+        area of OuterSPACE's simpler non-hierarchical mergers."""
+        hierarchical = hierarchical_merger_area(leaf_count=64)
+        simple = row_partitioned_merger_area(throughput=32)
+        ratio = hierarchical / simple
+        assert 9 <= ratio <= 18
+
+    def test_flattened_comparator_count(self):
+        """SpArch uses 128 64-bit comparators for throughput 16."""
+        comparators = (16 * 16) // 2
+        assert comparators == 128
+
+    def test_merger_areas_scale_with_throughput(self):
+        assert flattened_merger_area(32) > flattened_merger_area(16)
+        assert row_partitioned_merger_area(64) > row_partitioned_merger_area(32)

@@ -1,0 +1,66 @@
+"""Tests for the simulator-to-energy bridge (energy_from_counters)."""
+
+import numpy as np
+import pytest
+
+from repro.area.energy import energy_from_counters
+from repro.core import Bounds, compile_design, matmul_spec
+from repro.core.dataflow import output_stationary
+from repro.sim.counters import PerfCounters
+from repro.sim.spatial_array import SpatialArraySim
+
+
+class TestEnergyFromCounters:
+    def _simulate(self, rng, n=4):
+        spec = matmul_spec()
+        design = compile_design(
+            spec, Bounds({"i": n, "j": n, "k": n}), output_stationary()
+        )
+        A = rng.integers(-3, 4, (n, n))
+        B = rng.integers(-3, 4, (n, n))
+        return SpatialArraySim(design).run({"A": A, "B": B})
+
+    def test_from_real_simulation(self, rng):
+        result = self._simulate(rng)
+        report = energy_from_counters(result.counters)
+        assert report.total_pj > 0
+        assert report.macs == result.counters.macs
+        assert "idle_clocking" in report.components_pj
+
+    def test_handwritten_variant_cheaper(self, rng):
+        result = self._simulate(rng)
+        stellar = energy_from_counters(result.counters, stellar_generated=True)
+        handwritten = energy_from_counters(
+            result.counters, stellar_generated=False
+        )
+        assert stellar.total_pj > handwritten.total_pj
+
+    def test_scales_with_traffic(self):
+        lean = PerfCounters()
+        lean.macs = 1000
+        lean.pe_busy_cycles = 1000
+        heavy = PerfCounters()
+        heavy.macs = 1000
+        heavy.pe_busy_cycles = 1000
+        heavy.regfile_reads = 5000
+        heavy.membuf_reads = 5000
+        assert (
+            energy_from_counters(heavy).total_pj
+            > energy_from_counters(lean).total_pj
+        )
+
+    def test_idle_cycles_cost_energy(self):
+        busy = PerfCounters()
+        busy.macs = busy.pe_busy_cycles = 1000
+        idle = PerfCounters()
+        idle.macs = idle.pe_busy_cycles = 1000
+        idle.pe_idle_cycles = 4000
+        assert (
+            energy_from_counters(idle).pj_per_mac
+            > energy_from_counters(busy).pj_per_mac
+        )
+
+    def test_bigger_workload_costs_more(self, rng):
+        small = energy_from_counters(self._simulate(rng, n=3).counters)
+        large = energy_from_counters(self._simulate(rng, n=6).counters)
+        assert large.total_pj > small.total_pj

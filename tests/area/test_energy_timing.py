@@ -1,0 +1,107 @@
+"""Tests for the energy and timing models (Figure 17, Section VI-B, Fig 3)."""
+
+import pytest
+
+from repro.area.energy import (
+    EnergyReport,
+    energy_overhead_ratio,
+    layer_energy,
+)
+from repro.area.timing import (
+    centralized_unroller_path_ns,
+    design_max_frequency_mhz,
+    distributed_unroller_path_ns,
+    max_frequency_mhz,
+    pe_critical_path_ns,
+    schedule_cycles,
+)
+from repro.core import Bounds, matmul_spec
+from repro.core.dataflow import SpaceTimeTransform, output_stationary
+
+
+class TestEnergyModel:
+    def _reports(self, utilization):
+        macs = 100_000
+        pe_cycles = int(macs / utilization)
+        handwritten = layer_energy(
+            macs, sram_bytes=5_000, regfile_bytes=macs // 16,
+            pe_cycles=pe_cycles, stellar_generated=False,
+        )
+        stellar = layer_energy(
+            macs, sram_bytes=5_000, regfile_bytes=macs // 16,
+            pe_cycles=pe_cycles, stellar_generated=True,
+        )
+        return handwritten, stellar
+
+    def test_stellar_always_costs_more(self):
+        handwritten, stellar = self._reports(0.9)
+        assert stellar.pj_per_mac > handwritten.pj_per_mac
+
+    def test_overhead_grows_with_idleness(self):
+        """Figure 17's mechanism: idle PE-cycles kept clocked by the
+        global signals make low-utilization layers pay more."""
+        _, busy = self._reports(0.95)
+        _, idle = self._reports(0.45)
+        hw_busy, _ = self._reports(0.95)
+        hw_idle, _ = self._reports(0.45)
+        busy_overhead = energy_overhead_ratio(busy, hw_busy)
+        idle_overhead = energy_overhead_ratio(idle, hw_idle)
+        assert idle_overhead > busy_overhead
+
+    def test_components_decomposed(self):
+        _, stellar = self._reports(0.7)
+        assert "idle_clocking" in stellar.components_pj
+        assert "time_counters" in stellar.components_pj
+        assert "mac" in stellar.components_pj
+
+    def test_zero_macs(self):
+        report = layer_energy(0, 0, 0, 0, stellar_generated=True)
+        assert report.pj_per_mac == 0.0
+
+    def test_overhead_ratio_identity(self):
+        handwritten, _ = self._reports(0.8)
+        assert energy_overhead_ratio(handwritten, handwritten) == pytest.approx(1.0)
+
+
+class TestTimingModel:
+    def test_centralized_path_longer(self):
+        """Section VI-B: the centralized unroller's chained address
+        arithmetic is the frequency bottleneck."""
+        central = centralized_unroller_path_ns(loop_levels=7, fanout=12)
+        distributed = distributed_unroller_path_ns(levels_per_buffer=2)
+        assert central > distributed
+
+    def test_centralized_grows_with_levels(self):
+        assert centralized_unroller_path_ns(9, 12) > centralized_unroller_path_ns(5, 12)
+
+    def test_frequency_inverse(self):
+        assert max_frequency_mhz(2.0) == pytest.approx(500.0)
+
+    def test_invalid_path_rejected(self):
+        with pytest.raises(ValueError):
+            max_frequency_mhz(0)
+
+    def test_broadcast_chain_limits_frequency(self):
+        """Figure 3: an unpipelined (broadcast) design's critical path
+        spans the array."""
+        spec = matmul_spec()
+        pipelined = output_stationary()
+        broadcast = SpaceTimeTransform([[1, 0, 0], [0, 1, 0], [1, 0, 1]])
+        addr_ns = distributed_unroller_path_ns()
+        f_pipe = design_max_frequency_mhz(spec, pipelined, 16, addr_ns)
+        f_bcast = design_max_frequency_mhz(spec, broadcast, 16, addr_ns)
+        assert f_bcast < f_pipe / 4
+
+    def test_schedule_cycles_grow_with_time_row(self):
+        """Figure 3's other axis: deeper pipelining lengthens the
+        schedule."""
+        spec = matmul_spec()
+        bounds = Bounds({"i": 4, "j": 4, "k": 4})
+        base = schedule_cycles(spec, output_stationary(), bounds)
+        deep = schedule_cycles(
+            spec, output_stationary().with_time_row([2, 2, 2]), bounds
+        )
+        assert deep > base
+
+    def test_pe_path_grows_with_span(self):
+        assert pe_critical_path_ns(4) > pe_critical_path_ns(1)

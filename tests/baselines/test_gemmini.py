@@ -1,0 +1,130 @@
+"""Tests for the Gemmini study (Figure 16a, Table III, Figure 17, Sec VI-B)."""
+
+import pytest
+
+from repro.baselines import gemmini
+from repro.workloads import resnet50_layers
+
+
+@pytest.fixture(scope="module")
+def layers():
+    return resnet50_layers()
+
+
+class TestUtilization:
+    def test_figure16a_ratio(self, layers):
+        """Stellar-Gemmini reaches ~90% of handwritten utilization."""
+        handwritten = gemmini.network_utilization(layers, stellar=False)
+        stellar = gemmini.network_utilization(layers, stellar=True)
+        assert 0.85 <= stellar / handwritten <= 0.95
+
+    def test_stellar_never_beats_handwritten_per_layer(self, layers):
+        for layer in layers:
+            h = gemmini.handwritten_layer(layer)
+            s = gemmini.stellar_layer(layer)
+            assert s.utilization <= h.utilization
+            assert s.cycles >= h.cycles
+
+    def test_utilization_bounded(self, layers):
+        for layer in layers:
+            result = gemmini.handwritten_layer(layer)
+            assert 0 < result.utilization <= 1.0
+
+    def test_edge_layers_utilize_worse(self, layers):
+        """Small-M layers amortize tile overheads poorly."""
+        by_name = {L.name: gemmini.handwritten_layer(L) for L in layers}
+        assert by_name["res5_3x3"].utilization < by_name["res2_3x3"].utilization
+
+    def test_cycles_cover_all_macs(self, layers):
+        for layer in layers:
+            result = gemmini.handwritten_layer(layer)
+            assert result.cycles * gemmini.PE_COUNT >= result.macs
+
+
+class TestTable3Area:
+    def test_total_overhead_is_13_percent(self):
+        """Table III: 3,282K -> 3,699K um^2 (+13%)."""
+        handwritten = gemmini.handwritten_area()
+        stellar = gemmini.stellar_area()
+        assert stellar.total / handwritten.total == pytest.approx(1.127, abs=0.02)
+
+    @pytest.mark.parametrize(
+        "component,original,generated",
+        [
+            ("Matmul array", 334_000, 420_000),
+            ("SRAMs", 2_225_000, 2_247_000),
+            ("Regfiles", 25_000, 104_000),
+            ("Loop unrollers", 259_000, 482_000),
+            ("Dma", 102_000, 109_000),
+            ("Host CPU", 337_000, 337_000),
+        ],
+    )
+    def test_component_calibration(self, component, original, generated):
+        """Each component within 5% of Table III's reported value."""
+        handwritten = gemmini.handwritten_area()
+        stellar = gemmini.stellar_area()
+        assert handwritten[component] == pytest.approx(original, rel=0.05)
+        assert stellar[component] == pytest.approx(generated, rel=0.05)
+
+    def test_totals_match_paper(self):
+        assert gemmini.handwritten_area().total == pytest.approx(
+            3_282_000, rel=0.02
+        )
+        assert gemmini.stellar_area().total == pytest.approx(3_699_000, rel=0.02)
+
+    def test_regfile_growth(self):
+        """Stellar regfiles grow ~4x (25K -> 104K)."""
+        ratio = (
+            gemmini.stellar_area()["Regfiles"]
+            / gemmini.handwritten_area()["Regfiles"]
+        )
+        assert 3.5 <= ratio <= 4.7
+
+
+class TestFrequency:
+    def test_section6b_frequencies(self):
+        """Handwritten caps at ~700 MHz; Stellar reaches ~1 GHz."""
+        handwritten = gemmini.handwritten_max_frequency_mhz()
+        stellar = gemmini.stellar_max_frequency_mhz()
+        assert handwritten == pytest.approx(700, rel=0.05)
+        assert stellar == pytest.approx(1000, rel=0.08)
+        assert stellar > handwritten
+
+    def test_unroller_is_handwritten_bottleneck(self):
+        from repro.area.timing import (
+            centralized_unroller_path_ns,
+            pe_critical_path_ns,
+        )
+
+        assert centralized_unroller_path_ns(7, 12) > pe_critical_path_ns(1)
+
+
+class TestFigure17Energy:
+    def test_overhead_range(self, layers):
+        """Figure 17: 7% best to 30% worst across ResNet-50 layers."""
+        conv_layers = [L for L in layers if L.name != "fc1000"]
+        overheads = []
+        for layer in conv_layers:
+            handwritten = gemmini.layer_energy_report(layer, stellar=False)
+            stellar = gemmini.layer_energy_report(layer, stellar=True)
+            overheads.append(stellar.pj_per_mac / handwritten.pj_per_mac - 1)
+        assert min(overheads) == pytest.approx(0.07, abs=0.03)
+        assert max(overheads) == pytest.approx(0.30, abs=0.05)
+
+    def test_overhead_correlates_with_utilization(self, layers):
+        """The worst overheads land on the worst-utilizing layers."""
+        conv_layers = [L for L in layers if L.name != "fc1000"]
+        pairs = []
+        for layer in conv_layers:
+            util = gemmini.stellar_layer(layer).utilization
+            h = gemmini.layer_energy_report(layer, stellar=False)
+            s = gemmini.layer_energy_report(layer, stellar=True)
+            pairs.append((util, s.pj_per_mac / h.pj_per_mac))
+        best = min(pairs, key=lambda p: p[1])
+        worst = max(pairs, key=lambda p: p[1])
+        assert worst[0] < best[0]
+
+    def test_energy_positive(self, layers):
+        for layer in layers[:4]:
+            report = gemmini.layer_energy_report(layer, stellar=True)
+            assert report.pj_per_mac > 0

@@ -1,0 +1,84 @@
+"""Tests for the MatRaptor-style row-wise SpGEMM baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.matraptor import spgemm_rowwise
+from repro.formats.csr import CSRMatrix, spgemm_reference
+
+
+def _sparse(rng, n, density=0.4):
+    return (rng.random((n, n)) < density) * rng.integers(1, 5, (n, n)).astype(float)
+
+
+class TestCorrectness:
+    def test_matches_reference(self, rng):
+        a = CSRMatrix.from_dense(_sparse(rng, 10))
+        b = CSRMatrix.from_dense(_sparse(rng, 10))
+        result = spgemm_rowwise(a, b)
+        want = spgemm_reference(a, b)
+        assert np.allclose(result.output.to_dense(), want.to_dense())
+
+    def test_empty_inputs(self):
+        a = CSRMatrix.from_dense(np.zeros((4, 4)))
+        result = spgemm_rowwise(a, a)
+        assert result.multiplies == 0
+        assert result.cycles >= 1
+
+    def test_dimension_mismatch_rejected(self):
+        a = CSRMatrix.from_dense(np.eye(3))
+        b = CSRMatrix.from_dense(np.eye(4))
+        with pytest.raises(ValueError):
+            spgemm_rowwise(a, b)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(2, 9),
+        density=st.floats(0.1, 0.7),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_property_rowwise_equals_reference(self, n, density, seed):
+        rng = np.random.default_rng(seed)
+        a = CSRMatrix.from_dense(_sparse(rng, n, density))
+        b = CSRMatrix.from_dense(_sparse(rng, n, density))
+        result = spgemm_rowwise(a, b)
+        want = spgemm_reference(a, b).to_dense()
+        got = result.output.to_dense()
+        padded = np.zeros_like(want)
+        if got.size:
+            padded[: got.shape[0], : got.shape[1]] = got
+        assert np.allclose(padded, want)
+
+
+class TestCostModel:
+    def test_multiplies_counted_exactly(self, rng):
+        dense_a = _sparse(rng, 8)
+        dense_b = _sparse(rng, 8)
+        a, b = CSRMatrix.from_dense(dense_a), CSRMatrix.from_dense(dense_b)
+        result = spgemm_rowwise(a, b)
+        expected = sum(
+            np.count_nonzero(dense_a[:, k]) * np.count_nonzero(dense_b[k, :])
+            for k in range(8)
+        )
+        assert result.multiplies == expected
+
+    def test_pointer_hops_grow_with_row_density(self, rng):
+        sparse = CSRMatrix.from_dense(_sparse(rng, 12, 0.1))
+        dense = CSRMatrix.from_dense(_sparse(rng, 12, 0.8))
+        r_sparse = spgemm_rowwise(sparse, sparse)
+        r_dense = spgemm_rowwise(dense, dense)
+        assert r_dense.pointer_hops > r_sparse.pointer_hops
+
+    def test_cycles_at_least_lane_work(self, rng):
+        a = CSRMatrix.from_dense(_sparse(rng, 10))
+        result = spgemm_rowwise(a, a)
+        from repro.baselines.matraptor import PE_COUNT
+
+        assert result.cycles >= result.accumulator_ops / PE_COUNT
+
+    def test_throughput_metric(self, rng):
+        a = CSRMatrix.from_dense(_sparse(rng, 10))
+        result = spgemm_rowwise(a, a)
+        assert 0 < result.macs_per_cycle <= 8

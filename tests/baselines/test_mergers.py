@@ -1,0 +1,122 @@
+"""Tests for the merger study (Figures 18-19, Section VI-D)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mergers import (
+    compare_mergers,
+    flattened_merge,
+    merge_reference,
+    row_partitioned_merge,
+    sparch_partial_matrices,
+    sweep_mergers,
+)
+from repro.formats.csr import CSRMatrix, spgemm_reference
+from repro.workloads import synthesize_all
+
+
+def _sparse(rng, n, density=0.4):
+    return (rng.random((n, n)) < density) * rng.integers(1, 5, (n, n))
+
+
+class TestMergeReference:
+    def test_combines_duplicates(self):
+        partials = [[(0, 0, 1.0), (0, 1, 2.0)], [(0, 0, 3.0)]]
+        merged = merge_reference(partials)
+        assert merged == [(0, 0, 4.0), (0, 1, 2.0)]
+
+    def test_sorted_output(self, rng):
+        partials = [[(1, 1, 1.0), (0, 2, 1.0)], [(0, 0, 1.0)]]
+        merged = merge_reference(partials)
+        assert merged == sorted(merged)
+
+
+class TestSpArchOrder:
+    def test_partials_reconstruct_product(self, rng):
+        """Merging all SpArch-order partials reproduces A x A."""
+        dense = _sparse(rng, 10)
+        a = CSRMatrix.from_dense(dense)
+        rounds = sparch_partial_matrices(a, ways=4)
+        merged = merge_reference([p for rnd in rounds for p in rnd])
+        want = spgemm_reference(a, a).to_dense()
+        got = np.zeros_like(want)
+        for r, c, v in merged:
+            got[r, c] = v
+        assert np.allclose(got, want)
+
+    def test_round_sizes(self, rng):
+        dense = _sparse(rng, 12, 0.6)
+        a = CSRMatrix.from_dense(dense)
+        rounds = sparch_partial_matrices(a, ways=4)
+        assert all(len(rnd) <= 4 for rnd in rounds)
+
+
+class TestMergerModels:
+    def test_flattened_throughput_cap(self, rng):
+        """The flattened merger never exceeds its comparator-matrix
+        throughput of 16 merged elements per cycle."""
+        partials = [[(r, c, 1.0) for c in range(40)] for r in range(8)]
+        result = flattened_merge(partials, throughput=16)
+        assert result.elements_per_cycle <= 16
+
+    def test_row_partitioned_balanced_exceeds_16(self):
+        """Figure 18's four winners: with balanced rows, 32 row PEs beat
+        the flattened merger's 16/cycle cap."""
+        partials = [[(r, c, 1.0) for c in range(64)] for r in range(64)]
+        row = row_partitioned_merge(partials, pe_count=32)
+        flat = flattened_merge(partials, throughput=16)
+        assert row.elements_per_cycle > flat.elements_per_cycle
+
+    def test_row_partitioned_starves_on_imbalance(self):
+        """One giant row serializes a single PE (Figure 19a's weakness)."""
+        partials = [[(0, c, 1.0) for c in range(256)]]
+        row = row_partitioned_merge(partials, pe_count=32)
+        assert row.elements_per_cycle <= 1.0
+
+    def test_both_mergers_count_same_elements(self, rng):
+        dense = _sparse(rng, 10)
+        a = CSRMatrix.from_dense(dense)
+        rounds = sparch_partial_matrices(a, ways=8)
+        for rnd in rounds:
+            flat = flattened_merge(rnd)
+            row = row_partitioned_merge(rnd)
+            assert flat.merged_elements == row.merged_elements
+
+    def test_empty_partials(self):
+        assert flattened_merge([]).merged_elements == 0
+        assert row_partitioned_merge([]).merged_elements == 0
+
+
+class TestFigure18:
+    @pytest.fixture(scope="class")
+    def comparisons(self):
+        matrices = synthesize_all(max_rows=96, seed=7)
+        return sweep_mergers(matrices)
+
+    def test_at_least_a_third_reach_80_percent(self, comparisons):
+        """'The row-partitioned mergers achieve at least 80% of the
+        flattened merger's performance on over a third of the SuiteSPARSE
+        matrices.'"""
+        ge80 = sum(c.relative >= 0.8 for c in comparisons)
+        assert ge80 >= len(comparisons) / 3
+
+    def test_some_matrices_favor_row_partitioned(self, comparisons):
+        """'On four of the matrices, the smaller, row-partitioned merger
+        performed better' -- the named winners must win here too."""
+        winners = {c.name for c in comparisons if c.relative > 1.0}
+        assert len(winners) >= 4
+        assert "poisson3Da" in winners
+        assert "cop20k_A" in winners
+
+    def test_power_law_matrices_starve_row_partitioned(self, comparisons):
+        """Heavy-tailed row lengths are exactly where the cheap merger
+        loses."""
+        by_name = {c.name: c for c in comparisons}
+        for name in ("web-Google", "wiki-Vote", "cit-Patents", "webbase-1M"):
+            assert by_name[name].relative < 0.8
+
+    def test_flattened_near_peak_everywhere(self, comparisons):
+        """The flattened merger is insensitive to imbalance: it stays near
+        its 16/cycle ceiling on every matrix."""
+        for c in comparisons:
+            assert c.flattened_epc > 10

@@ -1,0 +1,72 @@
+"""Tests for the SCNN study (Figure 15)."""
+
+import pytest
+
+from repro.baselines import scnn
+from repro.workloads import alexnet_pruned_layers
+
+
+@pytest.fixture(scope="module")
+def layers():
+    return alexnet_pruned_layers()
+
+
+class TestFigure15:
+    def test_relative_performance_band(self, layers):
+        """Stellar-SCNN achieves 83%-94% of the handwritten design."""
+        ratios = [scnn.relative_performance(L) for L in layers]
+        assert min(ratios) == pytest.approx(0.83, abs=0.03)
+        assert max(ratios) == pytest.approx(0.94, abs=0.03)
+        assert all(0.80 <= r <= 0.97 for r in ratios)
+
+    def test_stellar_slower_on_every_layer(self, layers):
+        for layer in layers:
+            assert scnn.stellar_layer(layer).cycles > scnn.handwritten_layer(layer).cycles
+
+    def test_network_results_shape(self, layers):
+        handwritten, stellar = scnn.network_results(layers)
+        assert len(handwritten) == len(stellar) == len(layers)
+
+
+class TestUtilizationModel:
+    def test_utilization_bounded(self, layers):
+        for layer in layers:
+            result = scnn.handwritten_layer(layer)
+            assert 0 < result.utilization < 1.0
+
+    def test_sparser_weights_fragment_more(self):
+        """Lower density -> more multiplier-slot fragmentation."""
+        dense = scnn._fragmentation_factor(0.9, window=16, chunk=4)
+        sparse = scnn._fragmentation_factor(0.3, window=16, chunk=4)
+        assert sparse < dense
+
+    def test_full_density_no_fragmentation(self):
+        assert scnn._fragmentation_factor(1.0, window=16, chunk=4) == pytest.approx(1.0)
+
+    def test_zero_density_degenerate(self):
+        assert scnn._fragmentation_factor(0.0, window=16, chunk=4) == 1.0
+
+    def test_bank_conflict_factor(self):
+        factor = scnn._bank_conflict_factor()
+        assert 0.5 < factor < 1.0
+
+    def test_more_banks_fewer_conflicts(self):
+        assert scnn._bank_conflict_factor(banks=64) > scnn._bank_conflict_factor(banks=16)
+
+    def test_cycles_track_effective_macs(self, layers):
+        for layer in layers:
+            result = scnn.handwritten_layer(layer)
+            ideal = layer.effective_macs / (scnn.PE_COUNT * scnn.MULTS_PER_PE)
+            assert result.cycles >= ideal
+
+
+class TestOverheadAmortization:
+    def test_large_layers_amortize_better(self, layers):
+        """conv1 (most work per tile, fewest switches) keeps the highest
+        ratio among the early layers; conv2 with many tiles fares worst."""
+        ratios = {L.name: scnn.relative_performance(L) for L in layers}
+        assert ratios["conv2"] == min(ratios.values())
+
+    def test_tile_counts_positive(self, layers):
+        for layer in layers:
+            assert scnn._tile_count(layer) >= 1

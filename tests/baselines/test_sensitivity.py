@@ -1,0 +1,86 @@
+"""Sensitivity sweeps over the baseline models.
+
+Beyond matching the paper's reported points, the models must move the
+right way when their inputs move -- these sweeps pin the monotonicities
+an architect would rely on when extrapolating from the reproduction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import gemmini, outerspace as osp, scnn
+from repro.workloads import synthesize
+from repro.workloads.alexnet import SparseConvLayer
+from repro.workloads.resnet50 import ConvLayer
+
+
+class TestSCNNSensitivity:
+    def _layer(self, weight_density, activation_density=0.6):
+        return SparseConvLayer(
+            "probe", 64, 64, 3, 14, weight_density, activation_density
+        )
+
+    def test_utilization_improves_with_density(self):
+        """Fragmentation eases as fibers fill up."""
+        utils = [
+            scnn.handwritten_layer(self._layer(d)).utilization
+            for d in (0.2, 0.4, 0.6, 0.8, 1.0)
+        ]
+        assert utils == sorted(utils)
+
+    def test_effective_macs_scale_with_density(self):
+        sparse = self._layer(0.25)
+        dense = self._layer(0.75)
+        assert dense.effective_macs == pytest.approx(3 * sparse.effective_macs)
+
+    def test_relative_performance_band_is_stable(self):
+        """The Stellar/handwritten ratio stays in a sane band across
+        densities -- it is an overhead story, not a sparsity story."""
+        for density in (0.2, 0.5, 0.9):
+            ratio = scnn.relative_performance(self._layer(density))
+            assert 0.75 <= ratio <= 0.99
+
+
+class TestGemminiSensitivity:
+    def test_utilization_improves_with_m(self):
+        """Longer streamed dimensions amortize the tile fill."""
+        utils = []
+        for out_size in (7, 14, 28, 56):
+            layer = ConvLayer("probe", 64, 64, 3, 1, out_size)
+            utils.append(gemmini.handwritten_layer(layer).utilization)
+        assert utils == sorted(utils)
+
+    def test_aligned_dims_utilize_fully(self):
+        layer = ConvLayer("aligned", 16, 16, 1, 1, 64)
+        result = gemmini.handwritten_layer(layer)
+        assert result.utilization > 0.98
+
+    def test_misaligned_n_wastes_columns(self):
+        aligned = ConvLayer("a", 16, 16, 1, 1, 64)  # n = 16
+        misaligned = ConvLayer("m", 16, 17, 1, 1, 64)  # n = 17 -> 2 tiles
+        assert (
+            gemmini.handwritten_layer(misaligned).utilization
+            < gemmini.handwritten_layer(aligned).utilization
+        )
+
+
+class TestOuterSpaceSensitivity:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return synthesize("scircuit", max_rows=96, seed=3)
+
+    def test_more_bandwidth_never_hurts(self, matrix):
+        slow = osp.simulate(matrix, dram_bandwidth=8)
+        fast = osp.simulate(matrix, dram_bandwidth=32)
+        assert fast.gflops >= slow.gflops
+
+    def test_lower_latency_never_hurts(self, matrix):
+        high = osp.simulate(matrix, dram_latency=200)
+        low = osp.simulate(matrix, dram_latency=50)
+        assert low.gflops >= high.gflops
+
+    def test_gflops_bounded_by_compute(self, matrix):
+        """No configuration beats the 256-PE arithmetic bound."""
+        result = osp.simulate(matrix, max_inflight=64, dram_bandwidth=1024)
+        peak = 2 * osp.PE_COUNT * osp.CLOCK_GHZ  # MACs/cycle * GHz
+        assert result.gflops <= peak

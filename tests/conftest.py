@@ -1,0 +1,31 @@
+"""Shared fixtures for the Stellar reproduction test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import Bounds, matmul_spec
+
+
+@pytest.fixture
+def spec():
+    """A fresh matmul spec (paper Listing 1)."""
+    return matmul_spec()
+
+
+@pytest.fixture
+def bounds4():
+    return Bounds({"i": 4, "j": 4, "k": 4})
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_matrices(rng):
+    """A pair of 4x4 integer matrices."""
+    return (
+        rng.integers(-5, 6, (4, 4)),
+        rng.integers(-5, 6, (4, 4)),
+    )

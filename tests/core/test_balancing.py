@@ -1,0 +1,110 @@
+"""Tests for load-balancing specs (Section III-D, Listings 3-4)."""
+
+import pytest
+
+from repro.core import SpecError, matmul_spec
+from repro.core.balancing import (
+    LoadBalancingScheme,
+    Offset,
+    Range,
+    Shift,
+    flexible_pe_scheme,
+    row_shift_scheme,
+)
+
+ORDER = ("i", "j", "k")
+
+
+class TestRange:
+    def test_contains(self):
+        r = Range(2, 5)
+        assert 2 in r and 4 in r
+        assert 5 not in r and 1 not in r
+
+    def test_extent(self):
+        assert Range(2, 5).extent == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecError):
+            Range(3, 3)
+
+
+class TestShift:
+    def test_listing3_bias_vector(self):
+        """Shift i = N -> 2N, j, k  to  i = 0 -> N, j, k+1."""
+        n = 4
+        shift = Shift(
+            src={"i": Range(n, 2 * n)},
+            dst={"i": Range(0, n), "k": Offset(1)},
+        )
+        # Bias maps target iterations back onto source work: i + N, k - 1.
+        assert shift.bias_vector(ORDER) == (n, 0, -1)
+
+    def test_listing4_bias_vector(self):
+        shift = Shift(src={}, dst={"i": Range(0, 1), "j": Range(0, 4)})
+        assert shift.bias_vector(ORDER) == (0, 0, 0)
+
+    def test_row_granular(self):
+        n = 4
+        shift = Shift(
+            src={"i": Range(n, 2 * n)},
+            dst={"i": Range(0, n), "k": Offset(1)},
+        )
+        assert shift.is_row_granular(ORDER)
+
+    def test_pe_granular(self):
+        """Listing 4: no source constraint -> individual PEs balance."""
+        shift = Shift(src={}, dst={"i": Range(0, 1), "j": Range(0, 4)})
+        assert not shift.is_row_granular(ORDER)
+
+    def test_mismatched_extents_not_row_granular(self):
+        shift = Shift(src={"i": Range(0, 8)}, dst={"i": Range(0, 4)})
+        assert not shift.is_row_granular(ORDER)
+
+    def test_constrained_axes(self):
+        shift = Shift(src={}, dst={"i": Range(0, 1), "j": Range(0, 4)})
+        assert shift.constrained_axes() == frozenset({"i", "j"})
+
+    def test_offset_not_constrained(self):
+        shift = Shift(
+            src={"i": Range(4, 8)}, dst={"i": Range(0, 4), "k": Offset(1)}
+        )
+        assert shift.constrained_axes() == frozenset({"i"})
+
+    def test_invalid_dst_clause_rejected(self):
+        with pytest.raises(SpecError):
+            Shift(src={}, dst={"i": 5})
+
+    def test_validate_against_spec(self):
+        spec = matmul_spec()
+        shift = Shift(src={"z": Range(0, 4)}, dst={})
+        with pytest.raises(SpecError):
+            shift.validate_against(spec)
+
+
+class TestScheme:
+    def test_disabled_by_default(self):
+        assert LoadBalancingScheme().is_disabled()
+
+    def test_row_scheme_prunes_nothing(self):
+        """Figure 10a: row-granular balancing preserves connections."""
+        scheme = row_shift_scheme(4)
+        assert scheme.pruned_axes(ORDER) == frozenset()
+
+    def test_flexible_scheme_prunes(self):
+        """Figure 10b: PE-granular balancing prunes constrained axes."""
+        scheme = flexible_pe_scheme(4)
+        assert scheme.pruned_axes(ORDER) == frozenset({"i", "j"})
+
+    def test_scheme_validates_members(self):
+        spec = matmul_spec()
+        scheme = LoadBalancingScheme([Shift(src={"z": Range(0, 1)}, dst={})])
+        with pytest.raises(SpecError):
+            scheme.validate_against(spec)
+
+    def test_add_chains(self):
+        scheme = LoadBalancingScheme()
+        scheme.add(Shift(src={}, dst={"i": Range(0, 1)})).add(
+            Shift(src={}, dst={"j": Range(0, 1)})
+        )
+        assert len(scheme) == 2

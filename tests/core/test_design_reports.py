@@ -1,0 +1,48 @@
+"""Tests for GeneratedDesign's report conveniences (energy, RTL sim)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Accelerator, matmul_spec, output_stationary
+
+
+@pytest.fixture
+def design():
+    return Accelerator(
+        spec=matmul_spec(),
+        bounds={"i": 3, "j": 3, "k": 3},
+        transform=output_stationary(),
+    ).build()
+
+
+class TestEnergyReport:
+    def test_from_run(self, design, rng):
+        A = rng.integers(-3, 4, (3, 3))
+        B = rng.integers(-3, 4, (3, 3))
+        result = design.run({"A": A, "B": B})
+        report = design.energy_report(result)
+        assert report.total_pj > 0
+        assert report.macs == 27
+
+    def test_stellar_flag_passthrough(self, design, rng):
+        A = rng.integers(-3, 4, (3, 3))
+        B = rng.integers(-3, 4, (3, 3))
+        result = design.run({"A": A, "B": B})
+        stellar = design.energy_report(result, stellar_generated=True)
+        handwritten = design.energy_report(result, stellar_generated=False)
+        assert stellar.total_pj > handwritten.total_pj
+
+
+class TestRTLSimulatorHandle:
+    def test_pe_level(self, design):
+        sim = design.rtl_simulator(top="matmul_pe")
+        sim.reset()
+        sim.step(3)
+        assert sim.peek("t_counter") == 3
+
+    def test_top_level(self, design):
+        sim = design.rtl_simulator()
+        sim.reset()
+        sim.poke("start", 1)
+        sim.step(1)
+        assert sim.peek("busy") == 1

@@ -1,0 +1,159 @@
+"""Tests for the design-space exploration module."""
+
+import numpy as np
+import pytest
+
+from repro.core import Bounds, SpecError, matmul_spec
+from repro.core.balancing import LoadBalancingScheme, row_shift_scheme
+from repro.core.dataflow import (
+    SpaceTimeTransform,
+    hexagonal,
+    input_stationary,
+    output_stationary,
+)
+from repro.core.sparsity import SparsityStructure, csr_b_matrix
+from repro.dse import DesignPoint, explore
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(5)
+    n = 6
+    a = rng.integers(1, 5, (n, n))
+    b = np.zeros((n, n), dtype=int)
+    b[0, :] = rng.integers(1, 5, n)
+    b[3, 1] = 2
+    return Bounds({"i": n, "j": n, "k": n}), {"A": a, "B": b}
+
+
+@pytest.fixture(scope="module")
+def result(workload):
+    bounds, tensors = workload
+    spec = matmul_spec()
+    return explore(
+        spec,
+        bounds,
+        tensors,
+        transforms={
+            "output-stationary": output_stationary(),
+            "input-stationary": input_stationary(),
+            "hexagonal": hexagonal(),
+        },
+        sparsities={
+            "dense": SparsityStructure(),
+            "B-csr": csr_b_matrix(spec),
+        },
+        balancings={
+            "none": LoadBalancingScheme(),
+            "row-shift": row_shift_scheme(3),
+        },
+    )
+
+
+class TestExplore:
+    def test_full_cross_product(self, result):
+        assert len(result) == 3 * 2 * 2
+
+    def test_names_encode_axes(self, result):
+        names = {p.name for p in result}
+        assert "output-stationary / B-csr / row-shift" in names
+
+    def test_metrics_populated(self, result):
+        for point in result:
+            assert point.cycles > 0
+            assert 0 < point.utilization <= 1
+            assert point.area_um2 > 0
+            assert point.pe_count > 0
+
+    def test_sparse_skipping_reduces_cycles(self, result):
+        by_name = {p.name: p for p in result}
+        dense = by_name["input-stationary / dense / none"]
+        sparse = by_name["input-stationary / B-csr / none"]
+        assert sparse.cycles < dense.cycles
+
+    def test_balancing_helps_on_imbalanced_workload(self, result):
+        by_name = {p.name: p for p in result}
+        plain = by_name["input-stationary / B-csr / none"]
+        balanced = by_name["input-stationary / B-csr / row-shift"]
+        assert balanced.cycles <= plain.cycles
+
+    def test_illegal_transforms_skipped(self, workload):
+        bounds, tensors = workload
+        spec = matmul_spec()
+        bad = SpaceTimeTransform([[1, 0, 0], [0, 1, 0], [1, 1, -1]])
+        result = explore(
+            spec,
+            bounds,
+            tensors,
+            transforms={"good": output_stationary(), "bad": bad},
+        )
+        assert len(result) == 1
+
+    def test_all_illegal_raises(self, workload):
+        bounds, tensors = workload
+        spec = matmul_spec()
+        bad = SpaceTimeTransform([[1, 0, 0], [0, 1, 0], [1, 1, -1]])
+        with pytest.raises(SpecError):
+            explore(spec, bounds, tensors, transforms={"bad": bad})
+
+
+class TestParetoFrontier:
+    def test_frontier_nonempty_subset(self, result):
+        frontier = result.pareto_frontier()
+        assert 0 < len(frontier) <= len(result)
+
+    def test_frontier_mutually_nondominated(self, result):
+        frontier = result.pareto_frontier()
+        for p in frontier:
+            assert not any(q.dominates(p) for q in frontier if q is not p)
+
+    def test_every_point_dominated_or_on_frontier(self, result):
+        frontier = result.pareto_frontier()
+        frontier_ids = {id(p) for p in frontier}
+        for p in result:
+            if id(p) not in frontier_ids:
+                assert any(q.dominates(p) for q in result)
+
+    def test_frontier_sorted_by_cycles(self, result):
+        cycles = [p.cycles for p in result.pareto_frontier()]
+        assert cycles == sorted(cycles)
+
+
+class TestSelections:
+    def test_best_by_each_metric(self, result):
+        fastest = result.best_by("cycles")
+        smallest = result.best_by("area")
+        assert fastest.cycles == min(p.cycles for p in result)
+        assert smallest.area_um2 == min(p.area_um2 for p in result)
+
+    def test_best_by_adp(self, result):
+        best = result.best_by("adp")
+        assert best.area_delay_product == min(
+            p.area_delay_product for p in result
+        )
+
+    def test_unknown_metric_rejected(self, result):
+        with pytest.raises(ValueError):
+            result.best_by("coolness")
+
+    def test_table_renders(self, result):
+        text = result.table()
+        assert "pareto" in text
+        assert text.count("\n") == len(result)
+
+
+class TestDominance:
+    def _point(self, cycles, area):
+        return DesignPoint("p", "t", "s", "b", cycles, 0.5, area, 4, 2, [])
+
+    def test_strict_dominance(self):
+        assert self._point(10, 100).dominates(self._point(20, 200))
+
+    def test_tradeoff_not_dominated(self):
+        a, b = self._point(10, 200), self._point(20, 100)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_equal_not_dominating(self):
+        a, b = self._point(10, 100), self._point(10, 100)
+        assert not a.dominates(b)

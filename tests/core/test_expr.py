@@ -1,0 +1,285 @@
+"""Unit tests for the expression language (repro.core.expr)."""
+
+import numpy as np
+import pytest
+from fractions import Fraction
+
+from repro.core.expr import (
+    WILDCARD,
+    Access,
+    AffineIndexExpr,
+    BoundMarker,
+    Bounds,
+    Comparison,
+    Const,
+    EvalContext,
+    Index,
+    IndexValue,
+    Local,
+    Select,
+    SpecError,
+    Tensor,
+    exact_inverse,
+    indices,
+    maximum,
+    minimum,
+)
+
+
+class TestIndex:
+    def test_name(self):
+        assert Index("i").name == "i"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SpecError):
+            Index("2bad")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecError):
+            Index("")
+
+    def test_indices_helper(self):
+        i, j, k = indices("i j k")
+        assert [x.name for x in (i, j, k)] == ["i", "j", "k"]
+
+    def test_evaluate(self):
+        bounds = Bounds({"i": 4})
+        assert Index("i").evaluate({"i": 3}, bounds) == 3
+
+    def test_free_indices(self):
+        assert Index("i").free_indices() == frozenset({"i"})
+
+    def test_hashable(self):
+        assert len({Index("i"), Index("i"), Index("j")}) == 2
+
+
+class TestBoundMarkers:
+    def test_lower_bound_evaluates(self):
+        bounds = Bounds({"k": 5})
+        marker = Index("k").lower_bound
+        assert marker.evaluate({}, bounds) == 0
+
+    def test_upper_bound_evaluates(self):
+        bounds = Bounds({"k": 5})
+        marker = Index("k").upper_bound
+        assert marker.evaluate({}, bounds) == 4
+
+    def test_explicit_range(self):
+        bounds = Bounds({"k": (2, 7)})
+        assert Index("k").lower_bound.evaluate({}, bounds) == 2
+        assert Index("k").upper_bound.evaluate({}, bounds) == 7
+
+    def test_no_free_indices(self):
+        assert Index("k").upper_bound.free_indices() == frozenset()
+
+    def test_arithmetic_rejected(self):
+        with pytest.raises(SpecError):
+            Index("k").lower_bound + 1
+
+    def test_repr(self):
+        assert "lowerBound" in repr(Index("k").lower_bound)
+        assert "upperBound" in repr(Index("k").upper_bound)
+
+
+class TestAffineIndexExpr:
+    def test_offset(self):
+        i = Index("i")
+        expr = i - 1
+        assert isinstance(expr, AffineIndexExpr)
+        assert expr.evaluate({"i": 3}, Bounds({"i": 4})) == 2
+
+    def test_offset_from(self):
+        i = Index("i")
+        assert (i - 1).offset_from(i) == -1
+        assert (i + 2).offset_from(i) == 2
+        assert i.offset_from(i) == 0
+
+    def test_offset_from_other_index_is_none(self):
+        i, j = Index("i"), Index("j")
+        assert (j - 1).offset_from(i) is None
+
+    def test_scaled_index_has_no_unit_offset(self):
+        i = Index("i")
+        assert (2 * i).offset_from(i) is None
+
+    def test_combination(self):
+        i, j = Index("i"), Index("j")
+        expr = 2 * i + j - 3
+        assert expr.evaluate({"i": 2, "j": 5}, Bounds({"i": 4, "j": 8})) == 6
+
+    def test_subtraction_cancels(self):
+        i = Index("i")
+        expr = (i + 1) - i
+        assert expr.free_indices() == frozenset()
+        assert expr.evaluate({}, Bounds({})) == 1
+
+    def test_non_integer_scale_rejected(self):
+        with pytest.raises(SpecError):
+            Index("i") * 1.5
+
+
+class TestBounds:
+    def test_size(self):
+        assert Bounds({"i": 7}).size("i") == 7
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(SpecError):
+            Bounds({"i": (3, 2)})
+
+    def test_domain_lexicographic(self):
+        bounds = Bounds({"i": 2, "j": 2})
+        assert list(bounds.domain(["i", "j"])) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_domain_respects_order(self):
+        bounds = Bounds({"i": 2, "j": 3})
+        points = list(bounds.domain(["j", "i"]))
+        assert len(points) == 6
+        assert points[0] == (0, 0)
+        assert points[-1] == (2, 1)
+
+    def test_point_count(self):
+        assert Bounds({"i": 3, "j": 4}).point_count(["i", "j"]) == 12
+
+    def test_contains(self):
+        bounds = Bounds({"i": 2})
+        assert "i" in bounds
+        assert "z" not in bounds
+
+
+class TestValueExpressions:
+    def _ctx(self, tensors, env=None):
+        def read(symbol, coords):
+            return tensors[symbol.name][coords]
+
+        return EvalContext(env or {}, Bounds({"i": 4, "j": 4}), read)
+
+    def test_tensor_access(self):
+        A = Tensor("A", 2)
+        data = {"A": np.arange(16).reshape(4, 4)}
+        ctx = self._ctx(data, {"i": 1, "j": 2})
+        i, j = Index("i"), Index("j")
+        assert A[i, j].evaluate(ctx) == 6
+
+    def test_rank_mismatch_rejected(self):
+        A = Tensor("A", 2)
+        with pytest.raises(SpecError):
+            A[Index("i")]
+
+    def test_arithmetic(self):
+        A = Tensor("A", 2)
+        i, j = Index("i"), Index("j")
+        data = {"A": np.full((4, 4), 3)}
+        ctx = self._ctx(data, {"i": 0, "j": 0})
+        expr = A[i, j] * 2 + 1
+        assert expr.evaluate(ctx) == 7
+
+    def test_comparison(self):
+        A = Tensor("A", 2)
+        i, j = Index("i"), Index("j")
+        data = {"A": np.zeros((4, 4))}
+        ctx = self._ctx(data, {"i": 0, "j": 0})
+        cond = A[i, j] == 0
+        assert isinstance(cond, Comparison)
+        assert bool(cond.evaluate(ctx)) is True
+
+    def test_select(self):
+        ctx = self._ctx({}, {"i": 2})
+        expr = Select(Const(1) == 1, 10, 20)
+        assert expr.evaluate(ctx) == 10
+        expr = Select(Const(1) == 2, 10, 20)
+        assert expr.evaluate(ctx) == 20
+
+    def test_min_max(self):
+        ctx = self._ctx({})
+        assert minimum(3, 5).evaluate(ctx) == 3
+        assert maximum(3, 5).evaluate(ctx) == 5
+
+    def test_index_value(self):
+        ctx = self._ctx({}, {"i": 3})
+        assert IndexValue(Index("i")).evaluate(ctx) == 3
+
+    def test_data_dependent_access_flag(self):
+        A = Tensor("A", 2)
+        P = Tensor("P", 1)
+        i, j = Index("i"), Index("j")
+        access = A[P[i], j]
+        assert access.is_data_dependent
+        plain = A[i, j]
+        assert not plain.is_data_dependent
+
+    def test_data_dependent_access_evaluates(self):
+        A = Tensor("A", 2)
+        P = Tensor("P", 1)
+        i, j = Index("i"), Index("j")
+        data = {
+            "A": np.arange(16).reshape(4, 4),
+            "P": np.array([3, 2, 1, 0]),
+        }
+        ctx = self._ctx(data, {"i": 0, "j": 1})
+        # A[P[0], 1] == A[3, 1] == 13
+        assert A[P[i], j].evaluate(ctx) == 13
+
+    def test_wildcard_subscript(self):
+        A = Tensor("A", 2)
+        i = Index("i")
+        access = A[i, WILDCARD]
+        assert access.free_indices() == frozenset({"i"})
+
+    def test_wildcard_cannot_evaluate(self):
+        A = Tensor("A", 2)
+        i = Index("i")
+        ctx = self._ctx({"A": np.zeros((4, 4))}, {"i": 0})
+        with pytest.raises(SpecError):
+            A[i, WILDCARD].evaluate(ctx)
+
+    def test_references(self):
+        A, B = Tensor("A", 2), Tensor("B", 2)
+        i, j = Index("i"), Index("j")
+        expr = A[i, j] + B[i, j] * 2
+        names = sorted(a.target.name for a in expr.references())
+        assert names == ["A", "B"]
+
+    def test_subscript_offsets(self):
+        a = Local("a", 3)
+        i, j, k = indices("i j k")
+        access = a[i, j - 1, k]
+        assert access.subscript_offsets(("i", "j", "k")) == (0, -1, 0)
+
+    def test_subscript_offsets_none_for_bounds(self):
+        a = Local("a", 3)
+        i, j, k = indices("i j k")
+        access = a[i, j.lower_bound, k]
+        assert access.subscript_offsets(("i", "j", "k")) is None
+
+
+class TestExactInverse:
+    def test_identity(self):
+        inv = exact_inverse([[1, 0], [0, 1]])
+        assert inv == ((Fraction(1), Fraction(0)), (Fraction(0), Fraction(1)))
+
+    def test_known_inverse(self):
+        inv = exact_inverse([[1, 0, 0], [0, 1, 0], [1, 1, 1]])
+        # Row 3 of the inverse recovers k = t - x - y.
+        assert inv[2] == (Fraction(-1), Fraction(-1), Fraction(1))
+
+    def test_fractional_inverse(self):
+        inv = exact_inverse([[2, 0], [0, 2]])
+        assert inv[0][0] == Fraction(1, 2)
+
+    def test_singular_rejected(self):
+        with pytest.raises(SpecError):
+            exact_inverse([[1, 1], [1, 1]])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(SpecError):
+            exact_inverse([[1, 0, 0], [0, 1, 0]])
+
+    def test_inverse_roundtrip(self):
+        matrix = [[0, 0, 1], [0, 1, 0], [1, 1, 1]]
+        inv = exact_inverse(matrix)
+        # matrix @ inv == identity
+        n = 3
+        for r in range(n):
+            for c in range(n):
+                acc = sum(Fraction(matrix[r][m]) * inv[m][c] for m in range(n))
+                assert acc == (1 if r == c else 0)

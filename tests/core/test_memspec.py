@@ -1,0 +1,137 @@
+"""Tests for memory-buffer specs (Sections III-E/IV-C, Listings 6, Figs 12-13)."""
+
+import pytest
+
+from repro.core import SpecError
+from repro.core.memspec import (
+    AxisType,
+    Bitvector,
+    Compressed,
+    Dense,
+    HardcodedParams,
+    LinkedList,
+    MemoryBufferSpec,
+    bitvector_matrix_buffer,
+    block_crs_buffer,
+    csc_buffer,
+    csr_buffer,
+    dense_matrix_buffer,
+    linked_list_buffer,
+)
+
+
+class TestAxisFormats:
+    def test_dense_has_no_metadata(self):
+        assert Dense(4).metadata_kinds() == ()
+
+    def test_compressed_metadata(self):
+        assert Compressed().metadata_kinds() == ("ROW_ID", "COORD")
+
+    def test_bitvector_metadata(self):
+        assert Bitvector().metadata_kinds() == ("BITMASK",)
+
+    def test_linked_list_metadata(self):
+        assert LinkedList().metadata_kinds() == ("NEXT_PTR", "COORD")
+
+    def test_stage_latencies_ordered(self):
+        """Indirect axes cost more pipeline latency than dense ones."""
+        assert Dense().stage_latency() < Compressed().stage_latency()
+        assert Compressed().stage_latency() <= LinkedList().stage_latency()
+
+    def test_sparse_flag(self):
+        assert not AxisType.DENSE.is_sparse
+        assert AxisType.COMPRESSED.is_sparse
+
+
+class TestHardcodedParams:
+    def test_listing6_wavefront_order(self):
+        """Figure 13a: the hardcoded 4x4 buffer emits anti-diagonals,
+        larger first coordinate first within each diagonal."""
+        params = HardcodedParams(
+            spans={0: 4, 1: 4}, data_strides={0: 1, 1: 4}, wavefront=True
+        )
+        order = params.emission_order()
+        assert order[0] == (0, 0)
+        assert order[1:3] == [(1, 0), (0, 1)]
+        assert order[3:6] == [(2, 0), (1, 1), (0, 2)]
+        assert order[-1] == (3, 3)
+        assert len(order) == 16
+
+    def test_row_major_order(self):
+        params = HardcodedParams(spans={0: 2, 1: 2})
+        assert params.emission_order() == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_partial_spans_not_fully_specified(self):
+        params = HardcodedParams(spans={0: 4})
+        assert not params.is_fully_specified(2)
+
+    def test_emission_requires_full_spans(self):
+        with pytest.raises(SpecError):
+            HardcodedParams(spans={}).emission_order()
+
+
+class TestMemoryBufferSpec:
+    def test_empty_axes_rejected(self):
+        with pytest.raises(SpecError):
+            MemoryBufferSpec("b", [])
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(SpecError):
+            MemoryBufferSpec("b", [Dense(4)], capacity_bytes=0)
+
+    def test_csr_pipeline(self):
+        """CSR = Dense over Compressed (Section III-E's worked example)."""
+        spec = csr_buffer("B", rows=8)
+        assert [a.axis_type for a in spec.axes] == [
+            AxisType.DENSE,
+            AxisType.COMPRESSED,
+        ]
+        assert spec.pipeline_stage_latencies() == (1, 2)
+        assert spec.access_latency() == 4
+
+    def test_block_crs_four_stages(self):
+        """Figure 12: block-CRS generates four pipeline stages."""
+        spec = block_crs_buffer("W", block_rows=4)
+        assert spec.rank == 4
+        assert [a.axis_type for a in spec.axes] == [
+            AxisType.DENSE,
+            AxisType.COMPRESSED,
+            AxisType.DENSE,
+            AxisType.DENSE,
+        ]
+
+    def test_metadata_sram_count(self):
+        assert csr_buffer("B", rows=8).metadata_sram_count() == 2
+        assert dense_matrix_buffer("A", 4, 4).metadata_sram_count() == 0
+        assert linked_list_buffer("L", rows=4).metadata_sram_count() == 2
+        assert bitvector_matrix_buffer("V", rows=4).metadata_sram_count() == 1
+
+    def test_capacity_elements(self):
+        spec = dense_matrix_buffer("A", 4, 4, capacity_bytes=1024, element_bits=32)
+        assert spec.capacity_elements() == 256
+
+    def test_provable_read_order_requires_hardcoding(self):
+        spec = dense_matrix_buffer("A", 4, 4)
+        assert spec.provable_read_order() is None
+
+    def test_provable_read_order_with_hardcoding(self):
+        spec = dense_matrix_buffer(
+            "A",
+            4,
+            4,
+            hardcoded_read=HardcodedParams(spans={0: 4, 1: 4}, wavefront=True),
+        )
+        order = spec.provable_read_order()
+        assert order is not None and order[0] == (0, 0)
+
+    def test_sparse_buffer_order_not_provable(self):
+        """Sparse axes emit data-dependent orders even when hardcoded."""
+        spec = csr_buffer(
+            "B", rows=4, hardcoded_read=HardcodedParams(spans={0: 4, 1: 4})
+        )
+        assert spec.provable_read_order() is None
+
+    def test_csc_buffer(self):
+        spec = csc_buffer("A", cols=8)
+        assert spec.axes[0].axis_type is AxisType.DENSE
+        assert spec.axes[1].axis_type is AxisType.COMPRESSED

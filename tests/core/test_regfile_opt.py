@@ -1,0 +1,139 @@
+"""Tests for the register-file optimization ladder (Section IV-D, Fig 14)."""
+
+import pytest
+
+from repro.core import Bounds, matmul_spec
+from repro.core.dataflow import input_stationary, output_stationary
+from repro.core.iterspace import IODirection, elaborate
+from repro.core.memspec import HardcodedParams, dense_matrix_buffer
+from repro.core.passes.regfile_opt import (
+    RegfileKind,
+    choose_regfile,
+    consumption_order,
+)
+
+
+class TestChooseRegfile:
+    def test_matching_orders_feedforward(self):
+        order = [(0, 0), (0, 1), (1, 0), (1, 1)]
+        plan = choose_regfile("x", order, list(order))
+        assert plan.kind is RegfileKind.FEEDFORWARD
+
+    def test_transposed_orders(self):
+        producer = [(0, 0), (0, 1), (1, 0), (1, 1)]
+        consumer = [(0, 0), (1, 0), (0, 1), (1, 1)]
+        plan = choose_regfile("x", producer, consumer)
+        assert plan.kind is RegfileKind.TRANSPOSING
+
+    def test_permutation_gives_edge(self):
+        producer = [(0, 0), (0, 1), (1, 0), (1, 1)]
+        consumer = [(1, 1), (0, 0), (1, 0), (0, 1)]
+        plan = choose_regfile("x", producer, consumer)
+        assert plan.kind is RegfileKind.EDGE
+
+    def test_data_dependent_falls_back(self):
+        order = [(0, 0)]
+        plan = choose_regfile("x", order, order, data_dependent=True)
+        assert plan.kind is RegfileKind.CROSSBAR
+
+    def test_unknown_order_falls_back(self):
+        plan = choose_regfile("x", None, [(0, 0)])
+        assert plan.kind is RegfileKind.CROSSBAR
+
+    def test_disjoint_sets_fall_back(self):
+        plan = choose_regfile("x", [(0, 0)], [(5, 5)])
+        assert plan.kind is RegfileKind.CROSSBAR
+
+    def test_ladder_prefers_cheapest(self):
+        """Identical orders are also permutations and transposable when
+        symmetric; the ladder must still pick FEEDFORWARD."""
+        order = [(0, 0), (1, 1)]
+        plan = choose_regfile("x", order, list(order))
+        assert plan.kind is RegfileKind.FEEDFORWARD
+
+    def test_search_width_ordering(self):
+        """Figure 14: output ports observe 1 entry (feedforward), an edge
+        (edge/transposing), or everything (crossbar)."""
+        order = [(i, j) for i in range(4) for j in range(4)]
+        ff = choose_regfile("x", order, list(order))
+        xb = choose_regfile("x", order, list(order), data_dependent=True)
+        assert ff.search_width() == 1
+        assert xb.search_width() == len(order)
+
+    def test_relative_costs_monotone(self):
+        costs = [
+            RegfileKind.FEEDFORWARD.relative_cost,
+            RegfileKind.TRANSPOSING.relative_cost,
+            RegfileKind.EDGE.relative_cost,
+            RegfileKind.CROSSBAR.relative_cost,
+        ]
+        assert costs == sorted(costs)
+
+
+class TestConsumptionOrder:
+    def test_figure13b_wavefront(self, spec, bounds4):
+        """Under the output-stationary dataflow, B's elements are consumed
+        in the anti-diagonal order of Figure 13b."""
+        itsp = elaborate(spec, bounds4)
+        order = consumption_order(itsp, output_stationary(), "b")
+        assert order is not None
+        assert order[0] == (0, 0)
+        assert set(order[1:3]) == {(1, 0), (0, 1)}
+        # Each wavefront has constant coordinate sum.
+        sums = [sum(e) for e in order]
+        assert sums == sorted(sums)
+
+    def test_all_elements_once(self, spec, bounds4):
+        itsp = elaborate(spec, bounds4)
+        order = consumption_order(itsp, output_stationary(), "b")
+        assert len(order) == 16
+        assert len(set(order)) == 16
+
+    def test_output_direction(self, spec, bounds4):
+        itsp = elaborate(spec, bounds4)
+        order = consumption_order(
+            itsp, output_stationary(), "c", IODirection.OUTPUT
+        )
+        assert order is not None
+        assert len(order) == 16  # one per C(i, j)
+
+    def test_none_for_unknown_variable(self, spec, bounds4):
+        itsp = elaborate(spec, bounds4)
+        assert consumption_order(itsp, output_stationary(), "zzz") is None
+
+
+class TestFigure13EndToEnd:
+    def test_wavefront_membuf_matches_array_order(self, spec, bounds4):
+        """The full Figure 13 scenario: a hardcoded wavefront memory
+        buffer's emission order equals the output-stationary array's
+        consumption order for B -> the ladder picks FEEDFORWARD."""
+        membuf = dense_matrix_buffer(
+            "B",
+            4,
+            4,
+            hardcoded_read=HardcodedParams(
+                spans={0: 4, 1: 4},
+                data_strides={0: 1, 1: 4},
+                wavefront=True,
+            ),
+        )
+        itsp = elaborate(spec, bounds4)
+        consumer = consumption_order(itsp, output_stationary(), "b")
+        producer = membuf.provable_read_order()
+        plan = choose_regfile("b", producer, consumer)
+        assert plan.kind is RegfileKind.FEEDFORWARD
+
+    def test_row_major_membuf_needs_edge(self, spec, bounds4):
+        """Without the wavefront hardcoding, the orders differ and the
+        ladder falls back to an edge regfile."""
+        membuf = dense_matrix_buffer(
+            "B",
+            4,
+            4,
+            hardcoded_read=HardcodedParams(spans={0: 4, 1: 4}),
+        )
+        itsp = elaborate(spec, bounds4)
+        consumer = consumption_order(itsp, output_stationary(), "b")
+        producer = membuf.provable_read_order()
+        plan = choose_regfile("b", producer, consumer)
+        assert plan.kind in (RegfileKind.EDGE, RegfileKind.TRANSPOSING)

@@ -1,0 +1,167 @@
+"""Tests for CSR/CSC matrices and sparse matmul substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.csr import (
+    CSCMatrix,
+    CSRMatrix,
+    outer_product_partials,
+    spgemm_reference,
+)
+
+
+def _random_sparse(rng, rows, cols, density):
+    return (rng.random((rows, cols)) < density) * rng.integers(1, 9, (rows, cols))
+
+
+class TestCSR:
+    def test_roundtrip(self, rng):
+        dense = _random_sparse(rng, 6, 5, 0.4)
+        assert np.array_equal(CSRMatrix.from_dense(dense).to_dense(), dense)
+
+    def test_nnz_and_density(self, rng):
+        dense = np.zeros((4, 4))
+        dense[0, 0] = dense[2, 3] = 1
+        csr = CSRMatrix.from_dense(dense)
+        assert csr.nnz == 2
+        assert csr.density == pytest.approx(2 / 16)
+
+    def test_row_access(self):
+        dense = np.array([[0, 5, 0], [1, 0, 2]])
+        csr = CSRMatrix.from_dense(dense)
+        cols, vals = csr.row(1)
+        assert list(cols) == [0, 2]
+        assert list(vals) == [1, 2]
+
+    def test_row_lengths(self):
+        dense = np.array([[0, 5, 0], [1, 0, 2], [0, 0, 0]])
+        csr = CSRMatrix.from_dense(dense)
+        assert list(csr.row_lengths()) == [1, 2, 0]
+
+    def test_row_imbalance(self):
+        balanced = CSRMatrix.from_dense(np.eye(4))
+        assert balanced.row_imbalance() == pytest.approx(1.0)
+        skewed = np.zeros((4, 4))
+        skewed[0, :] = 1
+        skewed[1, 0] = 1
+        assert CSRMatrix.from_dense(skewed).row_imbalance() > 1.0
+
+    def test_transpose(self, rng):
+        dense = _random_sparse(rng, 5, 7, 0.3)
+        csr = CSRMatrix.from_dense(dense)
+        assert np.array_equal(csr.transpose().to_dense(), dense.T)
+
+    def test_inconsistent_structure_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 1, 3]), np.array([0]), np.array([1.0]))
+
+    def test_column_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(
+                (2, 2), np.array([0, 1, 1]), np.array([5]), np.array([1.0])
+            )
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_dense(np.zeros(4))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(1, 8),
+        cols=st.integers(1, 8),
+        density=st.floats(0.0, 1.0),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_property_roundtrip(self, rows, cols, density, seed):
+        rng = np.random.default_rng(seed)
+        dense = _random_sparse(rng, rows, cols, density)
+        assert np.array_equal(CSRMatrix.from_dense(dense).to_dense(), dense)
+
+
+class TestCSC:
+    def test_column_access(self):
+        dense = np.array([[0, 5], [1, 0], [0, 2]])
+        csc = CSCMatrix.from_dense(dense)
+        rows, vals = csc.column(1)
+        assert list(rows) == [0, 2]
+        assert list(vals) == [5, 2]
+
+    def test_roundtrip(self, rng):
+        dense = _random_sparse(rng, 5, 4, 0.4)
+        assert np.array_equal(CSCMatrix.from_dense(dense).to_dense(), dense)
+
+    def test_nnz(self, rng):
+        dense = _random_sparse(rng, 5, 4, 0.4)
+        assert CSCMatrix.from_dense(dense).nnz == np.count_nonzero(dense)
+
+
+class TestSpGEMM:
+    def test_matches_numpy(self, rng):
+        A = _random_sparse(rng, 5, 6, 0.4)
+        B = _random_sparse(rng, 6, 4, 0.4)
+        result = spgemm_reference(
+            CSRMatrix.from_dense(A), CSRMatrix.from_dense(B)
+        )
+        assert np.allclose(result.to_dense(), A @ B)
+
+    def test_dimension_mismatch_rejected(self, rng):
+        A = CSRMatrix.from_dense(np.eye(3))
+        B = CSRMatrix.from_dense(np.eye(4))
+        with pytest.raises(ValueError):
+            spgemm_reference(A, B)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(1, 7),
+        density=st.floats(0.0, 0.8),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_property_spgemm_equals_numpy(self, n, density, seed):
+        rng = np.random.default_rng(seed)
+        A = _random_sparse(rng, n, n, density)
+        B = _random_sparse(rng, n, n, density)
+        result = spgemm_reference(
+            CSRMatrix.from_dense(A), CSRMatrix.from_dense(B)
+        )
+        got = result.to_dense()
+        want = (A @ B).astype(float)
+        padded = np.zeros_like(want)
+        if got.size:
+            padded[: got.shape[0], : got.shape[1]] = got
+        assert np.allclose(padded, want)
+
+
+class TestOuterProducts:
+    def test_partials_sum_to_product(self, rng):
+        """OuterSPACE's multiply phase: the K partial matrices sum to AB."""
+        A = _random_sparse(rng, 4, 5, 0.5)
+        B = _random_sparse(rng, 5, 4, 0.5)
+        partials = outer_product_partials(
+            CSCMatrix.from_dense(A), CSRMatrix.from_dense(B)
+        )
+        assert len(partials) == 5  # one per k
+        acc = np.zeros((4, 4))
+        for partial in partials:
+            for r, c, v in partial:
+                acc[r, c] += v
+        assert np.allclose(acc, A @ B)
+
+    def test_partial_sizes(self, rng):
+        """Partial k has nnz(A[:,k]) * nnz(B[k,:]) products."""
+        A = _random_sparse(rng, 4, 4, 0.5)
+        B = _random_sparse(rng, 4, 4, 0.5)
+        partials = outer_product_partials(
+            CSCMatrix.from_dense(A), CSRMatrix.from_dense(B)
+        )
+        for k, partial in enumerate(partials):
+            expected = np.count_nonzero(A[:, k]) * np.count_nonzero(B[k, :])
+            assert len(partial) == expected
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            outer_product_partials(
+                CSCMatrix.from_dense(np.eye(3)), CSRMatrix.from_dense(np.eye(4))
+            )

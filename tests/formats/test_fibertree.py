@@ -1,0 +1,130 @@
+"""Tests for the fibertree tensor representation (Section III-E, [31])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.memspec import AxisType
+from repro.formats.fibertree import FibertreeTensor
+
+
+CSR_AXES = [AxisType.DENSE, AxisType.COMPRESSED]
+CSC_LIKE = [AxisType.COMPRESSED, AxisType.COMPRESSED]
+
+
+def _sparse(rng, shape, density=0.4):
+    return (rng.random(shape) < density) * rng.integers(1, 9, shape)
+
+
+class TestConstruction:
+    def test_csr_roundtrip(self, rng):
+        dense = _sparse(rng, (5, 6))
+        tensor = FibertreeTensor.from_dense(dense, CSR_AXES)
+        assert np.array_equal(tensor.to_dense(), dense)
+
+    def test_doubly_compressed_roundtrip(self, rng):
+        dense = _sparse(rng, (5, 6), 0.2)
+        tensor = FibertreeTensor.from_dense(dense, CSC_LIKE)
+        assert np.array_equal(tensor.to_dense(), dense)
+
+    def test_bitvector_axis_roundtrip(self, rng):
+        dense = _sparse(rng, (4, 8))
+        tensor = FibertreeTensor.from_dense(
+            dense, [AxisType.DENSE, AxisType.BITVECTOR]
+        )
+        assert np.array_equal(tensor.to_dense(), dense)
+
+    def test_linked_list_axis_roundtrip(self, rng):
+        dense = _sparse(rng, (4, 8))
+        tensor = FibertreeTensor.from_dense(
+            dense, [AxisType.DENSE, AxisType.LINKED_LIST]
+        )
+        assert np.array_equal(tensor.to_dense(), dense)
+
+    def test_three_dimensional(self, rng):
+        dense = _sparse(rng, (3, 4, 5), 0.3)
+        tensor = FibertreeTensor.from_dense(
+            dense, [AxisType.DENSE, AxisType.COMPRESSED, AxisType.COMPRESSED]
+        )
+        assert np.array_equal(tensor.to_dense(), dense)
+
+    def test_rank_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            FibertreeTensor.from_dense(np.zeros((2, 2)), [AxisType.DENSE])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(1, 6),
+        cols=st.integers(1, 6),
+        density=st.floats(0.0, 1.0),
+        seed=st.integers(0, 2**31 - 1),
+        fmt=st.sampled_from(
+            [
+                [AxisType.DENSE, AxisType.COMPRESSED],
+                [AxisType.COMPRESSED, AxisType.COMPRESSED],
+                [AxisType.DENSE, AxisType.BITVECTOR],
+                [AxisType.DENSE, AxisType.LINKED_LIST],
+            ]
+        ),
+    )
+    def test_property_roundtrip_all_formats(self, rows, cols, density, seed, fmt):
+        rng = np.random.default_rng(seed)
+        dense = _sparse(rng, (rows, cols), density)
+        tensor = FibertreeTensor.from_dense(dense, fmt)
+        assert np.array_equal(tensor.to_dense(), dense)
+
+
+class TestAccess:
+    def test_read_present_and_absent(self, rng):
+        dense = np.zeros((3, 3))
+        dense[1, 2] = 7
+        tensor = FibertreeTensor.from_dense(dense, CSR_AXES)
+        assert tensor.read((1, 2)) == 7
+        assert tensor.read((0, 0)) == 0
+
+    def test_read_wrong_rank_rejected(self, rng):
+        tensor = FibertreeTensor.from_dense(np.zeros((2, 2)), CSR_AXES)
+        with pytest.raises(ValueError):
+            tensor.read((0,))
+
+    def test_nnz(self, rng):
+        dense = _sparse(rng, (5, 5))
+        tensor = FibertreeTensor.from_dense(dense, CSR_AXES)
+        assert tensor.nnz == np.count_nonzero(dense)
+
+    def test_nonzeros_iteration(self):
+        dense = np.zeros((3, 3))
+        dense[0, 1] = 4
+        dense[2, 0] = 5
+        tensor = FibertreeTensor.from_dense(dense, CSR_AXES)
+        found = dict(tensor.nonzeros())
+        assert found == {(0, 1): 4, (2, 0): 5}
+
+
+class TestFootprints:
+    def test_sparse_format_beats_dense_on_sparse_data(self, rng):
+        dense = np.zeros((16, 16))
+        dense[0, 0] = 1
+        sparse_fmt = FibertreeTensor.from_dense(dense, CSC_LIKE)
+        dense_fmt = FibertreeTensor.from_dense(
+            dense, [AxisType.DENSE, AxisType.DENSE]
+        )
+        assert sparse_fmt.footprint_bits() < dense_fmt.footprint_bits()
+
+    def test_dense_format_beats_sparse_on_dense_data(self, rng):
+        dense = rng.integers(1, 9, (8, 8))
+        sparse_fmt = FibertreeTensor.from_dense(dense, CSR_AXES)
+        dense_fmt = FibertreeTensor.from_dense(
+            dense, [AxisType.DENSE, AxisType.DENSE]
+        )
+        assert dense_fmt.footprint_bits() <= sparse_fmt.footprint_bits()
+
+    def test_bitvector_metadata_is_extent_bits(self):
+        dense = np.zeros((1, 64))
+        dense[0, 3] = 1
+        tensor = FibertreeTensor.from_dense(
+            dense, [AxisType.DENSE, AxisType.BITVECTOR]
+        )
+        # 64 mask bits + 32 value bits.
+        assert tensor.footprint_bits(element_bits=32) == 64 + 32

@@ -1,0 +1,176 @@
+"""Tests for the Listing 7 driver and the ISA executor."""
+
+import numpy as np
+import pytest
+
+from repro.core.memspec import csr_buffer, dense_matrix_buffer
+from repro.formats import CSRMatrix
+from repro.isa import Machine, StellarDriver
+
+DIM = 4
+
+
+@pytest.fixture
+def machine():
+    return Machine(
+        [dense_matrix_buffer("SRAM_A", DIM, DIM), csr_buffer("SRAM_B", DIM)]
+    )
+
+
+@pytest.fixture
+def driver(machine):
+    return StellarDriver(machine)
+
+
+def _dense_move(driver, addr, dim=DIM, dst="SRAM_A"):
+    """Listing 7's first snippet."""
+    driver.set_src_and_dst("DRAM", dst)
+    driver.set_data_addr(driver.FOR_SRC, addr)
+    for axis in range(2):
+        driver.set_span(driver.FOR_BOTH, axis, dim)
+        driver.set_axis(driver.FOR_BOTH, axis, driver.DENSE)
+    driver.set_stride(driver.FOR_BOTH, 0, 1)
+    driver.set_stride(driver.FOR_BOTH, 1, dim)
+    return driver.stellar_issue()
+
+
+def _csr_move(driver, data_addr, coord_addr, rowid_addr, rows=DIM):
+    """Listing 7's second snippet."""
+    driver.set_src_and_dst("DRAM", "SRAM_B")
+    driver.set_data_addr(driver.FOR_SRC, data_addr)
+    driver.set_metadata_addr(driver.FOR_SRC, 0, driver.ROW_ID, rowid_addr)
+    driver.set_metadata_addr(driver.FOR_SRC, 0, driver.COORDS, coord_addr)
+    driver.set_span(driver.FOR_BOTH, 0, driver.ENTIRE_AXIS)
+    driver.set_span(driver.FOR_BOTH, 1, rows)
+    driver.set_stride(driver.FOR_BOTH, 0, 1)
+    driver.set_metadata_stride(driver.FOR_BOTH, 0, 0, driver.COORDS, 1)
+    driver.set_metadata_stride(driver.FOR_BOTH, 1, 0, driver.ROW_ID, 1)
+    driver.set_axis(driver.FOR_BOTH, 0, driver.COMPRESSED)
+    driver.set_axis(driver.FOR_BOTH, 1, driver.DENSE)
+    return driver.stellar_issue()
+
+
+class TestDenseMoves:
+    def test_dense_move_in(self, machine, driver, rng):
+        data = rng.integers(1, 9, (DIM, DIM)).astype(float)
+        machine.dram.place_array(0x1000, data)
+        cycles = _dense_move(driver, 0x1000)
+        got = machine.buffer("SRAM_A").to_dense_matrix(DIM, DIM)
+        assert np.array_equal(got, data)
+        assert cycles > 0
+
+    def test_dense_move_strided(self, machine, driver, rng):
+        """A submatrix move: the row stride skips over unused columns."""
+        big = rng.integers(1, 9, (DIM, 2 * DIM)).astype(float)
+        machine.dram.place_array(0x1000, big)
+        driver.set_src_and_dst("DRAM", "SRAM_A")
+        driver.set_data_addr(driver.FOR_SRC, 0x1000)
+        for axis in range(2):
+            driver.set_span(driver.FOR_BOTH, axis, DIM)
+            driver.set_axis(driver.FOR_BOTH, axis, driver.DENSE)
+        driver.set_stride(driver.FOR_BOTH, 0, 1)
+        driver.set_stride(driver.FOR_BOTH, 1, 2 * DIM)
+        driver.stellar_issue()
+        got = machine.buffer("SRAM_A").to_dense_matrix(DIM, DIM)
+        assert np.array_equal(got, big[:, :DIM])
+
+    def test_dense_writeback(self, machine, driver, rng):
+        data = rng.integers(1, 9, (DIM, DIM)).astype(float)
+        machine.dram.place_array(0x1000, data)
+        _dense_move(driver, 0x1000)
+        # Move back out to a different DRAM region.
+        driver.set_src_and_dst("SRAM_A", "DRAM")
+        driver.set_data_addr(driver.FOR_DST, 0x8000)
+        for axis in range(2):
+            driver.set_span(driver.FOR_BOTH, axis, DIM)
+            driver.set_axis(driver.FOR_BOTH, axis, driver.DENSE)
+        driver.set_stride(driver.FOR_BOTH, 0, 1)
+        driver.set_stride(driver.FOR_BOTH, 1, DIM)
+        driver.stellar_issue()
+        out = np.array(machine.dram.read_block(0x8000, DIM * DIM)).reshape(DIM, DIM)
+        assert np.array_equal(out, data)
+
+
+class TestCSRMoves:
+    def test_csr_move_in(self, machine, driver, rng):
+        dense = (rng.random((DIM, DIM)) < 0.5) * rng.integers(1, 9, (DIM, DIM))
+        csr = CSRMatrix.from_dense(dense)
+        machine.dram.place_array(0x2000, csr.data.astype(float))
+        machine.dram.place_array(0x3000, csr.indices.astype(float))
+        machine.dram.place_array(0x4000, csr.indptr.astype(float))
+        cycles = _csr_move(driver, 0x2000, 0x3000, 0x4000)
+        got = machine.buffer("SRAM_B").to_dense_matrix(DIM, DIM)
+        assert np.array_equal(got, dense)
+        assert cycles > 0
+
+    def test_csr_metadata_stored(self, machine, driver, rng):
+        dense = np.eye(DIM) * 3
+        csr = CSRMatrix.from_dense(dense)
+        machine.dram.place_array(0x2000, csr.data.astype(float))
+        machine.dram.place_array(0x3000, csr.indices.astype(float))
+        machine.dram.place_array(0x4000, csr.indptr.astype(float))
+        _csr_move(driver, 0x2000, 0x3000, 0x4000)
+        store = machine.buffer("SRAM_B")
+        assert store.metadata[(0, "ROW_ID")] == list(csr.indptr)
+        assert store.metadata[(0, "COORD")] == list(csr.indices)
+
+    def test_csr_move_requires_metadata_addrs(self, driver):
+        driver.set_src_and_dst("DRAM", "SRAM_B")
+        driver.set_data_addr(driver.FOR_SRC, 0x2000)
+        driver.set_span(driver.FOR_BOTH, 0, driver.ENTIRE_AXIS)
+        driver.set_span(driver.FOR_BOTH, 1, DIM)
+        driver.set_axis(driver.FOR_BOTH, 0, driver.COMPRESSED)
+        driver.set_axis(driver.FOR_BOTH, 1, driver.DENSE)
+        with pytest.raises(RuntimeError):
+            driver.stellar_issue()
+
+
+class TestExecutor:
+    def test_issue_before_config_rejected(self, driver):
+        with pytest.raises(RuntimeError):
+            driver.stellar_issue()
+
+    def test_config_resets_between_issues(self, machine, driver, rng):
+        data = rng.integers(1, 9, (DIM, DIM)).astype(float)
+        machine.dram.place_array(0x1000, data)
+        _dense_move(driver, 0x1000)
+        with pytest.raises(RuntimeError):
+            driver.stellar_issue()  # src/dst were cleared
+
+    def test_unknown_buffer_rejected(self, driver):
+        with pytest.raises(KeyError):
+            driver.set_src_and_dst("DRAM", "NOPE")
+
+    def test_instruction_history_records_encoded_stream(self, machine, driver, rng):
+        data = rng.integers(1, 9, (DIM, DIM)).astype(float)
+        machine.dram.place_array(0x1000, data)
+        _dense_move(driver, 0x1000)
+        assert len(driver.history) == 9  # 8 config + 1 issue
+        assert all(isinstance(t, tuple) and len(t) == 3 for t in driver.history)
+
+    def test_issue_counter(self, machine, driver, rng):
+        data = rng.integers(1, 9, (DIM, DIM)).astype(float)
+        machine.dram.place_array(0x1000, data)
+        _dense_move(driver, 0x1000)
+        _dense_move(driver, 0x1000)
+        assert driver.executor.issued_transfers == 2
+
+    def test_cycles_accumulate_on_machine(self, machine, driver, rng):
+        data = rng.integers(1, 9, (DIM, DIM)).astype(float)
+        machine.dram.place_array(0x1000, data)
+        _dense_move(driver, 0x1000)
+        assert machine.total_cycles > 0
+
+    def test_deeper_dma_is_no_slower(self, rng):
+        """The Section VI-C knob is available through the machine too."""
+        data = rng.integers(1, 9, (DIM, DIM)).astype(float)
+        cycles = []
+        for inflight in (1, 16):
+            machine = Machine(
+                [dense_matrix_buffer("SRAM_A", DIM, DIM)],
+                dma_max_inflight=inflight,
+            )
+            machine.dram.place_array(0x1000, data)
+            driver = StellarDriver(machine)
+            cycles.append(_dense_move(driver, 0x1000))
+        assert cycles[1] <= cycles[0]

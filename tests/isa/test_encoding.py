@@ -1,0 +1,101 @@
+"""Tests for the Table II instruction encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.encoding import (
+    ENTIRE_AXIS,
+    AxisTypeCode,
+    Instruction,
+    MetadataType,
+    Opcode,
+    Target,
+    decode,
+    encode,
+    make,
+)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_simple(self):
+        inst = make(Opcode.SET_SPAN, Target.FOR_BOTH, axis=1, value=16)
+        assert decode(*inst.encode()) == inst
+
+    def test_target_bits_in_rs1(self):
+        """Table II: rs1[19:16] selects src, dst, or both."""
+        inst = make(Opcode.SET_ADDRESS, Target.FOR_SRC, value=0x1000)
+        _, rs1, __ = inst.encode()
+        assert (rs1 >> 16) & 0xF == int(Target.FOR_SRC)
+
+    def test_axis_in_rs1_low_bits(self):
+        inst = make(Opcode.SET_SPAN, Target.FOR_DST, axis=3, value=4)
+        _, rs1, __ = inst.encode()
+        assert rs1 & 0xFF == 3
+
+    def test_metadata_type_encoded(self):
+        inst = make(
+            Opcode.SET_METADATA_ADDRESS,
+            Target.FOR_SRC,
+            axis=0,
+            metadata_type=int(MetadataType.COORD),
+            value=0x2000,
+        )
+        decoded = decode(*inst.encode())
+        assert decoded.metadata_type == int(MetadataType.COORD)
+
+    def test_value_in_rs2(self):
+        inst = make(Opcode.SET_ADDRESS, value=0xDEADBEEF)
+        _, __, rs2 = inst.encode()
+        assert rs2 == 0xDEADBEEF
+
+    def test_64bit_value_masked(self):
+        inst = make(Opcode.SET_ADDRESS, value=(1 << 65) + 5)
+        _, __, rs2 = inst.encode()
+        assert rs2 == 5
+
+    def test_axis_out_of_range_rejected(self):
+        inst = make(Opcode.SET_SPAN, axis=300)
+        with pytest.raises(ValueError):
+            inst.encode()
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            decode(99, 0, 0)
+
+    def test_entire_axis_sentinel(self):
+        inst = make(Opcode.SET_SPAN, value=ENTIRE_AXIS)
+        assert decode(*inst.encode()).value == ENTIRE_AXIS
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        opcode=st.sampled_from(list(Opcode)),
+        target=st.sampled_from(list(Target)),
+        axis=st.integers(0, 255),
+        metadata_type=st.integers(0, 3),
+        value=st.integers(0, 2**63 - 1),
+    )
+    def test_property_roundtrip(self, opcode, target, axis, metadata_type, value):
+        inst = Instruction(opcode, target, axis, metadata_type, value)
+        assert decode(*encode(inst)) == inst
+
+
+class TestEnums:
+    def test_axis_type_codes_cover_fibertree(self):
+        names = {c.name for c in AxisTypeCode}
+        assert names == {"DENSE", "COMPRESSED", "BITVECTOR", "LINKED_LIST"}
+
+    def test_metadata_types(self):
+        assert MetadataType.ROW_ID != MetadataType.COORD
+
+    def test_opcodes_cover_table2(self):
+        names = {o.name for o in Opcode}
+        for required in (
+            "SET_ADDRESS",
+            "SET_SPAN",
+            "SET_DATA_STRIDE",
+            "SET_METADATA_STRIDE",
+            "SET_AXIS_TYPE",
+            "SET_CONSTANT",
+        ):
+            assert required in names

@@ -1,0 +1,89 @@
+"""Unit tests for the ISA machine model (DRAM space, buffer stores)."""
+
+import numpy as np
+import pytest
+
+from repro.core.memspec import csr_buffer, dense_matrix_buffer
+from repro.isa.machine import BufferStore, DRAMSpace, Machine
+
+
+class TestDRAMSpace:
+    def test_place_and_read(self):
+        dram = DRAMSpace()
+        end = dram.place_array(0x100, np.array([1.0, 2.0, 3.0]))
+        assert end == 0x103
+        assert dram.read_word(0x101) == 2.0
+
+    def test_unwritten_reads_zero(self):
+        assert DRAMSpace().read_word(0xDEAD) == 0
+
+    def test_write_word(self):
+        dram = DRAMSpace()
+        dram.write_word(5, 7.5)
+        assert dram.read_word(5) == 7.5
+
+    def test_read_block(self):
+        dram = DRAMSpace()
+        dram.place_array(10, np.array([4, 5, 6]))
+        assert dram.read_block(10, 3) == [4, 5, 6]
+
+    def test_multidimensional_flattened(self):
+        dram = DRAMSpace()
+        dram.place_array(0, np.arange(6).reshape(2, 3))
+        assert dram.read_block(0, 6) == [0, 1, 2, 3, 4, 5]
+
+    def test_len_counts_words(self):
+        dram = DRAMSpace()
+        dram.place_array(0, np.ones(4))
+        assert len(dram) == 4
+
+
+class TestBufferStore:
+    def test_dense_reassembly(self):
+        store = BufferStore(dense_matrix_buffer("A", 2, 2))
+        store.data = [1, 2, 3, 4]
+        assert np.array_equal(
+            store.to_dense_matrix(2, 2), np.array([[1, 2], [3, 4]])
+        )
+
+    def test_csr_reassembly(self):
+        store = BufferStore(csr_buffer("B", rows=2))
+        store.data = [5.0, 7.0]
+        store.metadata[(0, "ROW_ID")] = [0, 1, 2]
+        store.metadata[(0, "COORD")] = [1, 0]
+        dense = store.to_dense_matrix(2, 2)
+        assert dense[0, 1] == 5.0
+        assert dense[1, 0] == 7.0
+
+    def test_clear(self):
+        store = BufferStore(dense_matrix_buffer("A", 2, 2))
+        store.data = [1]
+        store.metadata[(0, "COORD")] = [0]
+        store.clear()
+        assert store.data == []
+        assert store.metadata == {}
+
+    def test_metadata_for_creates(self):
+        store = BufferStore(csr_buffer("B", rows=2))
+        stream = store.metadata_for(0, "ROW_ID")
+        stream.append(0)
+        assert store.metadata[(0, "ROW_ID")] == [0]
+
+
+class TestMachine:
+    def test_buffer_lookup(self):
+        machine = Machine([dense_matrix_buffer("A", 2, 2)])
+        assert machine.buffer("A").spec.name == "A"
+
+    def test_unknown_buffer_rejected(self):
+        machine = Machine([dense_matrix_buffer("A", 2, 2)])
+        with pytest.raises(KeyError):
+            machine.buffer("Z")
+
+    def test_charge_transfers_accumulates(self):
+        from repro.sim.dma import TransferDescriptor
+
+        machine = Machine([dense_matrix_buffer("A", 2, 2)])
+        cycles = machine.charge_transfers([TransferDescriptor(64)])
+        assert cycles > 0
+        assert machine.total_cycles == cycles

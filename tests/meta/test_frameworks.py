@@ -1,0 +1,84 @@
+"""Tests for the Table I framework comparison registry."""
+
+import pytest
+
+from repro.meta.frameworks import (
+    FRAMEWORKS,
+    get,
+    render_table,
+    stellar_distinguishers,
+)
+
+
+class TestRegistry:
+    def test_all_table1_columns_present(self):
+        names = {f.name for f in FRAMEWORKS}
+        assert names == {
+            "PolySA",
+            "AutoSA",
+            "Interstellar",
+            "Tabla",
+            "Sparseloop",
+            "TeAAL",
+            "SAM",
+            "DSAGen",
+            "Spatial",
+            "Stellar",
+        }
+
+    def test_get(self):
+        assert get("TeAAL").load_balancing is True
+
+    def test_get_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get("HLS4ML")
+
+    def test_dense_frameworks_lack_sparse_structures(self):
+        for name in ("PolySA", "AutoSA", "Interstellar", "Tabla"):
+            assert get(name).sparse_data_structures is False
+
+    def test_modeling_frameworks_lack_rtl(self):
+        for name in ("Sparseloop", "TeAAL", "SAM"):
+            framework = get(name)
+            assert framework.simulators is True
+            assert framework.synthesizable_rtl is False
+
+    def test_implicit_dataflow_marked(self):
+        assert get("DSAGen").dataflow == "implicit"
+        assert get("Spatial").dataflow == "implicit"
+
+
+class TestStellarRow:
+    def test_stellar_has_all_five_axes(self):
+        stellar = get("Stellar")
+        assert stellar.functionality is True
+        assert stellar.dataflow is True
+        assert stellar.sparse_data_structures is True
+        assert stellar.load_balancing is True
+        assert stellar.private_memory_buffers is True
+
+    def test_stellar_generates_rtl_with_isa(self):
+        stellar = get("Stellar")
+        assert stellar.synthesizable_rtl is True
+        assert stellar.isa_level is True
+
+    def test_distinguishers(self):
+        """Table I's punchlines: only Stellar offers an ISA-level
+        interface, and only Stellar combines sparse structures with
+        synthesizable RTL."""
+        flags = stellar_distinguishers()
+        assert flags["only_isa_level"]
+        assert flags["only_sparse_plus_rtl"]
+        assert flags["all_five_axes"]
+
+
+class TestRendering:
+    def test_renders_all_rows_and_columns(self):
+        text = render_table()
+        for name in ("PolySA", "Stellar", "TeAAL"):
+            assert name in text
+        for row in ("Functionality", "ISA-level", "Load-balancing"):
+            assert row in text
+
+    def test_implicit_rendered(self):
+        assert "Implicit" in render_table()

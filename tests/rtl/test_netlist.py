@@ -1,0 +1,100 @@
+"""Tests for the structural RTL IR (repro.rtl.netlist)."""
+
+import pytest
+
+from repro.rtl.netlist import (
+    Module,
+    Netlist,
+    PortDir,
+    RTLError,
+    expression_identifiers,
+)
+
+
+class TestModuleBuilders:
+    def test_ports(self):
+        m = Module("m")
+        m.input("clk")
+        m.output("q", 8)
+        assert m.port("q").width == 8
+        assert m.port("clk").direction is PortDir.INPUT
+
+    def test_duplicate_declaration_rejected(self):
+        m = Module("m")
+        m.input("clk")
+        with pytest.raises(RTLError):
+            m.wire("clk")
+
+    def test_invalid_identifier_rejected(self):
+        m = Module("m")
+        with pytest.raises(RTLError):
+            m.wire("3bad")
+
+    def test_invalid_module_name_rejected(self):
+        with pytest.raises(RTLError):
+            Module("bad name")
+
+    def test_zero_width_rejected(self):
+        m = Module("m")
+        with pytest.raises(RTLError):
+            m.wire("w", 0)
+
+    def test_memory_depth(self):
+        m = Module("m")
+        net = m.reg("mem", 32, depth=64)
+        assert net.depth == 64
+
+    def test_missing_port_raises(self):
+        m = Module("m")
+        with pytest.raises(RTLError):
+            m.port("nope")
+
+    def test_declared_names(self):
+        m = Module("m")
+        m.input("a")
+        m.wire("b")
+        m.reg("c")
+        assert m.declared_names() == frozenset({"a", "b", "c"})
+
+
+class TestNetlist:
+    def test_duplicate_module_rejected(self):
+        nl = Netlist("top")
+        nl.add(Module("top"))
+        with pytest.raises(RTLError):
+            nl.add(Module("top"))
+
+    def test_missing_module_raises(self):
+        nl = Netlist("top")
+        with pytest.raises(RTLError):
+            nl.module("nope")
+
+    def test_counts(self):
+        nl = Netlist("top")
+        child = Module("child")
+        child.input("clk")
+        nl.add(child)
+        top = Module("top")
+        top.input("clk")
+        top.instantiate(child, "c0", {"clk": "clk"})
+        top.instantiate(child, "c1", {"clk": "clk"})
+        nl.add(top)
+        assert nl.total_module_count() == 2
+        assert nl.instance_count() == 2
+
+
+class TestExpressionIdentifiers:
+    def test_simple(self):
+        assert set(expression_identifiers("a + b * c")) == {"a", "b", "c"}
+
+    def test_skips_literals(self):
+        assert set(expression_identifiers("x + 32'd15")) == {"x"}
+
+    def test_skips_hex_literals(self):
+        assert set(expression_identifiers("y & 8'hff")) == {"y"}
+
+    def test_skips_keywords(self):
+        assert set(expression_identifiers("if (en) begin end")) == {"en"}
+
+    def test_subscripts(self):
+        assert set(expression_identifiers("mem[addr[3:0]]")) == {"mem", "addr"}

@@ -1,0 +1,127 @@
+"""Tests for the load-balancer makespan simulators (Figure 6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.balancing import (
+    LoadBalancingScheme,
+    Offset,
+    Range,
+    Shift,
+    flexible_pe_scheme,
+    row_shift_scheme,
+)
+from repro.sim.balancer import (
+    balanced_makespan,
+    spatial_balanced_makespan,
+    speedup_from_balancing,
+    unbalanced_makespan,
+)
+
+
+class TestUnbalanced:
+    def test_longest_queue_dominates(self):
+        result = unbalanced_makespan([10, 2, 1, 1])
+        assert result.cycles == 10
+
+    def test_empty(self):
+        assert unbalanced_makespan([]).cycles == 0
+
+    def test_utilization(self):
+        result = unbalanced_makespan([4, 4, 4, 4])
+        assert result.utilization() == 1.0
+
+
+class TestShiftBased:
+    def test_listing3_scheme_helps(self):
+        """Rows [N, 2N) donate to rows [0, N) when those idle."""
+        scheme = row_shift_scheme(2)
+        # Rows 0-1 idle early; rows 2-3 overloaded.
+        result = balanced_makespan([1, 1, 9, 9], scheme)
+        base = unbalanced_makespan([1, 1, 9, 9])
+        assert result.cycles < base.cycles
+        assert result.shifts > 0
+
+    def test_disabled_scheme_is_unbalanced(self):
+        result = balanced_makespan([5, 1], LoadBalancingScheme())
+        assert result.cycles == 5
+        assert result.shifts == 0
+
+    def test_flexible_scheme(self):
+        scheme = flexible_pe_scheme(2)
+        result = balanced_makespan([9, 1, 1, 1], scheme)
+        # Row 0 is the only target; it has the most work, so nothing moves.
+        assert result.cycles == 9
+
+    def test_work_conserved(self):
+        scheme = row_shift_scheme(2)
+        work = [1, 1, 9, 9]
+        result = balanced_makespan(work, scheme)
+        assert sum(result.per_row_busy) == sum(work)
+
+
+class TestSpatialBalancer:
+    def test_row_granularity_adjacent_only(self):
+        """Figure 6: only direct adjacent rows can share work."""
+        result = spatial_balanced_makespan([12, 0, 0, 0], "row")
+        # Only row 1 can steal from row 0.
+        assert result.cycles == 7  # 12 split ~6/6 between rows 0 and 1
+        assert result.per_row_busy[2] == 0
+        assert result.per_row_busy[3] == 0
+
+    def test_pe_granularity_reaches_distant_rows(self):
+        """A row with no working neighbour only gets work at PE
+        granularity (each donor feeds at most one stealer per cycle)."""
+        row = spatial_balanced_makespan([12, 12, 0, 0, 0], "row")
+        pe = spatial_balanced_makespan([12, 12, 0, 0, 0], "pe")
+        assert row.per_row_busy[3] == 0
+        assert pe.per_row_busy[3] > 0
+        assert pe.cycles <= row.cycles
+
+    def test_pe_granularity_never_worse_than_row(self):
+        for work in ([12, 0, 0, 0], [9, 1, 2, 0], [4, 4, 4, 4]):
+            row = spatial_balanced_makespan(list(work), "row")
+            pe = spatial_balanced_makespan(list(work), "pe")
+            assert pe.cycles <= row.cycles
+
+    def test_invalid_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            spatial_balanced_makespan([1], "diagonal")
+
+    def test_balanced_work_unchanged(self):
+        result = spatial_balanced_makespan([4, 4, 4, 4], "pe")
+        assert result.cycles == 4
+        assert result.shifts == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        work=st.lists(st.integers(0, 40), min_size=2, max_size=12),
+        granularity=st.sampled_from(["row", "pe"]),
+    )
+    def test_property_balancing_never_slower(self, work, granularity):
+        if sum(work) == 0:
+            return
+        balanced = spatial_balanced_makespan(work, granularity)
+        assert balanced.cycles <= max(work) if max(work) else True
+        # All work is executed exactly once.
+        assert sum(balanced.per_row_busy) == sum(work)
+
+    @settings(max_examples=30, deadline=None)
+    @given(work=st.lists(st.integers(0, 40), min_size=2, max_size=12))
+    def test_property_makespan_lower_bound(self, work):
+        """No schedule can beat ceil(total / rows)."""
+        if sum(work) == 0:
+            return
+        balanced = spatial_balanced_makespan(work, "pe")
+        assert balanced.cycles >= -(-sum(work) // len(work))
+
+
+class TestSpeedup:
+    def test_speedup_at_least_one(self):
+        scheme = row_shift_scheme(2)
+        assert speedup_from_balancing([1, 1, 9, 9], scheme) >= 1.0
+
+    def test_no_speedup_when_balanced(self):
+        scheme = row_shift_scheme(2)
+        assert speedup_from_balancing([5, 5, 5, 5], scheme) == pytest.approx(1.0)

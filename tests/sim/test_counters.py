@@ -1,0 +1,40 @@
+"""Unit tests for the shared performance counters."""
+
+import pytest
+
+from repro.sim.counters import PerfCounters
+
+
+class TestPerfCounters:
+    def test_utilization(self):
+        counters = PerfCounters()
+        counters.pe_busy_cycles = 30
+        counters.pe_idle_cycles = 70
+        assert counters.pe_utilization == pytest.approx(0.3)
+
+    def test_utilization_empty(self):
+        assert PerfCounters().pe_utilization == 0.0
+
+    def test_throughput(self):
+        counters = PerfCounters()
+        counters.macs = 200
+        counters.cycles = 50
+        assert counters.throughput_macs_per_cycle() == pytest.approx(4.0)
+
+    def test_throughput_no_cycles(self):
+        assert PerfCounters().throughput_macs_per_cycle() == 0.0
+
+    def test_custom_counters(self):
+        counters = PerfCounters()
+        counters.bump("spills")
+        counters.bump("spills", 4)
+        assert counters.custom["spills"] == 5
+
+    def test_as_dict_includes_custom(self):
+        counters = PerfCounters()
+        counters.bump("spills", 2)
+        counters.macs = 7
+        snapshot = counters.as_dict()
+        assert snapshot["spills"] == 2
+        assert snapshot["macs"] == 7
+        assert "pe_utilization" in snapshot

@@ -1,0 +1,134 @@
+"""Tests for the register-file simulators (Figure 14 variants)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.passes.regfile_opt import RegfileKind
+from repro.sim.regfile import RegfileError, RegfileSim
+
+
+class TestFeedforward:
+    def test_in_order_reads(self):
+        rf = RegfileSim(RegfileKind.FEEDFORWARD)
+        rf.write((0, 0), 10)
+        rf.write((0, 1), 20)
+        assert rf.read((0, 0)) == 10
+        assert rf.read((0, 1)) == 20
+
+    def test_out_of_order_read_rejected(self):
+        """The compiler proved order equality; the model enforces it."""
+        rf = RegfileSim(RegfileKind.FEEDFORWARD)
+        rf.write((0, 0), 10)
+        rf.write((0, 1), 20)
+        with pytest.raises(RegfileError):
+            rf.read((0, 1))
+
+    def test_empty_read_rejected(self):
+        with pytest.raises(RegfileError):
+            RegfileSim(RegfileKind.FEEDFORWARD).read((0,))
+
+    def test_search_is_single_entry(self):
+        rf = RegfileSim(RegfileKind.FEEDFORWARD)
+        for n in range(8):
+            rf.write((n,), n)
+        for n in range(8):
+            rf.read((n,))
+        assert rf.searched_entries == 8  # one entry observed per read
+
+    @settings(max_examples=25, deadline=None)
+    @given(values=st.lists(st.integers(), min_size=1, max_size=30))
+    def test_property_fifo_order(self, values):
+        rf = RegfileSim(RegfileKind.FEEDFORWARD)
+        for pos, value in enumerate(values):
+            rf.write((pos,), value)
+        out = [rf.read((pos,)) for pos in range(len(values))]
+        assert out == values
+
+
+class TestTransposing:
+    def test_reads_transposed_coordinates(self):
+        """Figure 14d: the regfile transposes the layout in its wiring."""
+        rf = RegfileSim(RegfileKind.TRANSPOSING)
+        rf.write((0, 1), "a")  # readable at (1, 0)
+        rf.write((2, 3), "b")  # readable at (3, 2)
+        assert rf.read((1, 0)) == "a"
+        assert rf.read((3, 2)) == "b"
+
+    def test_untransposed_read_rejected(self):
+        rf = RegfileSim(RegfileKind.TRANSPOSING)
+        rf.write((0, 1), "a")
+        with pytest.raises(RegfileError):
+            rf.read((0, 1))
+
+
+class TestEdgeAndCrossbar:
+    @pytest.mark.parametrize("kind", [RegfileKind.EDGE, RegfileKind.CROSSBAR])
+    def test_any_order_reads(self, kind):
+        rf = RegfileSim(kind)
+        for n in range(6):
+            rf.write((n,), n * 10)
+        for n in (3, 0, 5, 1, 4, 2):
+            assert rf.read((n,)) == n * 10
+
+    def test_missing_coordinate_rejected(self):
+        rf = RegfileSim(RegfileKind.CROSSBAR)
+        rf.write((1,), 1)
+        with pytest.raises(RegfileError):
+            rf.read((9,))
+
+    def test_crossbar_searches_all_entries(self):
+        """Figure 14a: every output searches every entry."""
+        rf = RegfileSim(RegfileKind.CROSSBAR)
+        for n in range(10):
+            rf.write((n,), n)
+        rf.read((5,))
+        assert rf.searched_entries == 10
+
+    def test_edge_searches_one(self):
+        rf = RegfileSim(RegfileKind.EDGE)
+        for n in range(10):
+            rf.write((n,), n)
+        rf.read((5,))
+        assert rf.searched_entries == 1
+
+    def test_read_consumes(self):
+        rf = RegfileSim(RegfileKind.CROSSBAR)
+        rf.write((1,), 1)
+        rf.read((1,))
+        with pytest.raises(RegfileError):
+            rf.read((1,))
+
+
+class TestCommon:
+    def test_capacity_enforced(self):
+        rf = RegfileSim(RegfileKind.FEEDFORWARD, capacity=2)
+        rf.write((0,), 0)
+        rf.write((1,), 1)
+        with pytest.raises(RegfileError):
+            rf.write((2,), 2)
+
+    def test_peek_does_not_consume(self):
+        rf = RegfileSim(RegfileKind.CROSSBAR)
+        rf.write((1,), 42)
+        assert rf.peek((1,)) == 42
+        assert rf.read((1,)) == 42
+
+    def test_peek_missing_is_none(self):
+        assert RegfileSim(RegfileKind.EDGE).peek((0,)) is None
+
+    def test_peek_transposing(self):
+        rf = RegfileSim(RegfileKind.TRANSPOSING)
+        rf.write((0, 1), "a")
+        assert rf.peek((1, 0)) == "a"
+
+    def test_access_latency_ordering(self):
+        ff = RegfileSim(RegfileKind.FEEDFORWARD)
+        xb = RegfileSim(RegfileKind.CROSSBAR)
+        assert ff.access_latency() < xb.access_latency()
+
+    def test_counters(self):
+        rf = RegfileSim(RegfileKind.EDGE)
+        rf.write((0,), 0)
+        rf.read((0,))
+        assert rf.writes == 1 and rf.reads == 1

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.spec == "matmul"
+        assert args.dataflow == "output-stationary"
+        assert args.size == 4
+
+
+class TestCommands:
+    def test_simulate_matches_reference(self, capsys):
+        assert main(["simulate", "--size", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "outputs-match-reference=True" in out
+
+    def test_simulate_sparse(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--dataflow",
+                "input-stationary",
+                "--sparsity",
+                "b-csr",
+                "--size",
+                "4",
+            ]
+        )
+        assert code == 0
+        assert "outputs-match-reference=True" in capsys.readouterr().out
+
+    def test_simulate_conv1d(self, capsys):
+        assert main(["simulate", "--spec", "conv1d", "--size", "3"]) == 0
+        assert "outputs-match-reference=True" in capsys.readouterr().out
+
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "--size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "module matmul_top (" in out
+        assert "endmodule" in out
+
+    def test_generate_to_file(self, tmp_path, capsys):
+        path = tmp_path / "design.v"
+        assert main(["generate", "--size", "2", "-o", str(path)]) == 0
+        assert "lint-clean" in capsys.readouterr().out
+        assert "module matmul_pe (" in path.read_text()
+
+    def test_area(self, capsys):
+        assert main(["area", "--size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Matmul array" in out
+        assert "Total" in out
+
+    def test_area_with_cpu(self, capsys):
+        assert main(["area", "--size", "4", "--with-cpu"]) == 0
+        assert "Host CPU" in capsys.readouterr().out
+
+    def test_frameworks(self, capsys):
+        assert main(["frameworks"]) == 0
+        out = capsys.readouterr().out
+        assert "Stellar" in out and "TeAAL" in out
+
+    def test_explore(self, capsys):
+        assert main(["explore", "--size", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "pareto" in out
+        assert "best area-delay product" in out
+
+    def test_balancing_option(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--dataflow",
+                "input-stationary",
+                "--sparsity",
+                "b-csr",
+                "--balancing",
+                "row-shift",
+                "--size",
+                "4",
+            ]
+        )
+        assert code == 0
+        assert "outputs-match-reference=True" in capsys.readouterr().out

@@ -1,0 +1,80 @@
+"""Tests for the consolidated design report."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import Accelerator, matmul_spec
+from repro.core.balancing import row_shift_scheme
+from repro.core.dataflow import input_stationary, output_stationary
+from repro.core.memspec import csr_buffer
+from repro.core.sparsity import csr_b_matrix
+from repro.report import design_report
+
+
+@pytest.fixture
+def sparse_design():
+    spec = matmul_spec()
+    return Accelerator(
+        spec=spec,
+        bounds={"i": 4, "j": 4, "k": 4},
+        transform=input_stationary(),
+        sparsity=csr_b_matrix(spec),
+        balancing=row_shift_scheme(2),
+        membufs={"B": csr_buffer("B", rows=4)},
+    ).build()
+
+
+@pytest.fixture
+def dense_design():
+    return Accelerator(
+        spec=matmul_spec(),
+        bounds={"i": 4, "j": 4, "k": 4},
+        transform=output_stationary(),
+    ).build()
+
+
+class TestDesignReport:
+    def test_sections_present(self, sparse_design):
+        text = design_report(sparse_design)
+        for section in (
+            "spatial array",
+            "register files (Figure 14 ladder)",
+            "memory buffers (Figure 12 pipelines)",
+            "load balancer (Equation 2)",
+            "area (calibrated ASAP7-class model)",
+            "verilog",
+        ):
+            assert section in text
+
+    def test_pruning_reported(self, sparse_design):
+        text = design_report(sparse_design)
+        assert "pruned to regfile IO: ['c']" in text
+
+    def test_lint_clean_reported(self, sparse_design):
+        assert "lint: clean" in design_report(sparse_design)
+
+    def test_dense_omits_optional_sections(self, dense_design):
+        text = design_report(dense_design)
+        assert "load balancer" not in text
+        assert "memory buffers" not in text
+
+    def test_host_cpu_flag(self, dense_design):
+        assert "Host CPU" in design_report(dense_design, include_host_cpu=True)
+        assert "Host CPU" not in design_report(dense_design)
+
+    def test_connection_flavours(self, sparse_design):
+        text = design_report(sparse_design)
+        assert "[stationary]" in text
+        assert "[pipelined]" in text
+
+
+class TestReportCommand:
+    def test_cli_report(self, capsys):
+        assert main(["report", "--size", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "spatial array" in out
+        assert "lint: clean" in out
+
+    def test_cli_report_with_cpu(self, capsys):
+        assert main(["report", "--size", "3", "--with-cpu"]) == 0
+        assert "Host CPU" in capsys.readouterr().out

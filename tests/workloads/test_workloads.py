@@ -1,0 +1,117 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    SUITESPARSE_SET,
+    alexnet_pruned_layers,
+    info,
+    matrix_names,
+    resnet50_layers,
+    synthesize,
+    synthesize_all,
+    total_macs,
+)
+
+
+class TestResNet50:
+    def test_layer_count(self):
+        assert len(resnet50_layers()) == 18
+
+    def test_im2col_dimensions(self):
+        conv1 = resnet50_layers()[0]
+        assert conv1.matmul_m == 112 * 112
+        assert conv1.matmul_k == 3 * 7 * 7
+        assert conv1.matmul_n == 64
+
+    def test_total_macs_magnitude(self):
+        """ResNet-50 is ~4 GMACs for one inference; the distinct-shape
+        table covers a representative fraction of that."""
+        assert 1e9 < total_macs() < 1e10
+
+    def test_macs_consistent(self):
+        for layer in resnet50_layers():
+            assert layer.macs == layer.matmul_m * layer.matmul_k * layer.matmul_n
+
+    def test_byte_counts_positive(self):
+        for layer in resnet50_layers():
+            assert layer.weight_bytes > 0
+            assert layer.activation_bytes > 0
+
+
+class TestAlexNet:
+    def test_five_conv_layers(self):
+        assert len(alexnet_pruned_layers()) == 5
+
+    def test_densities_in_range(self):
+        for layer in alexnet_pruned_layers():
+            assert 0 < layer.weight_density <= 1
+            assert 0 < layer.activation_density <= 1
+
+    def test_effective_macs_below_dense(self):
+        for layer in alexnet_pruned_layers():
+            assert layer.effective_macs < layer.dense_macs
+
+    def test_later_layers_sparser(self):
+        layers = alexnet_pruned_layers()
+        assert layers[-1].weight_density < layers[0].weight_density
+
+
+class TestSuiteSparse:
+    def test_registry_covers_paper_set(self):
+        names = set(matrix_names())
+        for required in (
+            "poisson3Da",
+            "cop20k_A",
+            "web-Google",
+            "wiki-Vote",
+            "roadNet-CA",
+            "amazon0312",
+        ):
+            assert required in names
+
+    def test_info_lookup(self):
+        meta = info("wiki-Vote")
+        assert meta.rows == 8_297
+        assert meta.nnz == 103_689
+
+    def test_unknown_matrix_rejected(self):
+        with pytest.raises(KeyError):
+            info("not-a-matrix")
+
+    def test_synthesized_shape_capped(self):
+        matrix = synthesize("web-Google", max_rows=64, seed=1)
+        assert matrix.shape == (64, 64)
+
+    def test_scale_factor_recorded(self):
+        matrix = synthesize("web-Google", max_rows=64, seed=1)
+        assert matrix.scale_factor == pytest.approx(916_428 / 64)
+
+    def test_mean_row_length_preserved(self):
+        meta = info("poisson3Da")
+        matrix = synthesize("poisson3Da", max_rows=128, seed=3)
+        want = meta.nnz / meta.rows
+        got = matrix.nnz / matrix.shape[0]
+        assert got == pytest.approx(want, rel=0.35)
+
+    def test_power_law_more_imbalanced_than_mesh(self):
+        power = synthesize("wiki-Vote", max_rows=128, seed=5)
+        mesh = synthesize("poisson3Da", max_rows=128, seed=5)
+        assert power.row_imbalance() > mesh.row_imbalance()
+
+    def test_deterministic_with_seed(self):
+        a = synthesize("scircuit", max_rows=64, seed=9)
+        b = synthesize("scircuit", max_rows=64, seed=9)
+        assert np.array_equal(a.to_dense(), b.to_dense())
+
+    def test_synthesize_all(self):
+        matrices = synthesize_all(max_rows=32, seed=1)
+        assert set(matrices) == set(matrix_names())
+        assert all(m.nnz > 0 for m in matrices.values())
+
+    def test_rows_sorted_within_each_row(self):
+        matrix = synthesize("email-Enron", max_rows=64, seed=2)
+        for r in range(matrix.shape[0]):
+            cols, _ = matrix.row(r)
+            assert list(cols) == sorted(cols)
