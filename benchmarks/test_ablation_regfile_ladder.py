@@ -7,7 +7,7 @@ design's regfile overhead at 4x instead of far worse.
 """
 
 from repro.area.model import regfile_area
-from repro.core import Bounds, compile_design, matmul_spec
+from repro.core import compile_design
 from repro.core.dataflow import output_stationary
 from repro.core.memspec import HardcodedParams, dense_matrix_buffer
 from repro.core.passes.regfile_opt import RegfileKind, RegfilePlan

@@ -7,11 +7,7 @@ variant costs, confirming the ladder always picks the cheapest legal one.
 """
 
 from repro.area.model import regfile_area
-from repro.core.passes.regfile_opt import (
-    RegfileKind,
-    RegfilePlan,
-    choose_regfile,
-)
+from repro.core.passes.regfile_opt import RegfileKind, choose_regfile
 
 ORDER = [(i, j) for i in range(4) for j in range(4)]
 TRANSPOSED = [(j, i) for (i, j) in ORDER]

@@ -7,7 +7,7 @@ verifies each array's defining property.
 
 import numpy as np
 
-from repro.core import Bounds, compile_design, matmul_spec
+from repro.core import compile_design
 from repro.core.dataflow import hexagonal, input_stationary, output_stationary
 from repro.sim.spatial_array import SpatialArraySim
 

@@ -10,8 +10,7 @@ from repro.area.timing import (
     distributed_unroller_path_ns,
     schedule_cycles,
 )
-from repro.core import Bounds, matmul_spec
-from repro.core.dataflow import SpaceTimeTransform, input_stationary
+from repro.core.dataflow import input_stationary
 from repro.core.passes.pipelining import analyze_pipelining
 
 TIME_ROWS = {

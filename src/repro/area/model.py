@@ -16,7 +16,7 @@ All areas are in square micrometres (ASAP7-like density).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping
 
 from ..core.compiler import CompiledDesign
 from ..core.memspec import AxisType, MemoryBufferSpec

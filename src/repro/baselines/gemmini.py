@@ -18,12 +18,11 @@ deltas the paper identifies:
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple
+from typing import List, NamedTuple
 
 from ..area.energy import EnergyReport, layer_energy
 from ..area.model import (
     AreaBreakdown,
-    DMA_BASE_AREA,
     HOST_CPU_AREA,
     dma_area,
     loop_unroller_area,

@@ -17,9 +17,8 @@ contrast the three SpGEMM dataflows the paper's citations span:
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Tuple
+from typing import NamedTuple
 
-import numpy as np
 
 from ..formats.csr import CSRMatrix
 from ..formats.linked_list import LinkedListMatrix

@@ -21,11 +21,10 @@ in rounds of ``ways``) and reports merged elements per cycle for a
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, NamedTuple, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Sequence, Tuple
 
-import heapq
 
-from ..formats.csr import CSCMatrix, CSRMatrix
+from ..formats.csr import CSRMatrix
 
 PartialMatrix = List[Tuple[int, int, float]]  # sorted (row, col, value)
 

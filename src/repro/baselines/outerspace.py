@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, NamedTuple
 
-from ..formats.csr import CSCMatrix, CSRMatrix
+from ..formats.csr import CSRMatrix
 from ..sim.dma import DMASim, TransferDescriptor
 from ..sim.dram import DRAMModel
 

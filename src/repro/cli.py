@@ -3,10 +3,14 @@
 Wraps the Figure 1 flow for quick use without writing Python:
 
 * ``generate`` -- compile a design and emit Verilog;
-* ``simulate`` -- run a random workload through the cycle-level simulator;
-* ``area`` -- print the calibrated area breakdown;
+* ``simulate`` -- run a random workload through the cycle-level simulator
+  (``--json`` for machine-readable counters);
+* ``area`` -- print the calibrated area breakdown (``--json`` available);
 * ``explore`` -- sweep dataflow/sparsity/balancing and print the Pareto
-  table;
+  table (``--profile`` adds a per-pass timing table);
+* ``trace`` -- run a design with tracing enabled and write a Chrome
+  ``trace_event`` JSON timeline plus a VCD waveform dump of the RTL
+  interpreter;
 * ``report`` -- the consolidated design report (structure, regfiles,
   area, Verilog stats);
 * ``frameworks`` -- print the Table I comparison.
@@ -18,6 +22,7 @@ by name; the registries below are the same objects the library exposes.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
@@ -151,6 +156,20 @@ def cmd_simulate(args) -> int:
         np.array_equal(result.outputs[name], reference[name])
         for name in reference
     )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "design": design.name,
+                    "pe_count": design.pe_count,
+                    "dataflow_roles": design.dataflow_roles,
+                    "outputs_match_reference": ok,
+                    "counters": result.counters.as_dict(),
+                },
+                indent=2,
+            )
+        )
+        return 0 if ok else 1
     print(design.summary())
     print(
         f"\ncycles={result.cycles} macs={result.counters.macs}"
@@ -162,34 +181,98 @@ def cmd_simulate(args) -> int:
 
 def cmd_area(args) -> int:
     design = _build_accelerator(args).build()
-    print(design.area_report(include_host_cpu=args.with_cpu).table())
+    report = design.area_report(include_host_cpu=args.with_cpu)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "design": design.name,
+                    "pe_count": design.pe_count,
+                    "components_um2": dict(report.components),
+                    "total_um2": report.total,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(report.table())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .obs import Tracer, dump_rtl_vcd, set_tracer, write_chrome_trace
+
+    tracer = Tracer(capacity=args.capacity, enabled=True)
+    previous = set_tracer(tracer)
+    try:
+        accelerator = _build_accelerator(args)
+        design = accelerator.build()
+        tensors = _random_tensors(accelerator.spec, args.size, args.seed)
+        result = design.run(tensors)
+        vcd_path = f"{args.output}.vcd"
+        rtl_cycles = dump_rtl_vcd(
+            design.rtl_simulator(), vcd_path, cycles=args.rtl_cycles
+        )
+        trace_path = f"{args.output}.json"
+        event_count = write_chrome_trace(tracer, trace_path)
+    finally:
+        set_tracer(previous)
+    print(
+        f"simulated {result.cycles} cycles at"
+        f" {result.utilization:.1%} utilization"
+    )
+    print(f"wrote {event_count} trace events to {trace_path}")
+    print(f"wrote {rtl_cycles} RTL cycles of waveforms to {vcd_path}")
+    if tracer.dropped:
+        print(
+            f"ring buffer dropped {tracer.dropped} oldest events"
+            f" (capacity {tracer.capacity}; raise with --capacity)"
+        )
     return 0
 
 
 def cmd_explore(args) -> int:
     from .dse import explore
 
-    spec = SPECS[args.spec]()
-    bounds = Bounds({name: args.size for name in spec.index_names})
-    tensors = _random_tensors(spec, args.size, args.seed)
-    sparsities = {"dense": SparsityStructure()}
-    for name, factory in SPARSITIES.items():
-        if factory is not None and args.spec == "matmul":
-            sparsities[name] = factory(spec)
-    result = explore(
-        spec,
-        bounds,
-        tensors,
-        transforms={name: factory() for name, factory in TRANSFORMS.items()},
-        sparsities=sparsities,
-        balancings={
-            "none": LoadBalancingScheme(),
-            "row-shift": row_shift_scheme(args.size // 2),
-        },
-    )
+    profiler = None
+    previous_profiler = None
+    if args.profile:
+        from .obs.profile import Profiler, set_profiler
+
+        profiler = Profiler(enabled=True)
+        previous_profiler = set_profiler(profiler)
+
+    try:
+        spec = SPECS[args.spec]()
+        bounds = Bounds({name: args.size for name in spec.index_names})
+        tensors = _random_tensors(spec, args.size, args.seed)
+        sparsities = {"dense": SparsityStructure()}
+        for name, factory in SPARSITIES.items():
+            if factory is not None and args.spec == "matmul":
+                sparsities[name] = factory(spec)
+        result = explore(
+            spec,
+            bounds,
+            tensors,
+            transforms={name: factory() for name, factory in TRANSFORMS.items()},
+            sparsities=sparsities,
+            balancings={
+                "none": LoadBalancingScheme(),
+                "row-shift": row_shift_scheme(args.size // 2),
+            },
+        )
+    finally:
+        if previous_profiler is not None:
+            from .obs.profile import set_profiler
+
+            set_profiler(previous_profiler)
+
     print(result.table())
     best = result.best_by("adp")
     print(f"\nbest area-delay product: {best.name}")
+    if profiler is not None:
+        print("\nper-pass timing:")
+        print(profiler.table())
     return 0
 
 
@@ -208,10 +291,21 @@ def cmd_frameworks(args) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
+
+
 def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--spec", choices=sorted(SPECS), default="matmul")
     parser.add_argument(
-        "--dataflow", choices=sorted(TRANSFORMS), default="output-stationary"
+        "--dataflow",
+        "--transform",
+        dest="dataflow",
+        choices=sorted(TRANSFORMS),
+        default="output-stationary",
     )
     parser.add_argument("--sparsity", choices=sorted(SPARSITIES), default="dense")
     parser.add_argument("--balancing", choices=sorted(BALANCINGS), default="none")
@@ -233,18 +327,54 @@ def build_parser() -> argparse.ArgumentParser:
     simulate = sub.add_parser("simulate", help="run a random workload")
     _add_design_arguments(simulate)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--json", action="store_true", help="machine-readable counters report"
+    )
     simulate.set_defaults(func=cmd_simulate)
 
     area = sub.add_parser("area", help="print the area breakdown")
     _add_design_arguments(area)
     area.add_argument("--with-cpu", action="store_true")
+    area.add_argument(
+        "--json", action="store_true", help="machine-readable area report"
+    )
     area.set_defaults(func=cmd_area)
 
     explore_cmd = sub.add_parser("explore", help="sweep the design space")
     explore_cmd.add_argument("--spec", choices=sorted(SPECS), default="matmul")
     explore_cmd.add_argument("--size", type=int, default=4)
     explore_cmd.add_argument("--seed", type=int, default=0)
+    explore_cmd.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-pass wall-clock timings after the sweep",
+    )
     explore_cmd.set_defaults(func=cmd_explore)
+
+    trace = sub.add_parser(
+        "trace", help="run with tracing; write Chrome JSON + VCD artifacts"
+    )
+    _add_design_arguments(trace)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "-o",
+        "--output",
+        default="trace",
+        help="output prefix (<prefix>.json and <prefix>.vcd)",
+    )
+    trace.add_argument(
+        "--capacity",
+        type=_positive_int,
+        default=65536,
+        help="trace ring-buffer capacity in events",
+    )
+    trace.add_argument(
+        "--rtl-cycles",
+        type=_positive_int,
+        default=16,
+        help="clock cycles of the RTL interpreter to dump as waveforms",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     report = sub.add_parser("report", help="full design report")
     _add_design_arguments(report)

@@ -14,7 +14,7 @@ from typing import Dict, Mapping, Optional, Union
 from .balancing import LoadBalancingScheme
 from .compiler import CompiledDesign, compile_design
 from .dataflow import SpaceTimeTransform
-from .expr import Bounds, SpecError
+from .expr import Bounds
 from .functionality import FunctionalSpec
 from .memspec import MemoryBufferSpec
 from .sparsity import SparsityStructure

@@ -14,8 +14,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .balancing import LoadBalancingScheme
 from .dataflow import SpaceTimeTransform, classify_dataflow, validate_schedule
-from .expr import Bounds, SpecError
-from .functionality import AssignmentKind, FunctionalSpec
+from .expr import Bounds
+from .functionality import FunctionalSpec
 from .iterspace import (
     IODirection,
     IterationSpace,
@@ -23,15 +23,12 @@ from .iterspace import (
     apply_transform,
     elaborate,
 )
+from ..obs.profile import get_profiler
+from ..obs.trace import get_tracer
 from .memspec import MemoryBufferSpec
 from .passes.pipelining import PipeliningReport, analyze_pipelining
 from .passes.prune import PruneReport, prune_for_balancing, prune_for_sparsity
-from .passes.regfile_opt import (
-    RegfileKind,
-    RegfilePlan,
-    choose_regfile,
-    consumption_order,
-)
+from .passes.regfile_opt import RegfilePlan, choose_regfile, consumption_order
 from .sparsity import SparsityStructure
 
 
@@ -142,29 +139,50 @@ def compile_design(
     balancing = balancing or LoadBalancingScheme()
     membufs = dict(membufs or {})
 
-    validate_schedule(spec, transform)
+    profiler = get_profiler()
+    tracer = get_tracer()
+
+    with profiler.scope("compile.validate_schedule"), tracer.span(
+        "validate_schedule", component="compiler", design=spec.name
+    ):
+        validate_schedule(spec, transform)
 
     # Stage 1: the functional IterationSpace (Figure 9a).
-    functional = elaborate(spec, bounds)
+    with profiler.scope("compile.elaborate"), tracer.span(
+        "elaborate", component="compiler", design=spec.name
+    ):
+        functional = elaborate(spec, bounds)
 
     # Stage 2: prune connections for sparsity and balancing (Figure 9b).
     reports: List[PruneReport] = []
-    pruned, report = prune_for_sparsity(functional, sparsity)
-    reports.append(report)
-    pruned, report = prune_for_balancing(pruned, balancing)
-    reports.append(report)
+    with profiler.scope("compile.prune"), tracer.span(
+        "prune", component="compiler", design=spec.name
+    ):
+        pruned, report = prune_for_sparsity(functional, sparsity)
+        reports.append(report)
+        pruned, report = prune_for_balancing(pruned, balancing)
+        reports.append(report)
 
     # Stage 3: map to physical space-time (Figure 9c).
-    array = apply_transform(pruned, transform)
+    with profiler.scope("compile.map_spacetime"), tracer.span(
+        "map_spacetime", component="compiler", design=spec.name
+    ):
+        array = apply_transform(pruned, transform)
 
     # Stage 4: the register-file optimization ladder (Figure 14).
-    regfile_plans = _plan_regfiles(
-        spec, pruned, transform, membufs, sparsity, element_bits
-    )
+    with profiler.scope("compile.regfile_ladder"), tracer.span(
+        "regfile_ladder", component="compiler", design=spec.name
+    ):
+        regfile_plans = _plan_regfiles(
+            spec, pruned, transform, membufs, sparsity, element_bits
+        )
 
-    balancer = _plan_balancer(spec, balancing)
-    pipelining = analyze_pipelining(spec, transform)
-    roles = classify_dataflow(spec, transform)
+    with profiler.scope("compile.analyze"), tracer.span(
+        "analyze", component="compiler", design=spec.name
+    ):
+        balancer = _plan_balancer(spec, balancing)
+        pipelining = analyze_pipelining(spec, transform)
+        roles = classify_dataflow(spec, transform)
 
     return CompiledDesign(
         spec=spec,

@@ -21,7 +21,7 @@ unlocks the register-file optimizations of Section IV-D (Figure 13).
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .expr import SpecError
 

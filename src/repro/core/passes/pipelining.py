@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Sequence
 
+from ...obs.trace import get_tracer
 from ..dataflow import SpaceTimeTransform
 from ..functionality import FunctionalSpec
 
@@ -69,4 +70,13 @@ def analyze_pipelining(
             registers[name] = 0  # stationary: held, not pipelined
     time_row = transform.matrix[transform.space_dims]
     schedule_scale = max(1, max(abs(v) for v in time_row))
-    return PipeliningReport(registers, broadcasts, schedule_scale)
+    report = PipeliningReport(registers, broadcasts, schedule_scale)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.instant(
+            "analyze_pipelining", component="compiler.passes",
+            design=spec.name, registers_per_pe=report.total_registers_per_pe,
+            combinational_span=report.max_combinational_span,
+            schedule_scale=schedule_scale,
+        )
+    return report

@@ -35,11 +35,12 @@ shifts (Figure 10a) preserve all connections.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
+from ...obs.trace import get_tracer
 from ..balancing import LoadBalancingScheme
 from ..expr import EvalContext, SpecError
-from ..iterspace import IterationSpace, Point, Point2PointConn
+from ..iterspace import IterationSpace, Point
 from ..sparsity import SparsityStructure
 
 
@@ -116,6 +117,14 @@ def prune_for_sparsity(
         result = result.widened(variable, bundle)
         report.widened_variables[variable] = bundle
 
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.instant(
+            "prune_for_sparsity", component="compiler.passes",
+            pruned=list(report.pruned_variables),
+            widened=dict(report.widened_variables),
+            removed_points=report.removed_points,
+        )
     return result, report
 
 
@@ -194,6 +203,12 @@ def prune_for_balancing(
                 f"flows along load-balanced axes {sorted(axes)}; PEs there may"
                 " execute foreign iterations (Figure 10b)"
             )
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.instant(
+            "prune_for_balancing", component="compiler.passes",
+            pruned=list(doomed), axes=sorted(axes),
+        )
     if doomed:
         report.pruned_variables.extend(doomed)
         return iterspace.without_conns(doomed), report

@@ -25,10 +25,10 @@ Producer orders come from memory buffers with hardcoded read parameters
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from ...obs.trace import get_tracer
 from ..dataflow import SpaceTimeTransform
-from ..expr import SpecError
 from ..iterspace import IODirection, IterationSpace
 
 
@@ -182,6 +182,13 @@ def choose_regfile(
         count = len(consumer_order or producer_order or []) or 16
 
     def plan(kind: RegfileKind, reason: str) -> RegfilePlan:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "choose_regfile", component="compiler.passes",
+                variable=variable, kind=kind.value, entries=count,
+                reason=reason,
+            )
         return RegfilePlan(
             variable, kind, count, in_ports, out_ports, element_bits, reason
         )

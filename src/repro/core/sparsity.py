@@ -29,9 +29,9 @@ values (see :mod:`repro.core.passes.prune`).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
-from .expr import WILDCARD, Access, Comparison, Expr, Index, SpecError, Tensor
+from .expr import WILDCARD, Expr, Index, SpecError, Tensor
 from .functionality import FunctionalSpec
 
 

@@ -13,7 +13,7 @@ model, and extracts the Pareto frontier over (cycles, area).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -24,6 +24,8 @@ from ..core.dataflow import SpaceTimeTransform
 from ..core.expr import Bounds, SpecError
 from ..core.functionality import FunctionalSpec
 from ..core.sparsity import SparsityStructure
+from ..obs.profile import get_profiler
+from ..obs.trace import get_tracer
 from ..sim.spatial_array import SpatialArraySim
 
 
@@ -142,6 +144,10 @@ def explore(
     sparsities = dict(sparsities or {"dense": SparsityStructure()})
     balancings = dict(balancings or {"none": LoadBalancingScheme()})
 
+    profiler = get_profiler()
+    tracer = get_tracer()
+    skipped = 0
+
     points: List[DesignPoint] = []
     for (t_name, transform), (s_name, sparsity), (b_name, balancing) in (
         itertools.product(
@@ -157,14 +163,23 @@ def explore(
             balancing=balancing,
             element_bits=element_bits,
         )
-        try:
-            design = accelerator.build()
-            result = SpatialArraySim(design.compiled).run(tensors)
-        except SpecError:
-            if skip_illegal:
-                continue
-            raise
-        area = estimate_design_area(design.compiled)
+        with profiler.scope("dse.point"), tracer.span(
+            name, component="dse", transform=t_name,
+            sparsity=s_name, balancing=b_name,
+        ):
+            try:
+                with profiler.scope("dse.compile"):
+                    design = accelerator.build()
+                with profiler.scope("dse.simulate"):
+                    result = SpatialArraySim(design.compiled).run(tensors)
+            except SpecError:
+                if skip_illegal:
+                    skipped += 1
+                    tracer.instant("illegal_point", component="dse", point=name)
+                    continue
+                raise
+            with profiler.scope("dse.area"):
+                area = estimate_design_area(design.compiled)
         points.append(
             DesignPoint(
                 name=name,
@@ -179,6 +194,10 @@ def explore(
                 pruned_variables=design.compiled.pruned_variables(),
             )
         )
+    tracer.instant(
+        "explore_done", component="dse",
+        evaluated=len(points), skipped_illegal=skipped,
+    )
     if not points:
         raise SpecError("no legal design points in the given space")
     return ExplorationResult(points)

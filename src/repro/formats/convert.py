@@ -7,7 +7,6 @@ helpers are shared by the workloads, baselines, and ISA data movers.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 import numpy as np
 

@@ -10,7 +10,7 @@ the accelerators perform is explicit and countable.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..core.memspec import AxisType
 from ..sim.dma import TransferDescriptor

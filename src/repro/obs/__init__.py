@@ -1,0 +1,47 @@
+"""repro.obs: the observability subsystem.
+
+Four cooperating pieces (see DESIGN.md's system inventory):
+
+* :mod:`repro.obs.metrics` -- a metrics registry (counters, gauges,
+  fixed-bucket histograms with labels); the simulator's
+  :class:`~repro.sim.counters.PerfCounters` is built on top of it;
+* :mod:`repro.obs.trace` -- a ring-buffered structured event tracer
+  wired into the cycle-level simulator, the RTL interpreter, the
+  compiler pass pipeline, and the DSE explorer; a no-op when disabled;
+* :mod:`repro.obs.export` -- Chrome ``trace_event`` JSON timelines and
+  VCD waveform dumps of the RTL interpreter;
+* :mod:`repro.obs.profile` -- wall-clock scoped timers with per-pass
+  summary tables (``python -m repro explore --profile``).
+"""
+
+from .export import VCDWriter, chrome_trace, dump_rtl_vcd, write_chrome_trace
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_name,
+)
+from .profile import Profiler, get_profiler, profiling, set_profiler
+from .trace import TraceEvent, Tracer, get_tracer, set_tracer, tracing
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Profiler",
+    "TraceEvent",
+    "Tracer",
+    "VCDWriter",
+    "chrome_trace",
+    "dump_rtl_vcd",
+    "get_profiler",
+    "get_tracer",
+    "profiling",
+    "render_name",
+    "set_profiler",
+    "set_tracer",
+    "tracing",
+    "write_chrome_trace",
+]

@@ -1,0 +1,253 @@
+"""Metrics registry: named counters, gauges, and fixed-bucket histograms.
+
+The registry is the single naming authority for quantitative
+instrumentation: every metric has a dotted name (``sim.cycles``,
+``dse.points``) plus optional labels, and the registry hands out
+*get-or-create* handles so independent components accumulate into the
+same series.  :class:`~repro.sim.counters.PerfCounters` is implemented
+on top of this registry, and the ``--json`` CLI modes serialize reports
+through :meth:`MetricsRegistry.as_dict`.
+
+Three metric kinds, mirroring the usual monitoring vocabulary:
+
+* :class:`Counter` -- a monotonically increasing count (``inc``);
+* :class:`Gauge` -- a point-in-time value that may move both ways
+  (``set``/``add``);
+* :class:`Histogram` -- observations bucketed against a fixed ascending
+  boundary list, with running sum and count.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+MetricValue = Union[int, float]
+
+#: Default histogram boundaries: powers of two up to 64Ki -- a good fit
+#: for cycle counts, queue depths, and transfer sizes.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(float(2 ** i) for i in range(0, 17, 2))
+
+
+def render_name(name: str, labels: Mapping[str, object]) -> str:
+    """The fully qualified series name: ``name{k=v,...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Metric:
+    """Base class: a name plus a frozen label set."""
+
+    kind = "metric"
+
+    __slots__ = ("name", "labels")
+
+    def __init__(self, name: str, labels: Mapping[str, object]):
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        self.name = name
+        self.labels = dict(labels)
+
+    @property
+    def full_name(self) -> str:
+        return render_name(self.name, self.labels)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.full_name!r}, {self.snapshot()!r})"
+
+    def snapshot(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing integer count.
+
+    ``value`` is writable so owners that compute totals out-of-band (the
+    simulator sets ``cycles`` once per run) can assign directly; ``inc``
+    enforces monotonicity for incremental users.
+    """
+
+    kind = "counter"
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: Mapping[str, object] = ()):
+        super().__init__(name, dict(labels))
+        self.value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (by {amount})")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge(Metric):
+    """A point-in-time value that can move in either direction."""
+
+    kind = "gauge"
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: Mapping[str, object] = ()):
+        super().__init__(name, dict(labels))
+        self.value: MetricValue = 0
+
+    def set(self, value: MetricValue) -> None:
+        self.value = value
+
+    def add(self, amount: MetricValue) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> MetricValue:
+        return self.value
+
+
+class Histogram(Metric):
+    """Observations bucketed against fixed ascending boundaries.
+
+    Bucket ``i`` counts observations ``<= boundaries[i]``; one implicit
+    overflow bucket counts the rest.  Boundaries are fixed at creation,
+    so merging and serialization never re-bin.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("boundaries", "bucket_counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        boundaries: Optional[Sequence[float]] = None,
+        labels: Mapping[str, object] = (),
+    ):
+        super().__init__(name, dict(labels))
+        if boundaries is None:
+            boundaries = DEFAULT_BUCKETS
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one boundary")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name!r} boundaries must ascend: {bounds}")
+        self.boundaries = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: MetricValue) -> None:
+        self.bucket_counts[bisect_left(self.boundaries, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.boundaries) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        buckets: Dict[str, int] = {}
+        for boundary, count in zip(self.boundaries, self.bucket_counts):
+            buckets[f"le={boundary:g}"] = count
+        buckets["le=+Inf"] = self.bucket_counts[-1]
+        return {"buckets": buckets, "sum": self.sum, "count": self.count}
+
+
+class MetricsRegistry:
+    """Get-or-create store of metrics, keyed by (name, labels).
+
+    Asking for an existing series returns the same object; asking for an
+    existing name with a different metric *kind* is an error -- a series
+    cannot be a counter in one component and a gauge in another.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[Tuple[str, Tuple[Tuple[str, object], ...]], Metric] = {}
+
+    # -- handles --------------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        key = (name, tuple(sorted(labels.items())))
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise ValueError(
+                    f"metric {render_name(name, labels)!r} already registered"
+                    f" as a {existing.kind}"
+                )
+            return existing
+        metric = Histogram(name, boundaries, labels)
+        self._metrics[key] = metric
+        return metric
+
+    def _get_or_create(self, cls, name: str, labels: Mapping[str, object]):
+        key = (name, tuple(sorted(labels.items())))
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ValueError(
+                    f"metric {render_name(name, labels)!r} already registered"
+                    f" as a {existing.kind}"
+                )
+            return existing
+        metric = cls(name, labels)
+        self._metrics[key] = metric
+        return metric
+
+    # -- queries --------------------------------------------------------
+
+    def get(self, name: str, **labels: object) -> Optional[Metric]:
+        return self._metrics.get((name, tuple(sorted(labels.items()))))
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> List[str]:
+        return sorted(m.full_name for m in self)
+
+    # -- serialization --------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat ``full_name -> snapshot`` mapping, sorted by name."""
+        return {
+            metric.full_name: metric.snapshot()
+            for metric in sorted(self, key=lambda m: m.full_name)
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def reset(self) -> None:
+        for metric in self:
+            metric.reset()
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self)} series)"

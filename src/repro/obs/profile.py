@@ -1,0 +1,160 @@
+"""Wall-clock profiling of compiler passes and DSE sweep points.
+
+A :class:`Profiler` accumulates scoped timings by label: each
+``with profiler.scope("compile.elaborate"):`` adds one call's duration
+to that label's running total/min/max.  The compiler wraps every pass
+and the DSE explorer wraps every sweep point, so
+``python -m repro explore --profile`` can print a per-pass summary
+table without any manual bookkeeping.
+
+Like tracing, profiling is disabled by default; a disabled scope yields
+immediately without reading the clock.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, List
+
+
+class ProfileRecord:
+    """Accumulated timing for one label."""
+
+    __slots__ = ("label", "calls", "total_s", "min_s", "max_s")
+
+    def __init__(self, label: str):
+        self.label = label
+        self.calls = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.calls += 1
+        self.total_s += seconds
+        self.min_s = min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"ProfileRecord({self.label!r}, calls={self.calls},"
+            f" total={self.total_s * 1e3:.3f}ms)"
+        )
+
+
+class Profiler:
+    """Label-keyed scoped timers."""
+
+    __slots__ = ("enabled", "_records", "_clock")
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.enabled = enabled
+        self._records: Dict[str, ProfileRecord] = {}
+        self._clock = clock
+
+    def enable(self) -> "Profiler":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Profiler":
+        self.enabled = False
+        return self
+
+    def record(self, label: str, seconds: float) -> None:
+        existing = self._records.get(label)
+        if existing is None:
+            existing = self._records[label] = ProfileRecord(label)
+        existing.add(seconds)
+
+    @contextmanager
+    def scope(self, label: str):
+        """Time a block under ``label``; no-op while disabled."""
+        if not self.enabled:
+            yield
+            return
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.record(label, self._clock() - start)
+
+    # -- reporting ------------------------------------------------------
+
+    def records(self) -> List[ProfileRecord]:
+        """All records, most expensive first."""
+        return sorted(
+            self._records.values(), key=lambda r: r.total_s, reverse=True
+        )
+
+    def table(self) -> str:
+        """A per-label summary table (the ``--profile`` output)."""
+        records = self.records()
+        if not records:
+            return "(no profile samples recorded)"
+        grand_total = sum(r.total_s for r in records)
+        width = max(len("pass"), max(len(r.label) for r in records))
+        lines = [
+            f"{'pass':<{width}} {'calls':>6} {'total (ms)':>11}"
+            f" {'mean (us)':>10} {'max (us)':>10} {'share':>6}"
+        ]
+        for r in records:
+            share = r.total_s / grand_total if grand_total else 0.0
+            lines.append(
+                f"{r.label:<{width}} {r.calls:>6d} {r.total_s * 1e3:>11.3f}"
+                f" {r.mean_s * 1e6:>10.1f} {r.max_s * 1e6:>10.1f} {share:>6.1%}"
+            )
+        lines.append(
+            f"{'total':<{width}} {sum(r.calls for r in records):>6d}"
+            f" {grand_total * 1e3:>11.3f}"
+        )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Profiler({state}, {len(self._records)} labels)"
+
+
+# ---------------------------------------------------------------------------
+# The process-wide profiler instrumented components consult
+# ---------------------------------------------------------------------------
+
+_global_profiler = Profiler()
+
+
+def get_profiler() -> Profiler:
+    """The profiler instrumented components time against (disabled by default)."""
+    return _global_profiler
+
+
+def set_profiler(profiler: Profiler) -> Profiler:
+    """Install ``profiler`` globally; returns the previous one for restore."""
+    global _global_profiler
+    previous = _global_profiler
+    _global_profiler = profiler
+    return previous
+
+
+@contextmanager
+def profiling():
+    """Enable profiling within a scope; yields the fresh profiler."""
+    profiler = Profiler(enabled=True)
+    previous = set_profiler(profiler)
+    try:
+        yield profiler
+    finally:
+        set_profiler(previous)

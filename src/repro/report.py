@@ -10,7 +10,7 @@ notebooks/regressions.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from .area.model import estimate_design_area
 from .core.accelerator import GeneratedDesign

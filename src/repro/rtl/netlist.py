@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 import re
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence
 
 
 class RTLError(ValueError):

@@ -18,8 +18,9 @@ declared widths, so overflow behaves as hardware would.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..obs.trace import get_tracer
 from .netlist import Module, Netlist, PortDir, RTLError
 
 _TOKEN_RE = re.compile(
@@ -367,6 +368,14 @@ class _ModuleState:
                     changed |= self.write(expr, child.values[port.name])
         return changed
 
+    # -- introspection -----------------------------------------------------
+
+    def descendants(self) -> Iterator["_ModuleState"]:
+        """This instance and every instance below it, preorder."""
+        yield self
+        for child, _ in self.children:
+            yield from child.descendants()
+
     # -- clock edge --------------------------------------------------------
 
     def sample_edge(self, reset: bool) -> List[Tuple["_ModuleState", object, int]]:
@@ -431,8 +440,23 @@ class RTLSimulator:
         state, name = self._resolve(path)
         return state.memories[name].get(index, 0)
 
+    def signal_values(self) -> Dict[str, Tuple[int, int]]:
+        """Every non-memory signal in the hierarchy: path -> (value, width).
+
+        This is the probe surface the VCD exporter
+        (:func:`repro.obs.export.dump_rtl_vcd`) samples each cycle.
+        """
+        out: Dict[str, Tuple[int, int]] = {}
+        for state in self.top.descendants():
+            for name, width in state.widths.items():
+                if name in state.memories:
+                    continue
+                out[f"{state.path}.{name}"] = (state.values.get(name, 0), width)
+        return out
+
     def step(self, cycles: int = 1) -> None:
         """Advance the clock; synchronous reset follows the ``rst`` input."""
+        tracer = get_tracer()
         for _ in range(cycles):
             reset = bool(self.top.values.get("rst", 0))
             writes = self.top.sample_edge(reset)
@@ -440,6 +464,11 @@ class RTLSimulator:
                 state.write(lvalue, value)
             self.cycle += 1
             self._settle()
+            if tracer.enabled:
+                tracer.instant(
+                    "step", component="rtl", cycle=self.cycle,
+                    reset=reset, writes=len(writes),
+                )
 
     def reset(self, cycles: int = 1) -> None:
         """Pulse ``rst`` for the given number of cycles."""

@@ -18,9 +18,10 @@ shifts applied, matching the counters the generated hardware exposes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from ..core.balancing import LoadBalancingScheme, Offset, Range, Shift
+from ..core.balancing import LoadBalancingScheme, Range
+from ..obs.trace import get_tracer
 
 
 class BalancedRunResult:
@@ -66,7 +67,6 @@ def balanced_makespan(
     rows = len(remaining)
     busy = [0] * rows
     shifts = 0
-    axis_pos = list(index_names).index(row_axis)
 
     pairings: List[Tuple[int, List[int], bool]] = []  # (target, sources, row_granular)
     for shift in scheme:
@@ -130,6 +130,7 @@ def spatial_balanced_makespan(
     """
     if granularity not in ("row", "pe"):
         raise ValueError(f"granularity must be 'row' or 'pe', got {granularity!r}")
+    tracer = get_tracer()
     remaining = list(work_per_row)
     rows = len(remaining)
     busy = [0] * rows
@@ -161,8 +162,18 @@ def spatial_balanced_makespan(
                 stolen_this_cycle.add(donor)
                 busy[row] += 1
                 shifts += 1
+                if tracer.enabled:
+                    tracer.instant(
+                        "shift", component="sim.balancer", cycle=cycle,
+                        donor=donor, taker=row, granularity=granularity,
+                    )
         if cycle > sum(work_per_row) + rows + 1:
             raise RuntimeError("spatial balancer simulation failed to converge")
+    if tracer.enabled:
+        tracer.instant(
+            "balanced_makespan", component="sim.balancer", cycle=cycle,
+            shifts=shifts, rows=rows,
+        )
     return BalancedRunResult(cycle, shifts, busy)
 
 

@@ -1,34 +1,64 @@
-"""Performance counters shared by all simulator components."""
+"""Performance counters shared by all simulator components.
+
+Implemented on top of the :mod:`repro.obs.metrics` registry: every
+built-in counter is a named ``sim.<name>`` :class:`~repro.obs.metrics.Counter`
+and every custom counter a ``custom.<name>`` one, so simulator reports
+serialize through the same machinery as the rest of the observability
+subsystem.  The attribute API (``counters.macs += 1``) is unchanged.
+"""
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Union
+
+from ..obs.metrics import Counter, MetricsRegistry
+
+#: The built-in counters every simulator component may touch.
+BUILTIN_COUNTERS = (
+    "cycles",
+    "pe_busy_cycles",
+    "pe_idle_cycles",
+    "macs",
+    "regfile_reads",
+    "regfile_writes",
+    "membuf_reads",
+    "membuf_writes",
+    "dram_requests",
+    "dram_bytes",
+    "dma_stall_cycles",
+    "balancer_shifts",
+)
 
 
 class PerfCounters:
     """A bag of monotonically increasing counters plus derived metrics.
 
     Every simulator component increments counters here; experiment
-    harnesses read utilization/throughput from one place.
+    harnesses read utilization/throughput from one place.  Custom
+    counters (:meth:`bump`) are namespaced as ``custom.<name>`` in
+    :meth:`as_dict` so they can never shadow a built-in key.
     """
 
+    __slots__ = ("registry", "_custom") + tuple(
+        f"_c_{name}" for name in BUILTIN_COUNTERS
+    )
+
     def __init__(self):
-        self.cycles: int = 0
-        self.pe_busy_cycles: int = 0
-        self.pe_idle_cycles: int = 0
-        self.macs: int = 0
-        self.regfile_reads: int = 0
-        self.regfile_writes: int = 0
-        self.membuf_reads: int = 0
-        self.membuf_writes: int = 0
-        self.dram_requests: int = 0
-        self.dram_bytes: int = 0
-        self.dma_stall_cycles: int = 0
-        self.balancer_shifts: int = 0
-        self.custom: Dict[str, int] = {}
+        self.registry = MetricsRegistry()
+        for name in BUILTIN_COUNTERS:
+            setattr(self, f"_c_{name}", self.registry.counter(f"sim.{name}"))
+        self._custom: Dict[str, Counter] = {}
 
     def bump(self, name: str, amount: int = 1) -> None:
-        self.custom[name] = self.custom.get(name, 0) + amount
+        counter = self._custom.get(name)
+        if counter is None:
+            counter = self._custom[name] = self.registry.counter(f"custom.{name}")
+        counter.value += amount
+
+    @property
+    def custom(self) -> Dict[str, int]:
+        """Custom counter values by bare name (a snapshot, not a live view)."""
+        return {name: counter.value for name, counter in self._custom.items()}
 
     @property
     def pe_utilization(self) -> float:
@@ -38,23 +68,13 @@ class PerfCounters:
     def throughput_macs_per_cycle(self) -> float:
         return self.macs / self.cycles if self.cycles else 0.0
 
-    def as_dict(self) -> Dict[str, float]:
-        out = {
-            "cycles": self.cycles,
-            "pe_busy_cycles": self.pe_busy_cycles,
-            "pe_idle_cycles": self.pe_idle_cycles,
-            "macs": self.macs,
-            "regfile_reads": self.regfile_reads,
-            "regfile_writes": self.regfile_writes,
-            "membuf_reads": self.membuf_reads,
-            "membuf_writes": self.membuf_writes,
-            "dram_requests": self.dram_requests,
-            "dram_bytes": self.dram_bytes,
-            "dma_stall_cycles": self.dma_stall_cycles,
-            "balancer_shifts": self.balancer_shifts,
-            "pe_utilization": self.pe_utilization,
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        out: Dict[str, Union[int, float]] = {
+            name: getattr(self, name) for name in BUILTIN_COUNTERS
         }
-        out.update(self.custom)
+        out["pe_utilization"] = self.pe_utilization
+        for name in sorted(self._custom):
+            out[f"custom.{name}"] = self._custom[name].value
         return out
 
     def __repr__(self) -> str:
@@ -62,3 +82,21 @@ class PerfCounters:
             f"PerfCounters(cycles={self.cycles}, macs={self.macs},"
             f" util={self.pe_utilization:.3f})"
         )
+
+
+def _registry_backed(name: str):
+    """An int attribute stored in the instance's registry counter."""
+    slot = f"_c_{name}"
+
+    def fget(self) -> int:
+        return getattr(self, slot).value
+
+    def fset(self, value: int) -> None:
+        getattr(self, slot).value = int(value)
+
+    return property(fget, fset, doc=f"the sim.{name} counter value")
+
+
+for _name in BUILTIN_COUNTERS:
+    setattr(PerfCounters, _name, _registry_backed(_name))
+del _name

@@ -11,8 +11,9 @@ reproduces the paper's 1.42 -> 2.1 GFLOP/s improvement in shape.
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
+from ..obs.trace import get_tracer
 from .dram import DRAMModel
 
 
@@ -73,6 +74,7 @@ class DMASim:
                     f" {transfer.dependency}"
                 )
 
+        tracer = get_tracer()
         completion: List[Optional[int]] = [None] * n
         issued = [False] * n
         inflight: List[int] = []  # min-heap of completion cycles
@@ -107,6 +109,13 @@ class DMASim:
                 heapq.heappush(inflight, done)
                 issued_bytes += transfer.size_bytes
                 remaining -= 1
+                if tracer.enabled:
+                    tracer.complete(
+                        "xfer.ptr" if transfer.is_pointer else "xfer",
+                        component="sim.dma",
+                        start_cycle=cycle, duration=done - cycle,
+                        index=candidate, bytes=transfer.size_bytes,
+                    )
                 cycle += 1  # one new request per cycle
                 continue
 
@@ -128,6 +137,11 @@ class DMASim:
                 heapq.heappop(inflight)
 
         finish = max(c for c in completion if c is not None) if n else 0
+        if tracer.enabled:
+            tracer.instant(
+                "dma_done", component="sim.dma", cycle=finish,
+                transfers=n, stall_cycles=stall_cycles, bytes=issued_bytes,
+            )
         return DMAResult(
             total_cycles=finish,
             stall_cycles=stall_cycles,

@@ -10,7 +10,6 @@ starve even a modest array.
 
 from __future__ import annotations
 
-from typing import List, Tuple
 
 
 class DRAMModel:

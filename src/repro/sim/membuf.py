@@ -11,12 +11,13 @@ indirection stalls the pipeline.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..core.memspec import AxisType, HardcodedParams, MemoryBufferSpec
+from ..core.memspec import AxisType, MemoryBufferSpec
 from ..formats.fibertree import FibertreeTensor
+from ..obs.trace import get_tracer
 
 
 class MemBufSim:
@@ -58,6 +59,13 @@ class MemBufSim:
         self.writes += elements
         done = start_cycle + self.spec.access_latency() + max(0, elements - 1)
         self.busy_until = max(self.busy_until, done)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.complete(
+                "load", component=f"sim.membuf.{self.spec.name}",
+                start_cycle=start_cycle, duration=done - start_cycle,
+                elements=elements,
+            )
         return done
 
     def read_element(self, coords: Tuple[int, ...], start_cycle: int = 0) -> Tuple[object, int]:
@@ -79,12 +87,19 @@ class MemBufSim:
             return start_cycle
         self.reads += count
         stall_per_element = self._indirection_stalls()
+        begin = max(start_cycle, self.busy_until)
         done = (
-            max(start_cycle, self.busy_until)
+            begin
             + self.spec.access_latency()
             + (count - 1) * (1 + stall_per_element)
         )
         self.busy_until = done
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.complete(
+                "stream_read", component=f"sim.membuf.{self.spec.name}",
+                start_cycle=begin, duration=done - begin, elements=count,
+            )
         return done
 
     def _indirection_stalls(self) -> int:

@@ -16,7 +16,7 @@ implied by its structure:
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Deque, Dict, Optional, Tuple
+from typing import Deque, Tuple
 
 from ..core.passes.regfile_opt import RegfileKind
 

@@ -19,7 +19,7 @@ shortens the schedule.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +27,7 @@ from ..core.compiler import CompiledDesign
 from ..core.expr import EvalContext, SpecError, WILDCARD
 from ..core.functionality import AssignmentKind
 from ..core.iterspace import IODirection
+from ..obs.trace import get_tracer
 from .balancer import spatial_balanced_makespan
 from .counters import PerfCounters
 
@@ -129,10 +130,21 @@ class SpatialArraySim:
             timesteps = [(t,) for t in range(t_min, t_max + 1)]
         else:
             timesteps = sorted(by_time)
-        for t in timesteps:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.begin(
+                "dense_run", component="sim.array",
+                cycle=0, pes=pe_count, timesteps=len(timesteps),
+            )
+        for step_index, t in enumerate(timesteps):
             live = sorted(by_time.get(t, ()))
             counters.pe_busy_cycles += len(live)
             counters.pe_idle_cycles += pe_count - len(live)
+            if tracer.enabled:
+                tracer.instant(
+                    "timestep", component="sim.array",
+                    cycle=step_index, live_pes=len(live), time=list(t),
+                )
             for point in live:
                 env = dict(zip(spec.index_names, point))
                 ctx = EvalContext(env, bounds, interpreter.read)
@@ -164,6 +176,11 @@ class SpatialArraySim:
         schedule = len(timesteps)
         counters.cycles = schedule + self.fill_drain_overhead
         counters.pe_idle_cycles += self.fill_drain_overhead * pe_count
+        if tracer.enabled:
+            tracer.end(
+                "dense_run", component="sim.array",
+                cycle=counters.cycles, macs=counters.macs,
+            )
         result_outputs = {
             name: _cells_to_array(cells) for name, cells in outputs.items()
         }
@@ -180,8 +197,15 @@ class SpatialArraySim:
         transform = design.transform
         counters = PerfCounters()
 
+        tracer = get_tracer()
         valid_points = self._valid_points(tensors)
         compressed = self._compress_points(valid_points)
+        if tracer.enabled:
+            tracer.instant(
+                "sparse_compress", component="sim.array", cycle=0,
+                valid_points=len(valid_points),
+                domain_points=len(list(bounds.domain(spec.index_names))),
+            )
 
         # Schedule the compressed points through the transform.
         times: List[int] = []
@@ -216,6 +240,11 @@ class SpatialArraySim:
             )
             cycles = min(schedule_length, balanced.cycles + skew)
             counters.balancer_shifts = balanced.shifts
+            if tracer.enabled:
+                tracer.instant(
+                    "balanced", component="sim.array", cycle=cycles,
+                    shifts=balanced.shifts, unbalanced_cycles=schedule_length,
+                )
         else:
             cycles = schedule_length
 
@@ -237,6 +266,12 @@ class SpatialArraySim:
         # Functional outputs: skipping zero-valued iterations never changes
         # results, so the reference interpreter provides them.
         outputs = spec.interpret(bounds, tensors)
+        if tracer.enabled:
+            tracer.complete(
+                "sparse_run", component="sim.array",
+                start_cycle=0, duration=counters.cycles,
+                work=work, utilization=round(counters.pe_utilization, 4),
+            )
         return SimResult(outputs, counters, schedule_length)
 
     def _valid_points(
@@ -307,7 +342,7 @@ class SpatialArraySim:
 
 def _condition_holds(condition, ctx: EvalContext, tensors) -> bool:
     """Evaluate a skip condition, handling wildcard row accesses."""
-    from ..core.expr import Access, Comparison, Const
+    from ..core.expr import Access, Comparison
 
     if isinstance(condition, Comparison):
         lhs, rhs = condition.lhs, condition.rhs

@@ -17,11 +17,10 @@ from repro.area.model import (
     row_partitioned_merger_area,
     sram_area,
 )
-from repro.core import Bounds, compile_design, matmul_spec
+from repro.core import compile_design
 from repro.core.dataflow import input_stationary, output_stationary
 from repro.core.memspec import csr_buffer, dense_matrix_buffer
 from repro.core.passes.regfile_opt import RegfileKind, RegfilePlan
-from repro.core.sparsity import csr_b_matrix
 
 
 class TestPrimitives:

@@ -1,7 +1,5 @@
 """Tests for the simulator-to-energy bridge (energy_from_counters)."""
 
-import numpy as np
-import pytest
 
 from repro.area.energy import energy_from_counters
 from repro.core import Bounds, compile_design, matmul_spec

@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.area.energy import (
-    EnergyReport,
-    energy_overhead_ratio,
-    layer_energy,
-)
+from repro.area.energy import energy_overhead_ratio, layer_energy
 from repro.area.timing import (
     centralized_unroller_path_ns,
     design_max_frequency_mhz,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.baselines.mergers import (
-    compare_mergers,
     flattened_merge,
     merge_reference,
     row_partitioned_merge,

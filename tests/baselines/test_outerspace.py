@@ -3,8 +3,8 @@
 import pytest
 
 from repro.baselines import outerspace as osp
-from repro.formats.csr import CSRMatrix, spgemm_reference
-from repro.workloads import synthesize, synthesize_all
+from repro.formats.csr import CSRMatrix
+from repro.workloads import synthesize_all
 
 import numpy as np
 

@@ -5,7 +5,6 @@ right way when their inputs move -- these sweeps pin the monotonicities
 an architect would rely on when extrapolating from the reproduction.
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines import gemmini, outerspace as osp, scnn

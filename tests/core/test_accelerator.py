@@ -3,13 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import (
-    Accelerator,
-    Bounds,
-    matmul_spec,
-    output_stationary,
-    input_stationary,
-)
+from repro.core import Accelerator, Bounds, output_stationary, input_stationary
 from repro.core.sparsity import csr_b_matrix
 from repro.core.balancing import row_shift_scheme
 

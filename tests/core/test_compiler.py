@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.core import (
-    Bounds,
-    SpecError,
-    compile_design,
-    matmul_spec,
-)
+from repro.core import SpecError, compile_design
 from repro.core.balancing import flexible_pe_scheme, row_shift_scheme
 from repro.core.dataflow import (
     SpaceTimeTransform,

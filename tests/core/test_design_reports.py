@@ -1,6 +1,5 @@
 """Tests for GeneratedDesign's report conveniences (energy, RTL sim)."""
 
-import numpy as np
 import pytest
 
 from repro.core import Accelerator, matmul_spec, output_stationary

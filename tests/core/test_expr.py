@@ -6,9 +6,7 @@ from fractions import Fraction
 
 from repro.core.expr import (
     WILDCARD,
-    Access,
     AffineIndexExpr,
-    BoundMarker,
     Bounds,
     Comparison,
     Const,

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import Bounds, Index, Local, SpecError, Tensor
+from repro.core import Bounds, Index, Local, SpecError
 from repro.core.functionality import (
     AssignmentKind,
     FunctionalSpec,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Bounds, SpecError, matmul_spec
+from repro.core import Bounds, SpecError
 from repro.core.dataflow import (
     SpaceTimeTransform,
     input_stationary,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import Bounds, matmul_spec
 from repro.core.balancing import (
     LoadBalancingScheme,
     Offset,
@@ -18,7 +17,6 @@ from repro.core.passes.prune import (
     prune_for_sparsity,
 )
 from repro.core.sparsity import (
-    Skip,
     SparsityStructure,
     a100_two_four,
     csr_b_matrix,

@@ -1,9 +1,7 @@
 """Tests for the register-file optimization ladder (Section IV-D, Fig 14)."""
 
-import pytest
 
-from repro.core import Bounds, matmul_spec
-from repro.core.dataflow import input_stationary, output_stationary
+from repro.core.dataflow import output_stationary
 from repro.core.iterspace import IODirection, elaborate
 from repro.core.memspec import HardcodedParams, dense_matrix_buffer
 from repro.core.passes.regfile_opt import (

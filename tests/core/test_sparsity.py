@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import Index, SpecError, Tensor, matmul_spec
-from repro.core.expr import WILDCARD
 from repro.core.sparsity import (
     Skip,
     SparsityStructure,

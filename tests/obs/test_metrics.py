@@ -1,0 +1,131 @@
+"""Unit tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_name,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("reqs")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_inc_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("reqs").inc(-1)
+
+    def test_direct_assignment(self):
+        c = Counter("cycles")
+        c.value = 42
+        assert c.snapshot() == 42
+
+    def test_reset(self):
+        c = Counter("reqs")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("occupancy")
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("lat", boundaries=[1, 10, 100])
+        for v in (0, 1, 5, 50, 1000):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["buckets"]["le=1"] == 2  # 0 and 1
+        assert snap["buckets"]["le=10"] == 1  # 5
+        assert snap["buckets"]["le=100"] == 1  # 50
+        assert snap["buckets"]["le=+Inf"] == 1  # 1000
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(1056)
+
+    def test_mean(self):
+        h = Histogram("lat", boundaries=[10])
+        h.observe(4)
+        h.observe(6)
+        assert h.mean == pytest.approx(5.0)
+
+    def test_boundaries_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", boundaries=[10, 5])
+
+    def test_boundaries_required(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", boundaries=[])
+
+
+class TestRenderName:
+    def test_plain(self):
+        assert render_name("sim.cycles", {}) == "sim.cycles"
+
+    def test_labels_sorted(self):
+        assert (
+            render_name("hits", {"way": 2, "bank": 0}) == "hits{bank=0,way=2}"
+        )
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_handle(self):
+        registry = MetricsRegistry()
+        a = registry.counter("sim.macs")
+        b = registry.counter("sim.macs")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_labels_distinguish_series(self):
+        registry = MetricsRegistry()
+        r0 = registry.counter("reads", bank=0)
+        r1 = registry.counter("reads", bank=1)
+        assert r0 is not r1
+        r0.inc(2)
+        assert registry.get("reads", bank=0).value == 2
+        assert registry.get("reads", bank=1).value == 0
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_as_dict_sorted_and_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.gauge("a").set(1.5)
+        registry.histogram("c", boundaries=[1]).observe(0)
+        snapshot = registry.as_dict()
+        assert list(snapshot) == ["a", "b", "c"]
+        assert json.loads(registry.to_json()) == snapshot
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(9)
+        registry.reset()
+        assert registry.get("n").value == 0
+
+    def test_len_and_names(self):
+        registry = MetricsRegistry()
+        registry.counter("one")
+        registry.counter("two", k="v")
+        assert len(registry) == 2
+        assert registry.names() == ["one", "two{k=v}"]

@@ -1,0 +1,111 @@
+"""Unit tests for the wall-clock profiler."""
+
+from repro.core import Accelerator, Bounds, matmul_spec, output_stationary
+from repro.obs.profile import Profiler, get_profiler, profiling, set_profiler
+
+
+def ticking_clock(step=1.0):
+    """A fake perf_counter advancing by ``step`` per read."""
+    state = {"now": 0.0}
+
+    def clock():
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+class TestScope:
+    def test_accumulates_per_label(self):
+        profiler = Profiler(enabled=True, clock=ticking_clock(0.5))
+        for _ in range(3):
+            with profiler.scope("compile.prune"):
+                pass
+        (record,) = profiler.records()
+        assert record.label == "compile.prune"
+        assert record.calls == 3
+        assert record.total_s == 1.5
+        assert record.mean_s == 0.5
+        assert record.min_s == record.max_s == 0.5
+
+    def test_disabled_scope_is_noop(self):
+        clock_reads = []
+
+        def clock():
+            clock_reads.append(1)
+            return 0.0
+
+        profiler = Profiler(enabled=False, clock=clock)
+        with profiler.scope("anything"):
+            pass
+        assert len(profiler) == 0
+        assert clock_reads == []  # never even read the clock
+
+    def test_records_sorted_most_expensive_first(self):
+        profiler = Profiler(enabled=True)
+        profiler.record("cheap", 0.001)
+        profiler.record("dear", 0.5)
+        assert [r.label for r in profiler.records()] == ["dear", "cheap"]
+
+    def test_exception_still_recorded(self):
+        profiler = Profiler(enabled=True, clock=ticking_clock())
+        try:
+            with profiler.scope("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert profiler.records()[0].calls == 1
+
+
+class TestTable:
+    def test_empty(self):
+        assert Profiler().table() == "(no profile samples recorded)"
+
+    def test_columns_and_totals(self):
+        profiler = Profiler(enabled=True)
+        profiler.record("compile.elaborate", 0.002)
+        profiler.record("compile.elaborate", 0.004)
+        profiler.record("dse.simulate", 0.010)
+        table = profiler.table()
+        header, *rows = table.splitlines()
+        assert header.split() == [
+            "pass", "calls", "total", "(ms)", "mean", "(us)", "max", "(us)",
+            "share",
+        ]
+        assert rows[0].startswith("dse.simulate")  # most expensive first
+        assert rows[-1].split()[0] == "total"
+        assert rows[-1].split()[1] == "3"
+
+    def test_reset(self):
+        profiler = Profiler(enabled=True)
+        profiler.record("x", 1.0)
+        profiler.reset()
+        assert len(profiler) == 0
+
+
+class TestGlobalInstall:
+    def test_disabled_by_default(self):
+        assert get_profiler().enabled is False
+
+    def test_set_profiler_returns_previous(self):
+        original = get_profiler()
+        mine = Profiler(enabled=True)
+        previous = set_profiler(mine)
+        try:
+            assert previous is original
+            assert get_profiler() is mine
+        finally:
+            set_profiler(original)
+
+    def test_profiling_context_captures_compiler_passes(self):
+        accelerator = Accelerator(
+            spec=matmul_spec(),
+            bounds=Bounds({"i": 2, "j": 2, "k": 2}),
+            transform=output_stationary(),
+        )
+        with profiling() as profiler:
+            accelerator.build()
+        labels = {r.label for r in profiler.records()}
+        assert "compile.elaborate" in labels
+        assert "compile.map_spacetime" in labels
+        assert get_profiler() is not profiler

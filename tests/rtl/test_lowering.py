@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Bounds, compile_design, matmul_spec
+from repro.core import compile_design
 from repro.core.balancing import row_shift_scheme
 from repro.core.dataflow import hexagonal, input_stationary, output_stationary
 from repro.core.memspec import block_crs_buffer, csr_buffer, dense_matrix_buffer

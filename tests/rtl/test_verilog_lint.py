@@ -1,6 +1,5 @@
 """Tests for Verilog emission and structural lint (repro.rtl)."""
 
-import pytest
 
 from repro.rtl.lint import lint_module, lint_netlist
 from repro.rtl.netlist import Instance, Module, Netlist

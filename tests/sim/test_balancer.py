@@ -6,9 +6,6 @@ from hypothesis import strategies as st
 
 from repro.core.balancing import (
     LoadBalancingScheme,
-    Offset,
-    Range,
-    Shift,
     flexible_pe_scheme,
     row_shift_scheme,
 )

@@ -30,11 +30,38 @@ class TestPerfCounters:
         counters.bump("spills", 4)
         assert counters.custom["spills"] == 5
 
-    def test_as_dict_includes_custom(self):
+    def test_as_dict_namespaces_custom(self):
         counters = PerfCounters()
         counters.bump("spills", 2)
         counters.macs = 7
         snapshot = counters.as_dict()
-        assert snapshot["spills"] == 2
+        assert snapshot["custom.spills"] == 2
         assert snapshot["macs"] == 7
         assert "pe_utilization" in snapshot
+
+    def test_custom_cannot_shadow_builtin(self):
+        counters = PerfCounters()
+        counters.cycles = 100
+        counters.bump("cycles", 3)  # a user counter named like a built-in
+        snapshot = counters.as_dict()
+        assert snapshot["cycles"] == 100
+        assert snapshot["custom.cycles"] == 3
+
+    def test_as_dict_values_are_ints_except_utilization(self):
+        counters = PerfCounters()
+        counters.pe_busy_cycles = 3
+        counters.pe_idle_cycles = 1
+        snapshot = counters.as_dict()
+        for name, value in snapshot.items():
+            if name == "pe_utilization":
+                assert isinstance(value, float)
+            else:
+                assert isinstance(value, int)
+
+    def test_backed_by_metrics_registry(self):
+        counters = PerfCounters()
+        counters.macs += 4
+        counters.bump("merges")
+        registry = counters.registry.as_dict()
+        assert registry["sim.macs"] == 4
+        assert registry["custom.merges"] == 1

@@ -7,12 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core import Bounds, compile_design, matmul_spec
 from repro.core.balancing import flexible_pe_scheme, row_shift_scheme
-from repro.core.dataflow import (
-    SpaceTimeTransform,
-    hexagonal,
-    input_stationary,
-    output_stationary,
-)
+from repro.core.dataflow import hexagonal, input_stationary, output_stationary
 from repro.core.sparsity import csr_b_matrix, csr_csc_both, diagonal_a_matrix
 from repro.sim.spatial_array import SpatialArraySim
 

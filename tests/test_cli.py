@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -19,6 +21,17 @@ class TestParser:
         assert args.spec == "matmul"
         assert args.dataflow == "output-stationary"
         assert args.size == 4
+
+    def test_trace_capacity_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--capacity", "0"])
+        assert "at least 1" in capsys.readouterr().err
+
+    def test_transform_is_an_alias_for_dataflow(self):
+        args = build_parser().parse_args(
+            ["trace", "--transform", "weight-stationary"]
+        )
+        assert args.dataflow == "weight-stationary"
 
 
 class TestCommands:
@@ -78,6 +91,60 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "pareto" in out
         assert "best area-delay product" in out
+
+    def test_simulate_json(self, capsys):
+        assert main(["simulate", "--size", "3", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["outputs_match_reference"] is True
+        assert report["pe_count"] == 9
+        assert report["counters"]["cycles"] > 0
+        assert "custom.macs_skipped" not in report["counters"]  # dense run
+        assert isinstance(report["counters"]["pe_utilization"], float)
+
+    def test_area_json(self, capsys):
+        assert main(["area", "--size", "4", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["total_um2"] == pytest.approx(
+            sum(report["components_um2"].values())
+        )
+        assert report["pe_count"] == 16
+
+    def test_trace_writes_both_artifacts(self, tmp_path, capsys):
+        prefix = tmp_path / "trace"
+        code = main(
+            [
+                "trace",
+                "--spec",
+                "matmul",
+                "--transform",
+                "output-stationary",
+                "--size",
+                "3",
+                "-o",
+                str(prefix),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace events" in out
+        assert "RTL cycles of waveforms" in out
+        document = json.loads((tmp_path / "trace.json").read_text())
+        assert document["traceEvents"]
+        vcd = (tmp_path / "trace.vcd").read_text()
+        assert "$timescale" in vcd and "$var wire" in vcd
+
+    def test_trace_leaves_global_tracer_disabled(self, tmp_path):
+        from repro.obs.trace import get_tracer
+
+        assert main(["trace", "--size", "2", "-o", str(tmp_path / "t")]) == 0
+        assert get_tracer().enabled is False
+
+    def test_explore_profile(self, capsys):
+        assert main(["explore", "--size", "3", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "per-pass timing:" in out
+        assert "compile.elaborate" in out
+        assert "dse.simulate" in out
 
     def test_balancing_option(self, capsys):
         code = main(

@@ -7,7 +7,6 @@ behaviour (the deepest claim behind the dataflow axis).
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -159,7 +158,6 @@ class TestFullSystemFlow:
 class TestCrossSubsystemConsistency:
     def test_simulator_agrees_with_interpreter_on_conv(self, rng):
         from repro.core.functionality import conv1d_spec
-        from repro.core.dataflow import identity
 
         spec = conv1d_spec()
         bounds = Bounds({"ox": 4, "oc": 3, "f": 3})

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.workloads import (
-    SUITESPARSE_SET,
     alexnet_pruned_layers,
     info,
     matrix_names,
