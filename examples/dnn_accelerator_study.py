@@ -14,6 +14,19 @@ from repro.baselines import gemmini
 from repro.workloads import resnet50_layers
 
 
+def build():
+    """The generated side of the comparison: a Gemmini-class
+    weight-stationary matmul tile (scaled to 8x8 for quick checking)."""
+    from repro import Accelerator, matmul_spec
+    from repro.core.dataflow import weight_stationary
+
+    return Accelerator(
+        spec=matmul_spec(),
+        bounds={"i": 8, "j": 8, "k": 8},
+        transform=weight_stationary(),
+    )
+
+
 def main():
     layers = resnet50_layers()
 

@@ -19,10 +19,20 @@ Run:  python examples/merge_sort_accelerator.py
 
 import numpy as np
 
-from repro.core import Bounds, compile_design
+from repro.core import Accelerator, Bounds, compile_design
 from repro.core.dataflow import SpaceTimeTransform
 from repro.core.library import MERGE_SENTINEL, merge_sorted_spec, sort_network_spec
 from repro.core.passes.regfile_opt import RegfileKind
+
+
+def build() -> Accelerator:
+    """The row-partitioned merger of Figure 19a: one PE per lane (x=l,
+    t=t), data-dependent pointers forcing the searching regfiles."""
+    return Accelerator(
+        spec=merge_sorted_spec(),
+        bounds={"l": 4, "t": 8},
+        transform=SpaceTimeTransform([[1, 0], [0, 1]]),
+    )
 
 
 def padded(fiber, length):

@@ -14,17 +14,23 @@ import numpy as np
 
 from repro import Accelerator, matmul_spec, output_stationary
 
-def main():
-    # 1. Functionality: the Listing 1 matmul spec (or write your own with
-    #    FunctionalSpec -- see examples/sparse_accelerator_exploration.py).
-    spec = matmul_spec()
 
-    # 2. Dataflow: an output-stationary 4x4 array (x=i, y=j, t=i+j+k).
-    accelerator = Accelerator(
-        spec=spec,
+def build() -> Accelerator:
+    """The quickstart design: a 4x4 output-stationary dense matmul.
+
+    1. Functionality: the Listing 1 matmul spec (or write your own with
+       FunctionalSpec -- see examples/sparse_accelerator_exploration.py).
+    2. Dataflow: an output-stationary 4x4 array (x=i, y=j, t=i+j+k).
+    """
+    return Accelerator(
+        spec=matmul_spec(),
         bounds={"i": 4, "j": 4, "k": 4},
         transform=output_stationary(),
     )
+
+
+def main():
+    accelerator = build()
 
     # 3. Build: compile the five design axes into a hardware description.
     design = accelerator.build()

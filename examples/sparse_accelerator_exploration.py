@@ -45,6 +45,18 @@ def evaluate(name, accelerator, a, b):
     return result, area
 
 
+def build() -> Accelerator:
+    """The study's end point: a CSR-skipping, row-shifting NxN array."""
+    spec = matmul_spec()
+    return Accelerator(
+        spec=spec,
+        bounds={"i": N, "j": N, "k": N},
+        transform=input_stationary(),
+        sparsity=csr_b_matrix(spec),
+        balancing=row_shift_scheme(N // 2),
+    )
+
+
 def main():
     rng = np.random.default_rng(7)
     a, b = imbalanced_workload(rng)

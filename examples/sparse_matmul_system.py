@@ -29,10 +29,31 @@ from repro.baselines.mergers import (
     row_partitioned_merge,
     sparch_partial_matrices,
 )
-from repro.core.memspec import csr_buffer
+from repro.core.memspec import csr_buffer, dense_matrix_buffer
 from repro.formats import CSRMatrix, spgemm_reference
 from repro.isa import Machine, StellarDriver
 from repro.workloads import synthesize
+
+
+def build():
+    """The compute side of the system: a CSR-skipping matmul array with
+    private memory buffers for the stationary and streamed operands."""
+    from repro import Accelerator, matmul_spec
+    from repro.core.dataflow import input_stationary
+    from repro.core.sparsity import csr_b_matrix
+
+    spec = matmul_spec()
+    n = 8
+    return Accelerator(
+        spec=spec,
+        bounds={"i": n, "j": n, "k": n},
+        transform=input_stationary(),
+        sparsity=csr_b_matrix(spec),
+        membufs={
+            "A": dense_matrix_buffer("A", n, n),
+            "B": csr_buffer("B", rows=n),
+        },
+    )
 
 
 def main():

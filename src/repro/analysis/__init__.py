@@ -1,0 +1,63 @@
+"""repro.analysis -- cross-layer static design checker.
+
+Three levels, one diagnostic model:
+
+* level 1, :mod:`repro.analysis.spec` (``STL-SP-*``): spec legality --
+  transform injectivity, dependence causality, PE-grid realizability,
+  sparsity/load-balancing annotation references;
+* level 2, :mod:`repro.analysis.netlist` (``STL-NL-*``): netlist dataflow
+  lint -- width inference and mismatch warnings, combinational-loop
+  detection, multiple drivers, dead nets, reset coverage (absorbs the old
+  ``repro.rtl.lint`` rules);
+* level 3, :mod:`repro.analysis.program` (``STL-PR-*``): ISA program
+  verification -- decodability, field ranges, config-before-issue
+  ordering, compressed-transfer metadata, DRAM window overlap.
+
+Each level is wired into its pipeline stage as an opt-out gate
+(``compile_design(..., check=False)``, ``lower_design(..., check=False)``,
+``StellarDriver(machine, check=False)``), and ``python -m repro check``
+runs the whole ladder over every example design.
+"""
+
+from .check import (
+    CheckReport,
+    DesignReport,
+    check_design,
+    demo_program,
+    discover_examples,
+    run_check,
+)
+from .diagnostics import (
+    AnalysisError,
+    Diagnostic,
+    Severity,
+    errors_only,
+    max_severity,
+    render_json,
+    render_text,
+    suppress,
+)
+from .netlist import check_netlist
+from .program import check_program, machine_unit_names
+from .spec import check_spec
+
+__all__ = [
+    "AnalysisError",
+    "CheckReport",
+    "DesignReport",
+    "Diagnostic",
+    "Severity",
+    "check_design",
+    "check_netlist",
+    "check_program",
+    "check_spec",
+    "demo_program",
+    "discover_examples",
+    "errors_only",
+    "machine_unit_names",
+    "max_severity",
+    "render_json",
+    "render_text",
+    "run_check",
+    "suppress",
+]

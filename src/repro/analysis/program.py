@@ -1,0 +1,342 @@
+"""Level 3: static ISA program verification (``STL-PR-*``).
+
+Validates an encoded instruction stream *before* it reaches the executor
+(:mod:`repro.isa.driver` / :mod:`repro.isa.machine`): every triple must
+decode, every field must be in range for the machine it targets,
+configuration must precede each ``ISSUE`` (config state is cleared after
+an issue, so stale settings cannot leak), compressed transfers must carry
+their metadata addresses and outer span, and the DRAM windows written by
+a stream's transfers must not overlap.
+
+The checker mirrors the executor's semantics symbolically: it folds the
+stream through the same per-side configuration state machine without
+touching memory, so anything it accepts the executor can at least begin
+to execute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..isa.encoding import (
+    ENTIRE_AXIS,
+    AxisTypeCode,
+    ConstantId,
+    Instruction,
+    MetadataType,
+    Opcode,
+    Target,
+    decode,
+)
+from .diagnostics import Diagnostic, Severity, suppress as _suppress
+
+_AXIS_FIELD_MAX = 0xFF
+
+
+class _Side:
+    """Symbolic configuration of one transfer side."""
+
+    def __init__(self) -> None:
+        self.data_addr: Optional[int] = None
+        self.metadata_addrs: Dict[Tuple[int, int], int] = {}
+        self.spans: Dict[int, int] = {}
+        self.axis_types: Dict[int, AxisTypeCode] = {}
+
+    def rank(self) -> int:
+        axes = set(self.spans) | set(self.axis_types)
+        return (max(axes) + 1) if axes else 0
+
+
+def machine_unit_names(machine) -> Dict[int, str]:
+    """The unit-id map the executor derives for a machine (duck-typed so
+    the checker never needs to import the executor)."""
+    names = {0: "DRAM"}
+    for offset, name in enumerate(sorted(machine.buffers)):
+        names[offset + 1] = name
+    return names
+
+
+def check_program(
+    stream: Sequence[Tuple[int, int, int]],
+    unit_names: Optional[Dict[int, str]] = None,
+    suppress: Iterable[str] = (),
+) -> List[Diagnostic]:
+    """Statically verify an encoded instruction stream.
+
+    ``unit_names`` maps unit ids to names (see :func:`machine_unit_names`);
+    when omitted, unit-id range checks are skipped.
+    """
+    diagnostics: List[Diagnostic] = []
+    src, dst = _Side(), _Side()
+    src_unit: Optional[int] = None
+    dst_unit: Optional[int] = None
+    configured_since_issue = False
+    issues = 0
+    # (lo, hi, issue index, is_write) DRAM windows of earlier transfers.
+    dram_windows: List[Tuple[int, int, int, bool]] = []
+
+    def emit(code, severity, message, index, suggestion=""):
+        diagnostics.append(
+            Diagnostic(
+                code, severity, "program", message, f"instruction {index}", suggestion
+            )
+        )
+
+    def sides(target: Target) -> List[_Side]:
+        if target is Target.FOR_SRC:
+            return [src]
+        if target is Target.FOR_DST:
+            return [dst]
+        return [src, dst]
+
+    for index, triple in enumerate(stream):
+        try:
+            instruction = decode(*triple)
+        except (ValueError, TypeError) as error:
+            emit(
+                "STL-PR-001",
+                Severity.ERROR,
+                f"undecodable instruction {tuple(triple)!r}: {error}",
+                index,
+            )
+            continue
+        diagnostics.extend(_check_fields(instruction, unit_names, index))
+
+        op = instruction.opcode
+        if op is Opcode.SET_SRC_AND_DST:
+            src_unit = instruction.value >> 8
+            dst_unit = instruction.value & 0xFF
+            configured_since_issue = True
+        elif op is Opcode.SET_ADDRESS:
+            for side in sides(instruction.target):
+                side.data_addr = instruction.value
+            configured_since_issue = True
+        elif op is Opcode.SET_METADATA_ADDRESS:
+            for side in sides(instruction.target):
+                side.metadata_addrs[
+                    (instruction.axis, instruction.metadata_type)
+                ] = instruction.value
+            configured_since_issue = True
+        elif op is Opcode.SET_SPAN:
+            for side in sides(instruction.target):
+                side.spans[instruction.axis] = instruction.value
+            configured_since_issue = True
+        elif op in (Opcode.SET_DATA_STRIDE, Opcode.SET_METADATA_STRIDE):
+            configured_since_issue = True
+        elif op is Opcode.SET_AXIS_TYPE:
+            try:
+                code = AxisTypeCode(instruction.value)
+            except ValueError:
+                code = None  # already reported by _check_fields
+            if code is not None:
+                for side in sides(instruction.target):
+                    side.axis_types[instruction.axis] = code
+            configured_since_issue = True
+        elif op is Opcode.SET_CONSTANT:
+            configured_since_issue = True
+        elif op is Opcode.ISSUE:
+            diagnostics.extend(
+                _check_issue(
+                    src,
+                    dst,
+                    src_unit,
+                    dst_unit,
+                    unit_names,
+                    configured_since_issue,
+                    issues,
+                    index,
+                    dram_windows,
+                )
+            )
+            src, dst = _Side(), _Side()
+            src_unit = dst_unit = None
+            configured_since_issue = False
+            issues += 1
+
+    if configured_since_issue:
+        diagnostics.append(
+            Diagnostic(
+                "STL-PR-006",
+                Severity.WARNING,
+                "program",
+                "stream ends with configuration not followed by an issue",
+                suggestion="append an ISSUE or drop the dangling configuration",
+            )
+        )
+    return _suppress(diagnostics, suppress)
+
+
+def _check_fields(
+    instruction: Instruction, unit_names: Optional[Dict[int, str]], index: int
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+
+    def emit(code, severity, message, suggestion=""):
+        diagnostics.append(
+            Diagnostic(
+                code, severity, "program", message, f"instruction {index}", suggestion
+            )
+        )
+
+    op = instruction.opcode
+    if op is Opcode.SET_AXIS_TYPE:
+        try:
+            AxisTypeCode(instruction.value)
+        except ValueError:
+            valid = ", ".join(f"{c.value}={c.name}" for c in AxisTypeCode)
+            emit(
+                "STL-PR-002",
+                Severity.ERROR,
+                f"set_axis_type immediate {instruction.value} is out of range"
+                f" (valid: {valid})",
+            )
+    elif op is Opcode.SET_CONSTANT:
+        try:
+            ConstantId(instruction.axis)
+        except ValueError:
+            emit(
+                "STL-PR-008",
+                Severity.WARNING,
+                f"set_constant names unknown constant id {instruction.axis}",
+            )
+    elif op is Opcode.SET_SRC_AND_DST and unit_names is not None:
+        for label, unit in (
+            ("source", instruction.value >> 8),
+            ("destination", instruction.value & 0xFF),
+        ):
+            if unit not in unit_names:
+                emit(
+                    "STL-PR-004",
+                    Severity.ERROR,
+                    f"{label} unit id {unit} does not name a machine unit"
+                    f" (known: {sorted(unit_names)})",
+                )
+    elif op is Opcode.SET_METADATA_ADDRESS:
+        try:
+            MetadataType(instruction.metadata_type)
+        except ValueError:
+            emit(
+                "STL-PR-002",
+                Severity.ERROR,
+                f"metadata type {instruction.metadata_type} is out of range",
+            )
+    if op is Opcode.SET_SPAN and instruction.value == 0:
+        emit(
+            "STL-PR-009",
+            Severity.WARNING,
+            f"span of 0 on axis {instruction.axis} makes the transfer empty",
+        )
+    return diagnostics
+
+
+def _check_issue(
+    src: _Side,
+    dst: _Side,
+    src_unit: Optional[int],
+    dst_unit: Optional[int],
+    unit_names: Optional[Dict[int, str]],
+    configured: bool,
+    issue_index: int,
+    index: int,
+    dram_windows: List[Tuple[int, int, int, bool]],
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+
+    def emit(code, severity, message, suggestion=""):
+        diagnostics.append(
+            Diagnostic(
+                code, severity, "program", message, f"instruction {index}", suggestion
+            )
+        )
+
+    if src_unit is None or dst_unit is None or not configured:
+        emit(
+            "STL-PR-003",
+            Severity.ERROR,
+            "issue before set_src_and_dst: configuration is cleared after"
+            " every issue, so each transfer must be fully re-configured",
+            suggestion="call set_src_and_dst (and friends) before stellar_issue",
+        )
+        return diagnostics
+
+    src_is_dram = src_unit == 0
+    dst_is_dram = dst_unit == 0
+    if src_is_dram == dst_is_dram:
+        names = unit_names or {}
+        emit(
+            "STL-PR-010",
+            Severity.ERROR,
+            f"unsupported transfer direction"
+            f" {names.get(src_unit, src_unit)!r} ->"
+            f" {names.get(dst_unit, dst_unit)!r}; exactly one side must be DRAM",
+        )
+
+    # Compressed (CSR) sources need their metadata streams and outer span.
+    side = src if src_is_dram else dst
+    axis_types = [
+        side.axis_types.get(axis, AxisTypeCode.DENSE) for axis in range(side.rank())
+    ]
+    if axis_types and axis_types[0] is AxisTypeCode.COMPRESSED:
+        outer_span = side.spans.get(1)
+        if outer_span is None or outer_span == ENTIRE_AXIS:
+            emit(
+                "STL-PR-005",
+                Severity.ERROR,
+                "compressed transfer requires the outer span (N_ROWS)",
+                suggestion="set_span(FOR_BOTH, 1, n_rows)",
+            )
+        missing = [
+            kind.name
+            for kind in (MetadataType.ROW_ID, MetadataType.COORD)
+            if (0, int(kind)) not in side.metadata_addrs
+        ]
+        if missing:
+            emit(
+                "STL-PR-005",
+                Severity.ERROR,
+                f"compressed transfer is missing metadata addresses"
+                f" for {missing}",
+                suggestion="set_metadata_addr for ROW_ID and COORD on axis 0",
+            )
+
+    # Overlapping DRAM windows: a window involved in a *write* must not
+    # collide with any earlier window of the stream (read-read sharing is
+    # fine; a write overlapping anything is an ordering hazard).
+    is_write = not src_is_dram
+    window = _dram_window(src if src_is_dram else dst)
+    if window is not None:
+        lo, hi = window
+        for other_lo, other_hi, other_issue, other_write in dram_windows:
+            if lo <= other_hi and other_lo <= hi and (is_write or other_write):
+                emit(
+                    "STL-PR-007",
+                    Severity.ERROR,
+                    f"DRAM window [{lo:#x}, {hi:#x}] of issue {issue_index}"
+                    f" overlaps [{other_lo:#x}, {other_hi:#x}] of issue"
+                    f" {other_issue}",
+                    suggestion="separate the transfers' address ranges",
+                )
+                break
+        dram_windows.append((lo, hi, issue_index, is_write))
+    return diagnostics
+
+
+def _dram_window(side: _Side) -> Optional[Tuple[int, int]]:
+    """The [lo, hi] word range a dense transfer touches in DRAM, when it
+    is statically known.  Compressed sides read data-dependent ranges, so
+    only fully-dense windows are tracked."""
+    if side.data_addr is None:
+        return None
+    rank = side.rank()
+    axis_types = [
+        side.axis_types.get(axis, AxisTypeCode.DENSE) for axis in range(rank)
+    ]
+    if any(t is not AxisTypeCode.DENSE for t in axis_types):
+        return None
+    spans = [side.spans.get(axis, 1) for axis in range(rank)]
+    if any(span == ENTIRE_AXIS or span <= 0 for span in spans):
+        return None
+    extent = 1
+    for span in spans:
+        extent *= span
+    return side.data_addr, side.data_addr + extent - 1

@@ -1,0 +1,287 @@
+"""Level 1: specification-legality checks (``STL-SP-*``).
+
+Validates a design *before* compilation: the space-time transform must be
+injective over the iteration domain (two iterations mapped to the same
+(space, time) coordinate would collide in one PE at one cycle), every
+dependence must advance monotonically in time (causality), the PE grid
+implied by the transform image must be realizable by the generated array
+(16-bit coordinate ports, absolute-value folding of negative positions),
+and the sparsity/load-balancing annotations must reference iterators and
+tensors that actually exist in the functional spec.
+
+Checks mirror :func:`repro.core.dataflow.validate_schedule` but return
+:class:`~repro.analysis.diagnostics.Diagnostic` lists instead of raising
+on first failure, so ``repro check`` can report everything at once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.balancing import LoadBalancingScheme
+from ..core.dataflow import SpaceTimeTransform
+from ..core.expr import Bounds
+from ..core.functionality import FunctionalSpec
+from ..core.sparsity import SparsityStructure
+from .diagnostics import Diagnostic, Severity, suppress as _suppress
+
+#: PE coordinate ports in the generated array are this wide (see
+#: ``repro.rtl.lowering._lower_pe``); space coordinates must fit.
+_COORD_BITS = 16
+
+#: Injectivity is checked by exhaustive enumeration up to this many
+#: iteration points; larger domains are sampled per-axis instead.
+_MAX_ENUMERATED_POINTS = 1 << 16
+
+
+def check_spec(
+    spec: FunctionalSpec,
+    bounds: Bounds,
+    transform: SpaceTimeTransform,
+    sparsity: Optional[SparsityStructure] = None,
+    balancing: Optional[LoadBalancingScheme] = None,
+    suppress: Tuple[str, ...] = (),
+) -> List[Diagnostic]:
+    """Run every spec-legality check; returns all findings."""
+    diagnostics: List[Diagnostic] = []
+    order = spec.index_names
+
+    # --- Shape consistency (everything else depends on it) -------------
+    if transform.rank != len(order):
+        diagnostics.append(
+            Diagnostic(
+                "STL-SP-001",
+                Severity.ERROR,
+                "spec",
+                f"transform rank {transform.rank} does not match the"
+                f" {len(order)} iteration indices {list(order)}",
+                location=spec.name,
+                suggestion="use one transform row/column per iteration index",
+            )
+        )
+        return _suppress(diagnostics, suppress)
+
+    missing = [name for name in order if name not in bounds]
+    if missing:
+        diagnostics.append(
+            Diagnostic(
+                "STL-SP-002",
+                Severity.ERROR,
+                "spec",
+                f"bounds are missing iteration indices {missing}",
+                location=spec.name,
+                suggestion="give every index of the spec an explicit bound",
+            )
+        )
+        return _suppress(diagnostics, suppress)
+
+    extra = [name for name in bounds.names() if name not in order]
+    if extra:
+        diagnostics.append(
+            Diagnostic(
+                "STL-SP-011",
+                Severity.WARNING,
+                "spec",
+                f"bounds name indices {extra} that the spec does not iterate",
+                location=spec.name,
+            )
+        )
+
+    diagnostics.extend(_check_injectivity(spec, bounds, transform))
+    diagnostics.extend(_check_causality(spec, transform))
+    diagnostics.extend(_check_grid(spec, bounds, transform))
+    diagnostics.extend(_check_sparsity(spec, sparsity))
+    diagnostics.extend(_check_balancing(spec, balancing))
+    return _suppress(diagnostics, suppress)
+
+
+# ---------------------------------------------------------------------------
+# Injectivity
+# ---------------------------------------------------------------------------
+
+
+def _check_injectivity(
+    spec: FunctionalSpec, bounds: Bounds, transform: SpaceTimeTransform
+) -> List[Diagnostic]:
+    """Two iteration points mapped to the same (space, time) coordinate
+    would execute in the same PE at the same cycle."""
+    order = spec.index_names
+    if bounds.point_count(order) > _MAX_ENUMERATED_POINTS:
+        # Linear maps collide on a full domain iff they collide on a
+        # difference vector; an invertible matrix never does, so for big
+        # domains the constructor's invertibility check already covers us.
+        return []
+    seen: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+    for point in bounds.domain(order):
+        image = transform.apply(point)
+        other = seen.get(image)
+        if other is not None:
+            return [
+                Diagnostic(
+                    "STL-SP-003",
+                    Severity.ERROR,
+                    "spec",
+                    f"transform is not injective: iterations {other} and"
+                    f" {point} both map to space-time {image}",
+                    location=spec.name,
+                    suggestion="use an invertible space-time matrix",
+                )
+            ]
+        seen[image] = point
+    return []
+
+
+# ---------------------------------------------------------------------------
+# Causality
+# ---------------------------------------------------------------------------
+
+
+def _check_causality(
+    spec: FunctionalSpec, transform: SpaceTimeTransform
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for name, d in spec.difference_vectors().items():
+        disp = transform.displacement(d)
+        space = disp[: transform.space_dims]
+        dt = disp[transform.space_dims]
+        if dt < 0:
+            diagnostics.append(
+                Diagnostic(
+                    "STL-SP-004",
+                    Severity.ERROR,
+                    "spec",
+                    f"transform violates causality for {name!r}: time delta"
+                    f" {dt} < 0 along difference vector {d}",
+                    location=spec.name,
+                    suggestion="flip the sign of the time row along this dependence",
+                )
+            )
+        elif dt == 0 and any(space):
+            diagnostics.append(
+                Diagnostic(
+                    "STL-SP-005",
+                    Severity.WARNING,
+                    "spec",
+                    f"{name!r} moves {space} in space with zero time delta --"
+                    " a combinational broadcast chain across PEs",
+                    location=spec.name,
+                    suggestion="add a time component to pipeline the path",
+                )
+            )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# PE grid vs transform image
+# ---------------------------------------------------------------------------
+
+
+def _check_grid(
+    spec: FunctionalSpec, bounds: Bounds, transform: SpaceTimeTransform
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    order = spec.index_names
+    if bounds.point_count(order) > _MAX_ENUMERATED_POINTS:
+        return diagnostics
+    footprint = transform.footprint(bounds, order)
+    box = footprint.bounding_box()
+    if any(hi >= (1 << _COORD_BITS) for _, hi in box):
+        diagnostics.append(
+            Diagnostic(
+                "STL-SP-006",
+                Severity.ERROR,
+                "spec",
+                f"transform image spans PE coordinates {box} which overflow"
+                f" the {_COORD_BITS}-bit coordinate ports of the array",
+                location=spec.name,
+                suggestion="tile the iteration space before mapping it",
+            )
+        )
+    if any(lo < 0 for lo, _ in box):
+        diagnostics.append(
+            Diagnostic(
+                "STL-SP-007",
+                Severity.WARNING,
+                "spec",
+                f"transform image includes negative PE coordinates {box};"
+                " the RTL backend folds them by absolute value",
+                location=spec.name,
+                suggestion="translate the space rows to a non-negative origin",
+            )
+        )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Annotation references
+# ---------------------------------------------------------------------------
+
+
+def _check_sparsity(
+    spec: FunctionalSpec, sparsity: Optional[SparsityStructure]
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    if sparsity is None:
+        return diagnostics
+    known_tensors = {
+        t.name for t in (*spec.input_tensors(), *spec.output_tensors())
+    }
+    for skip in sparsity:
+        for name in skip.skipped_names:
+            if name not in spec.index_names:
+                diagnostics.append(
+                    Diagnostic(
+                        "STL-SP-008",
+                        Severity.ERROR,
+                        "spec",
+                        f"sparsity skip names unknown iterator {name!r};"
+                        f" spec iterates {list(spec.index_names)}",
+                        location=spec.name,
+                    )
+                )
+        for name in skip.condition.free_indices():
+            if name not in spec.index_names:
+                diagnostics.append(
+                    Diagnostic(
+                        "STL-SP-008",
+                        Severity.ERROR,
+                        "spec",
+                        f"skip condition references unknown iterator {name!r}",
+                        location=spec.name,
+                    )
+                )
+        for tensor in skip.condition_tensors():
+            if tensor.name not in known_tensors:
+                diagnostics.append(
+                    Diagnostic(
+                        "STL-SP-009",
+                        Severity.ERROR,
+                        "spec",
+                        f"skip condition references unknown tensor"
+                        f" {tensor.name!r}; spec has {sorted(known_tensors)}",
+                        location=spec.name,
+                    )
+                )
+    return diagnostics
+
+
+def _check_balancing(
+    spec: FunctionalSpec, balancing: Optional[LoadBalancingScheme]
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    if balancing is None:
+        return diagnostics
+    for shift in balancing:
+        for name in (*shift.src, *shift.dst):
+            if name not in spec.index_names:
+                diagnostics.append(
+                    Diagnostic(
+                        "STL-SP-010",
+                        Severity.ERROR,
+                        "spec",
+                        f"load-balancing shift references unknown iterator"
+                        f" {name!r}; spec iterates {list(spec.index_names)}",
+                        location=spec.name,
+                    )
+                )
+    return diagnostics

@@ -13,7 +13,11 @@ Wraps the Figure 1 flow for quick use without writing Python:
   interpreter;
 * ``report`` -- the consolidated design report (structure, regfiles,
   area, Verilog stats);
-* ``frameworks`` -- print the Table I comparison.
+* ``frameworks`` -- print the Table I comparison;
+* ``check`` -- run every example design through the three-level static
+  checker (spec legality, netlist dataflow lint, ISA program
+  verification); exits 0 when clean, 1 on diagnostics at or above
+  ``--fail-on``, 2 on usage errors.
 
 Specs, dataflows, sparsity structures, and balancing schemes are selected
 by name; the registries below are the same objects the library exposes.
@@ -291,6 +295,58 @@ def cmd_frameworks(args) -> int:
     return 0
 
 
+def _default_example_paths() -> list:
+    import os
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    candidate = os.path.join(os.path.dirname(os.path.dirname(here)), "examples")
+    return [candidate] if os.path.isdir(candidate) else []
+
+
+def cmd_check(args) -> int:
+    import os
+
+    from .analysis import Severity, run_check
+
+    paths = list(args.paths) or _default_example_paths()
+    if not paths:
+        print(
+            "check: no example paths given and no examples/ directory found",
+            file=sys.stderr,
+        )
+        return 2
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"check: no such file or directory: {path}", file=sys.stderr)
+            return 2
+    threshold = Severity.parse(args.fail_on)
+
+    profiler = None
+    previous_profiler = None
+    if args.profile:
+        from .obs.profile import Profiler, set_profiler
+
+        profiler = Profiler(enabled=True)
+        previous_profiler = set_profiler(profiler)
+    try:
+        report = run_check(paths, suppress=args.suppress)
+    finally:
+        if previous_profiler is not None:
+            from .obs.profile import set_profiler
+
+            set_profiler(previous_profiler)
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.text())
+    if profiler is not None:
+        print("\nper-level timing:")
+        print(profiler.table())
+    worst = report.max_severity()
+    return 1 if worst is not None and worst >= threshold else 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -383,6 +439,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     frameworks = sub.add_parser("frameworks", help="print the Table I matrix")
     frameworks.set_defaults(func=cmd_frameworks)
+
+    check = sub.add_parser(
+        "check", help="static-check example designs (spec/netlist/program)"
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        help="example files or directories (default: the repo's examples/)",
+    )
+    check.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    check.add_argument(
+        "--fail-on",
+        choices=["warning", "error"],
+        default="error",
+        help="lowest severity that makes the exit status 1",
+    )
+    check.add_argument(
+        "--suppress",
+        action="append",
+        default=[],
+        metavar="CODE",
+        help="drop diagnostics with this code (repeatable)",
+    )
+    check.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-level wall-clock timings after checking",
+    )
+    check.set_defaults(func=cmd_check)
     return parser
 
 

@@ -82,8 +82,12 @@ class Accelerator:
         fields.update(kwargs)
         return Accelerator(**fields)
 
-    def build(self) -> "GeneratedDesign":
-        """Run the compiler and wrap the result with the backends."""
+    def build(self, check: bool = True) -> "GeneratedDesign":
+        """Run the compiler and wrap the result with the backends.
+
+        ``check`` is forwarded to :func:`repro.core.compiler.compile_design`
+        and controls the spec-legality analysis gate.
+        """
         compiled = compile_design(
             self.spec,
             self.bounds,
@@ -92,6 +96,7 @@ class Accelerator:
             balancing=self.balancing,
             membufs=self.membufs,
             element_bits=self.element_bits,
+            check=check,
         )
         return GeneratedDesign(self, compiled)
 

@@ -128,12 +128,18 @@ def compile_design(
     balancing: Optional[LoadBalancingScheme] = None,
     membufs: Optional[Mapping[str, MemoryBufferSpec]] = None,
     element_bits: int = 32,
+    check: bool = True,
 ) -> CompiledDesign:
     """Run the full compilation pipeline of Figure 7.
 
     Parameters mirror the five design axes of Section III: ``spec``
     (functionality), ``transform`` (dataflow), ``sparsity``, ``balancing``,
     and ``membufs`` (private memory buffers, keyed by tensor name).
+
+    With ``check=True`` (the default) the spec-legality analyzer runs
+    before elaboration and raises :class:`repro.analysis.AnalysisError`
+    on error-severity findings; pass ``check=False`` to collect
+    diagnostics yourself via :func:`repro.analysis.check_spec`.
     """
     sparsity = sparsity or SparsityStructure()
     balancing = balancing or LoadBalancingScheme()
@@ -141,6 +147,21 @@ def compile_design(
 
     profiler = get_profiler()
     tracer = get_tracer()
+
+    # The analysis gate runs before validate_schedule so its richer
+    # multi-finding diagnostics win over the legacy first-failure error.
+    if check:
+        from ..analysis.diagnostics import AnalysisError, errors_only
+        from ..analysis.spec import check_spec
+
+        with profiler.scope("analysis.spec"), tracer.span(
+            "check_spec", component="compiler", design=spec.name
+        ):
+            findings = errors_only(
+                check_spec(spec, bounds, transform, sparsity, balancing)
+            )
+        if findings:
+            raise AnalysisError(findings)
 
     with profiler.scope("compile.validate_schedule"), tracer.span(
         "validate_schedule", component="compiler", design=spec.name

@@ -257,11 +257,14 @@ class StellarDriver:
     COORDS = MetadataType.COORD
     ENTIRE_AXIS = ENTIRE_AXIS
 
-    def __init__(self, machine: Machine):
+    def __init__(self, machine: Machine, check: bool = True):
         self.machine = machine
         self.executor = ISAExecutor(machine)
         self.stream: List[Tuple[int, int, int]] = []
         self.history: List[Tuple[int, int, int]] = []
+        #: run the static program verifier on every stream before it
+        #: reaches the executor (raises repro.analysis.AnalysisError).
+        self.check = check
 
     def _push(self, instruction: Instruction) -> None:
         encoded = instruction.encode()
@@ -327,4 +330,15 @@ class StellarDriver:
         """Issue the pending stream; returns the cycles the transfer took."""
         self._push(make(Opcode.ISSUE))
         stream, self.stream = self.stream, []
+        if self.check:
+            from ..analysis.diagnostics import AnalysisError, errors_only
+            from ..analysis.program import check_program, machine_unit_names
+            from ..obs.profile import get_profiler
+
+            with get_profiler().scope("analysis.program"):
+                findings = errors_only(
+                    check_program(stream, machine_unit_names(self.machine))
+                )
+            if findings:
+                raise AnalysisError(findings)
         return self.executor.execute(stream)

@@ -1,167 +1,43 @@
-"""Structural lint for generated netlists.
+"""Structural lint for generated netlists (legacy string API).
 
-Offline we cannot run synthesis, so this lint is the repository's
-integrity check for the Verilog backend.  It verifies, per module:
-
-* every identifier referenced in an assign, sync block, or instance
-  connection is declared (port or net);
-* every output port is driven (by an assign, a sync block, or an instance
-  connection);
-* assigns only drive wires/outputs and sync blocks only drive regs;
-* instances reference existing modules, connect only existing ports, and
-  connect every input port of the child;
-* the module graph is acyclic and every module is reachable or explicitly
-  kept.
-
-``lint_netlist`` returns a list of human-readable problem strings; an
-empty list means the netlist is structurally sound.
+This module is now a thin compatibility facade over the full netlist
+dataflow analyzer in :mod:`repro.analysis.netlist`, which absorbed and
+extended the original rules here (adding width inference,
+combinational-loop detection, multiple-driver and dead-net detection,
+and reset-coverage checks).  ``lint_module``/``lint_netlist`` keep their
+original contract -- a list of human-readable problem strings, empty
+when the netlist is structurally sound -- by rendering the analyzer's
+*error*-severity diagnostics in the legacy ``module: message`` format.
+Callers who want severities, stable codes, and suggestions should use
+:func:`repro.analysis.check_netlist` directly.
 """
 
 from __future__ import annotations
 
-import re
-from typing import Dict, List, Set
+from typing import List
 
-from .netlist import Module, Netlist, PortDir, expression_identifiers
-
-_LHS_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_]*)")
+from .netlist import Module, Netlist
 
 
-def _strip_guard(statement: str) -> str:
-    """Drop a leading ``if (...)`` guard (balanced parens) from a statement."""
-    text = statement.lstrip()
-    if not text.startswith("if"):
-        return text
-    start = text.find("(")
-    if start < 0:
-        return text
-    depth = 0
-    for pos in range(start, len(text)):
-        if text[pos] == "(":
-            depth += 1
-        elif text[pos] == ")":
-            depth -= 1
-            if depth == 0:
-                return text[pos + 1:].lstrip()
-    return text
+def _legacy(diagnostics) -> List[str]:
+    # Imported lazily: repro.analysis.netlist itself imports the netlist
+    # structures from this package.
+    from ..analysis.diagnostics import Severity
 
-
-def _lhs_identifier(statement: str) -> str:
-    """The identifier being assigned: for sequential statements the first
-    identifier after any ``if (...)`` guard and before ``<=``; for
-    continuous assignment targets, the leading identifier."""
-    if "<=" in statement:
-        target = _strip_guard(statement).split("<=", 1)[0]
-        match = _LHS_RE.match(target)
-        return match.group(1) if match else ""
-    match = _LHS_RE.match(statement)
-    return match.group(1) if match else ""
+    return [
+        d.legacy_text() for d in diagnostics if d.severity >= Severity.ERROR
+    ]
 
 
 def lint_module(module: Module, netlist: Netlist) -> List[str]:
-    problems: List[str] = []
-    declared = module.declared_names()
-    driven: Set[str] = set()
-    outputs = {p.name for p in module.ports if p.direction is PortDir.OUTPUT}
-    inputs = {p.name for p in module.ports if p.direction is PortDir.INPUT}
-    regs = {n.name for n in module.nets if n.is_reg}
-    wires = {n.name for n in module.nets if not n.is_reg}
+    """Error-level problems of one module, as legacy strings."""
+    from ..analysis.netlist import check_module
 
-    def check_refs(expression: str, where: str) -> None:
-        for name in expression_identifiers(expression):
-            if name not in declared:
-                problems.append(
-                    f"{module.name}: undeclared identifier {name!r} in {where}"
-                )
-
-    for assign in module.assigns:
-        lhs = _lhs_identifier(assign.lhs)
-        if lhs in regs:
-            problems.append(
-                f"{module.name}: assign drives reg {lhs!r} (must use a sync block)"
-            )
-        elif lhs not in wires | outputs:
-            problems.append(f"{module.name}: assign drives undeclared {lhs!r}")
-        driven.add(lhs)
-        check_refs(assign.rhs, f"assign {assign.lhs}")
-
-    for block in module.sync_blocks:
-        for stmt in list(block.statements) + list(block.reset_statements):
-            lhs = _lhs_identifier(stmt)
-            if "<=" in stmt:
-                if lhs and lhs not in regs:
-                    problems.append(
-                        f"{module.name}: sync block drives non-reg {lhs!r}"
-                    )
-                if lhs:
-                    driven.add(lhs)
-            check_refs(stmt, "sync block")
-
-    for inst in module.instances:
-        child = netlist.modules.get(inst.module_name)
-        if child is None:
-            problems.append(
-                f"{module.name}: instance {inst.instance_name!r} of unknown"
-                f" module {inst.module_name!r}"
-            )
-            continue
-        child_inputs = {
-            p.name for p in child.ports if p.direction is PortDir.INPUT
-        }
-        for port_name, signal in inst.connections.items():
-            if not child.has_port(port_name):
-                problems.append(
-                    f"{module.name}: {inst.instance_name} connects missing"
-                    f" port {port_name!r} of {child.name}"
-                )
-                continue
-            check_refs(signal, f"instance {inst.instance_name}.{port_name}")
-            if child.port(port_name).direction is PortDir.OUTPUT:
-                lhs = _lhs_identifier(signal)
-                if lhs:
-                    driven.add(lhs)
-        missing = child_inputs - set(inst.connections)
-        for port_name in sorted(missing):
-            problems.append(
-                f"{module.name}: {inst.instance_name} leaves input"
-                f" {port_name!r} of {child.name} unconnected"
-            )
-
-    for name in sorted(outputs - driven):
-        problems.append(f"{module.name}: output {name!r} is never driven")
-
-    for name in sorted(driven & inputs):
-        problems.append(f"{module.name}: input port {name!r} is driven internally")
-
-    return problems
+    return _legacy(check_module(module, netlist))
 
 
 def lint_netlist(netlist: Netlist) -> List[str]:
-    problems: List[str] = []
-    if netlist.top_name not in netlist.modules:
-        problems.append(f"top module {netlist.top_name!r} is missing")
-        return problems
+    """Error-level problems of the whole netlist, as legacy strings."""
+    from ..analysis.netlist import check_netlist
 
-    for module in netlist.modules.values():
-        problems.extend(lint_module(module, netlist))
-
-    # Cycle check over the instantiation graph.
-    state: Dict[str, int] = {}
-
-    def visit(name: str, stack: List[str]) -> None:
-        if state.get(name) == 2:
-            return
-        if state.get(name) == 1:
-            problems.append(
-                "instantiation cycle: " + " -> ".join(stack + [name])
-            )
-            return
-        state[name] = 1
-        module = netlist.modules.get(name)
-        if module is not None:
-            for inst in module.instances:
-                visit(inst.module_name, stack + [name])
-        state[name] = 2
-
-    visit(netlist.top_name, [])
-    return problems
+    return _legacy(check_netlist(netlist))

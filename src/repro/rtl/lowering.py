@@ -27,8 +27,16 @@ from ..core.passes.regfile_opt import RegfileKind, RegfilePlan
 from .netlist import Module, Netlist, PortDir
 
 
-def lower_design(design: CompiledDesign, max_inflight_dma: int = 1) -> Netlist:
-    """Lower a compiled design to a full accelerator netlist."""
+def lower_design(
+    design: CompiledDesign, max_inflight_dma: int = 1, check: bool = True
+) -> Netlist:
+    """Lower a compiled design to a full accelerator netlist.
+
+    With ``check=True`` (the default) the netlist dataflow analyzer runs
+    over the result and raises :class:`repro.analysis.AnalysisError` on
+    error-severity findings; pass ``check=False`` to collect diagnostics
+    yourself via :func:`repro.analysis.check_netlist`.
+    """
     name = _sanitize(design.name)
     netlist = Netlist(f"{name}_top")
 
@@ -58,6 +66,16 @@ def lower_design(design: CompiledDesign, max_inflight_dma: int = 1) -> Netlist:
         netlist.add(balancer)
 
     netlist.add(_lower_top(design, name, array, regfiles, membufs, dma, balancer))
+
+    if check:
+        from ..analysis.diagnostics import AnalysisError, errors_only
+        from ..analysis.netlist import check_netlist
+        from ..obs.profile import get_profiler
+
+        with get_profiler().scope("analysis.netlist"):
+            findings = errors_only(check_netlist(netlist))
+        if findings:
+            raise AnalysisError(findings)
     return netlist
 
 

@@ -1,0 +1,187 @@
+"""The check ladder, example discovery, and the CLI exit-code contract."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import check_design, discover_examples, run_check
+from repro.cli import main
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "examples",
+)
+
+BROKEN_EXAMPLE = """\
+from repro import Accelerator, matmul_spec
+from repro.core.dataflow import SpaceTimeTransform
+
+
+def build():
+    return Accelerator(
+        spec=matmul_spec(),
+        bounds={"i": 4, "j": 4, "k": 4},
+        transform=SpaceTimeTransform([[1, 0, 0], [0, 1, 0], [-1, -1, -1]]),
+    )
+"""
+
+
+def test_every_example_has_build_and_is_clean():
+    targets = discover_examples([EXAMPLES_DIR])
+    assert len(targets) >= 5
+    assert all(not t.error for t in targets), [t.error for t in targets]
+    report = run_check([EXAMPLES_DIR])
+    for design in report.designs:
+        assert design.diagnostics == [], (
+            design.name,
+            [d.render() for d in design.diagnostics],
+        )
+        assert design.levels == ["spec", "netlist", "program"]
+
+
+def test_check_design_accepts_accelerator_and_generated_design(spec):
+    from repro.core import Accelerator, Bounds
+    from repro.core.dataflow import output_stationary
+
+    acc = Accelerator(
+        spec=spec, bounds=Bounds({"i": 4, "j": 4, "k": 4}),
+        transform=output_stationary(),
+    )
+    assert check_design(acc).clean
+    assert check_design(acc.build()).clean
+
+
+def test_spec_errors_skip_later_levels(tmp_path):
+    path = tmp_path / "broken_example.py"
+    path.write_text(BROKEN_EXAMPLE)
+    report = run_check([str(path)])
+    (design,) = report.designs
+    assert design.levels == ["spec"]
+    assert {d.code for d in design.diagnostics} == {"STL-SP-004"}
+
+
+def test_build_exception_becomes_diagnostic(tmp_path):
+    path = tmp_path / "crashy.py"
+    path.write_text("def build():\n    raise ValueError('nope')\n")
+    report = run_check([str(path)])
+    (design,) = report.designs
+    assert [d.code for d in design.diagnostics] == ["STL-CK-001"]
+    assert "nope" in design.diagnostics[0].message
+
+
+def test_suppression_drops_codes(tmp_path):
+    path = tmp_path / "broken_example.py"
+    path.write_text(BROKEN_EXAMPLE)
+    report = run_check([str(path)], suppress=["STL-SP-004"])
+    assert report.diagnostics == []
+
+
+BROKEN_NETLIST_EXAMPLE = """\
+from repro.rtl.netlist import Assign, Module, Net, Netlist, Port, PortDir
+
+
+def build():
+    module = Module("busted")
+    module.ports.append(Port("out", PortDir.OUTPUT, 8))
+    module.nets.append(Net("wide", 16))
+    module.assigns.append(Assign("wide", "16'd3"))
+    module.assigns.append(Assign("out", "wide"))
+    module.nets.append(Net("l1", 4))
+    module.nets.append(Net("l2", 4))
+    module.assigns.append(Assign("l1", "l2"))
+    module.assigns.append(Assign("l2", "l1"))
+    netlist = Netlist("busted")
+    netlist.add(module)
+    return netlist
+"""
+
+BROKEN_PROGRAM_EXAMPLE = """\
+from repro.isa.encoding import Opcode, Target, make
+
+
+def build():
+    return [make(Opcode.SET_AXIS_TYPE, Target.FOR_BOTH, 0, 0, 9).encode(),
+            make(Opcode.ISSUE).encode()]
+"""
+
+
+def test_single_layer_escape_hatches(tmp_path):
+    netlist_path = tmp_path / "busted_netlist.py"
+    netlist_path.write_text(BROKEN_NETLIST_EXAMPLE)
+    report = run_check([str(netlist_path)])
+    (design,) = report.designs
+    assert design.levels == ["netlist"]
+    assert {d.code for d in design.diagnostics} == {"STL-NL-012", "STL-NL-013"}
+
+    program_path = tmp_path / "busted_program.py"
+    program_path.write_text(BROKEN_PROGRAM_EXAMPLE)
+    report = run_check([str(program_path)])
+    (design,) = report.designs
+    assert design.levels == ["program"]
+    assert {d.code for d in design.diagnostics} == {"STL-PR-002", "STL-PR-003"}
+
+
+# --- CLI exit-code contract: 0 clean / 1 diagnostics / 2 usage error -----
+
+
+@pytest.mark.parametrize(
+    "source",
+    [BROKEN_EXAMPLE, BROKEN_NETLIST_EXAMPLE, BROKEN_PROGRAM_EXAMPLE],
+    ids=["spec", "netlist", "program"],
+)
+def test_cli_exits_nonzero_on_each_broken_layer(tmp_path, capsys, source):
+    path = tmp_path / "seeded.py"
+    path.write_text(source)
+    assert main(["check", str(path)]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_cli_clean_examples_exit_zero(capsys):
+    assert main(["check", os.path.join(EXAMPLES_DIR, "quickstart.py")]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_cli_diagnostics_exit_one(tmp_path, capsys):
+    path = tmp_path / "broken_example.py"
+    path.write_text(BROKEN_EXAMPLE)
+    assert main(["check", str(path)]) == 1
+    assert "STL-SP-004" in capsys.readouterr().out
+
+
+def test_cli_fail_on_warning_tightens_gate(tmp_path, capsys):
+    path = tmp_path / "warny.py"
+    path.write_text(
+        "from repro import Accelerator, matmul_spec\n"
+        "from repro.core.dataflow import hexagonal\n\n\n"
+        "def build():\n"
+        "    return Accelerator(spec=matmul_spec(),\n"
+        "                       bounds={'i': 4, 'j': 4, 'k': 4},\n"
+        "                       transform=hexagonal())\n"
+    )
+    assert main(["check", str(path)]) == 0
+    assert main(["check", "--fail-on", "warning", str(path)]) == 1
+    assert "STL-SP-007" in capsys.readouterr().out
+
+
+def test_cli_usage_error_exit_two(capsys):
+    assert main(["check", "/no/such/path"]) == 2
+    assert "no such file" in capsys.readouterr().err
+    with pytest.raises(SystemExit) as excinfo:
+        main(["check", "--fail-on", "bogus"])
+    assert excinfo.value.code == 2
+
+
+def test_cli_json_output(tmp_path, capsys):
+    path = tmp_path / "broken_example.py"
+    path.write_text(BROKEN_EXAMPLE)
+    assert main(["check", "--json", str(path)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["errors"] == 3
+    codes = {
+        d["code"]
+        for design in payload["designs"]
+        for d in design["diagnostics"]
+    }
+    assert codes == {"STL-SP-004"}

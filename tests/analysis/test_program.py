@@ -1,0 +1,129 @@
+"""Level 3 golden tests: ISA program verification (STL-PR-*)."""
+
+import pytest
+
+from repro.analysis import AnalysisError, Severity, check_program
+from repro.analysis.program import machine_unit_names
+from repro.core.memspec import csr_buffer, dense_matrix_buffer
+from repro.isa import Machine, StellarDriver
+from repro.isa.encoding import ENTIRE_AXIS, Opcode, Target, make
+
+UNITS = {0: "DRAM", 1: "SRAM_A", 2: "SRAM_B"}
+
+
+def _dense_load(unit=1, base=0x1000, rows=4, cols=4, write=False):
+    src, dst = (unit, 0) if write else (0, unit)
+    target = Target.FOR_DST if write else Target.FOR_SRC
+    out = [
+        make(Opcode.SET_SRC_AND_DST, value=(src << 8) | dst).encode(),
+        make(Opcode.SET_ADDRESS, target, value=base).encode(),
+    ]
+    for axis, span in ((0, cols), (1, rows)):
+        out.append(make(Opcode.SET_SPAN, axis=axis, value=span).encode())
+        out.append(make(Opcode.SET_AXIS_TYPE, axis=axis, value=0).encode())
+        out.append(make(Opcode.SET_DATA_STRIDE, axis=axis, value=1).encode())
+    out.append(make(Opcode.ISSUE).encode())
+    return out
+
+
+def test_clean_dense_program():
+    assert check_program(_dense_load(), UNITS) == []
+
+
+def test_undecodable_opcode():
+    findings = check_program([(99, 0, 0)], UNITS)
+    assert [d.code for d in findings] == ["STL-PR-001"]
+    assert findings[0].location == "instruction 0"
+
+
+def test_out_of_range_immediate_exact_diagnostic():
+    stream = [make(Opcode.SET_AXIS_TYPE, Target.FOR_BOTH, 0, 0, 9).encode()]
+    findings = check_program(stream, UNITS)
+    codes = [d.code for d in findings]
+    assert "STL-PR-002" in codes
+    diag = next(d for d in findings if d.code == "STL-PR-002")
+    assert diag.severity is Severity.ERROR
+    assert diag.message == (
+        "set_axis_type immediate 9 is out of range"
+        " (valid: 0=DENSE, 1=COMPRESSED, 2=BITVECTOR, 3=LINKED_LIST)"
+    )
+
+
+def test_issue_before_config():
+    findings = check_program([make(Opcode.ISSUE).encode()], UNITS)
+    assert [d.code for d in findings] == ["STL-PR-003"]
+
+
+def test_unknown_unit_id():
+    stream = [make(Opcode.SET_SRC_AND_DST, value=(0 << 8) | 7).encode()]
+    findings = check_program(stream, UNITS)
+    assert [d.code for d in findings[:1]] == ["STL-PR-004"]
+    # Without a unit map the check is skipped.
+    assert not any(
+        d.code == "STL-PR-004" for d in check_program(stream, None)
+    )
+
+
+def test_compressed_transfer_missing_metadata():
+    stream = [
+        make(Opcode.SET_SRC_AND_DST, value=(0 << 8) | 2).encode(),
+        make(Opcode.SET_ADDRESS, Target.FOR_SRC, value=0x1000).encode(),
+        make(Opcode.SET_SPAN, axis=0, value=ENTIRE_AXIS).encode(),
+        make(Opcode.SET_SPAN, axis=1, value=4).encode(),
+        make(Opcode.SET_AXIS_TYPE, axis=0, value=1).encode(),
+        make(Opcode.SET_AXIS_TYPE, axis=1, value=0).encode(),
+        make(Opcode.ISSUE).encode(),
+    ]
+    findings = check_program(stream, UNITS)
+    assert [d.code for d in findings] == ["STL-PR-005"]
+    assert "metadata addresses" in findings[0].message
+
+
+def test_dangling_config_warns():
+    stream = [make(Opcode.SET_SPAN, axis=0, value=4).encode()]
+    findings = check_program(stream, UNITS)
+    assert [d.code for d in findings] == ["STL-PR-006"]
+    assert findings[0].severity is Severity.WARNING
+
+
+def test_overlapping_windows_write_only():
+    read_read = _dense_load(unit=1) + _dense_load(unit=2)
+    assert check_program(read_read, UNITS) == []
+    read_write = _dense_load(unit=1) + _dense_load(unit=2, write=True)
+    findings = check_program(read_write, UNITS)
+    assert [d.code for d in findings] == ["STL-PR-007"]
+    disjoint = _dense_load(unit=1) + _dense_load(unit=2, base=0x8000, write=True)
+    assert check_program(disjoint, UNITS) == []
+
+
+def test_buffer_to_buffer_rejected():
+    stream = _dense_load()
+    stream[0] = make(Opcode.SET_SRC_AND_DST, value=(1 << 8) | 2).encode()
+    findings = check_program(stream, UNITS)
+    assert "STL-PR-010" in [d.code for d in findings]
+
+
+def test_machine_unit_names_matches_executor():
+    machine = Machine(
+        [dense_matrix_buffer("SRAM_A", 4, 4), csr_buffer("SRAM_B", 4)]
+    )
+    names = machine_unit_names(machine)
+    driver = StellarDriver(machine)
+    assert {name: uid for uid, name in names.items()} == dict(
+        driver.executor.unit_ids
+    )
+
+
+def test_driver_gate_raises_analysis_error():
+    machine = Machine([dense_matrix_buffer("SRAM_A", 4, 4)])
+    driver = StellarDriver(machine)
+    with pytest.raises(AnalysisError):
+        driver.stellar_issue()  # no configuration at all
+
+
+def test_driver_gate_opt_out_reaches_executor():
+    machine = Machine([dense_matrix_buffer("SRAM_A", 4, 4)])
+    driver = StellarDriver(machine, check=False)
+    with pytest.raises(RuntimeError) as excinfo:
+        driver.stellar_issue()
+    assert not isinstance(excinfo.value, AnalysisError)
