@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Benchmark the DSE evaluation engine against the serial seed path.
+
+Thin wrapper over :mod:`repro.exec.bench` so the harness can be run
+straight from a checkout::
+
+    PYTHONPATH=src python benchmarks/bench_dse.py [--quick] [-o BENCH_dse.json]
+
+Equivalent to ``python -m repro bench``.  Writes/updates the named
+report file (default ``BENCH_dse.json`` in the current directory) and
+exits 1 when the sweep's speedup regressed more than 2x relative to the
+committed baseline.
+"""
+
+import sys
+
+from repro.exec.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,7 +39,7 @@ from .diagnostics import (
 )
 from .netlist import check_netlist
 from .program import check_program, machine_unit_names
-from .spec import check_spec
+from .spec import check_spec, check_spec_annotations, check_spec_transform
 
 __all__ = [
     "AnalysisError",
@@ -51,6 +51,8 @@ __all__ = [
     "check_netlist",
     "check_program",
     "check_spec",
+    "check_spec_annotations",
+    "check_spec_transform",
     "demo_program",
     "discover_examples",
     "errors_only",

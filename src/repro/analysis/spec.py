@@ -42,7 +42,38 @@ def check_spec(
     balancing: Optional[LoadBalancingScheme] = None,
     suppress: Tuple[str, ...] = (),
 ) -> List[Diagnostic]:
-    """Run every spec-legality check; returns all findings."""
+    """Run every spec-legality check; returns all findings.
+
+    Composes :func:`check_spec_transform` (the domain-enumeration checks,
+    which depend only on ``(spec, bounds, transform)`` and are memoized
+    per that sub-key by :class:`repro.exec.cache.CompileCache`) with
+    :func:`check_spec_annotations` (cheap reference checks of the
+    sparsity/balancing annotations).
+    """
+    diagnostics = list(check_spec_transform(spec, bounds, transform))
+    # Shape-consistency failures abort early: every other check (including
+    # the annotation ones) presumes a well-shaped spec/bounds/transform.
+    aborted = len(diagnostics) == 1 and diagnostics[0].code in (
+        "STL-SP-001",
+        "STL-SP-002",
+    )
+    if not aborted:
+        diagnostics.extend(check_spec_annotations(spec, sparsity, balancing))
+    return _suppress(diagnostics, suppress)
+
+
+def check_spec_transform(
+    spec: FunctionalSpec,
+    bounds: Bounds,
+    transform: SpaceTimeTransform,
+) -> List[Diagnostic]:
+    """The transform-legality subset of :func:`check_spec`.
+
+    Everything here -- shape consistency, injectivity, causality, PE-grid
+    realizability -- is a pure function of ``(spec, bounds, transform)``;
+    sweeping sparsity or balancing candidates never changes the result,
+    so design-space exploration verifies each sub-key exactly once.
+    """
     diagnostics: List[Diagnostic] = []
     order = spec.index_names
 
@@ -59,7 +90,7 @@ def check_spec(
                 suggestion="use one transform row/column per iteration index",
             )
         )
-        return _suppress(diagnostics, suppress)
+        return diagnostics
 
     missing = [name for name in order if name not in bounds]
     if missing:
@@ -73,7 +104,7 @@ def check_spec(
                 suggestion="give every index of the spec an explicit bound",
             )
         )
-        return _suppress(diagnostics, suppress)
+        return diagnostics
 
     extra = [name for name in bounds.names() if name not in order]
     if extra:
@@ -90,9 +121,21 @@ def check_spec(
     diagnostics.extend(_check_injectivity(spec, bounds, transform))
     diagnostics.extend(_check_causality(spec, transform))
     diagnostics.extend(_check_grid(spec, bounds, transform))
+    return diagnostics
+
+
+def check_spec_annotations(
+    spec: FunctionalSpec,
+    sparsity: Optional[SparsityStructure] = None,
+    balancing: Optional[LoadBalancingScheme] = None,
+) -> List[Diagnostic]:
+    """The annotation-reference subset of :func:`check_spec`: sparsity
+    skips and load-balancing shifts must name iterators and tensors the
+    functional spec actually has."""
+    diagnostics: List[Diagnostic] = []
     diagnostics.extend(_check_sparsity(spec, sparsity))
     diagnostics.extend(_check_balancing(spec, balancing))
-    return _suppress(diagnostics, suppress)
+    return diagnostics
 
 
 # ---------------------------------------------------------------------------

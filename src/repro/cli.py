@@ -7,7 +7,11 @@ Wraps the Figure 1 flow for quick use without writing Python:
   (``--json`` for machine-readable counters);
 * ``area`` -- print the calibrated area breakdown (``--json`` available);
 * ``explore`` -- sweep dataflow/sparsity/balancing and print the Pareto
-  table (``--profile`` adds a per-pass timing table);
+  table (``--profile`` adds a per-pass timing table; ``--jobs`` fans the
+  sweep out over worker processes, ``--no-cache`` disables the
+  content-hash compile cache);
+* ``bench`` -- time the reference sweep serial/cached/parallel and
+  write the ``BENCH_dse.json`` speedup report;
 * ``trace`` -- run a design with tracing enabled and write a Chrome
   ``trace_event`` JSON timeline plus a VCD waveform dump of the RTL
   interpreter;
@@ -264,6 +268,8 @@ def cmd_explore(args) -> int:
                 "none": LoadBalancingScheme(),
                 "row-shift": row_shift_scheme(args.size // 2),
             },
+            jobs=args.jobs,
+            cache=not args.no_cache,
         )
     finally:
         if previous_profiler is not None:
@@ -274,10 +280,32 @@ def cmd_explore(args) -> int:
     print(result.table())
     best = result.best_by("adp")
     print(f"\nbest area-delay product: {best.name}")
+    if result.report is not None and result.report.cache_stats is not None:
+        stats = result.report.cache_stats
+        print(
+            f"engine: {result.report.mode} (jobs={result.report.jobs}),"
+            f" cache {stats.hits}/{stats.lookups} hits"
+            f" ({stats.hit_rate:.0%})"
+        )
     if profiler is not None:
         print("\nper-pass timing:")
         print(profiler.table())
     return 0
+
+
+def cmd_bench(args) -> int:
+    from .exec.bench import main as bench_main
+
+    argv = [
+        "--size", str(args.size),
+        "--seed", str(args.seed),
+        "--repeats", str(args.repeats),
+        "--jobs", str(args.jobs),
+        "-o", args.output,
+    ]
+    if args.quick:
+        argv.append("--quick")
+    return bench_main(argv)
 
 
 def cmd_report(args) -> int:
@@ -405,7 +433,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-pass wall-clock timings after the sweep",
     )
+    explore_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes (0 = one per CPU, 1 = serial; default 0)",
+    )
+    explore_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-hash compile cache",
+    )
     explore_cmd.set_defaults(func=cmd_explore)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark the DSE engine; write BENCH_dse.json"
+    )
+    bench.add_argument("--size", type=int, default=8, help="per-index bound")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes for the parallel leg (0 = one per CPU)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sweep, one repeat (the CI smoke configuration)",
+    )
+    bench.add_argument("-o", "--output", default="BENCH_dse.json")
+    bench.set_defaults(func=cmd_bench)
 
     trace = sub.add_parser(
         "trace", help="run with tracing; write Chrome JSON + VCD artifacts"

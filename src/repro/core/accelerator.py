@@ -82,22 +82,37 @@ class Accelerator:
         fields.update(kwargs)
         return Accelerator(**fields)
 
-    def build(self, check: bool = True) -> "GeneratedDesign":
+    def build(self, check: bool = True, cache=None) -> "GeneratedDesign":
         """Run the compiler and wrap the result with the backends.
 
         ``check`` is forwarded to :func:`repro.core.compiler.compile_design`
-        and controls the spec-legality analysis gate.
+        and controls the spec-legality analysis gate.  ``cache`` (a
+        :class:`repro.exec.cache.CompileCache`) memoizes the whole
+        compile on the design's content key and shares pipeline stages
+        with other designs built through the same cache.
         """
-        compiled = compile_design(
-            self.spec,
-            self.bounds,
-            self.transform,
-            sparsity=self.sparsity,
-            balancing=self.balancing,
-            membufs=self.membufs,
-            element_bits=self.element_bits,
-            check=check,
-        )
+        if cache is not None:
+            compiled = cache.compile(
+                self.spec,
+                self.bounds,
+                self.transform,
+                sparsity=self.sparsity,
+                balancing=self.balancing,
+                membufs=self.membufs,
+                element_bits=self.element_bits,
+                check=check,
+            )
+        else:
+            compiled = compile_design(
+                self.spec,
+                self.bounds,
+                self.transform,
+                sparsity=self.sparsity,
+                balancing=self.balancing,
+                membufs=self.membufs,
+                element_bits=self.element_bits,
+                check=check,
+            )
         return GeneratedDesign(self, compiled)
 
 

@@ -10,7 +10,10 @@ that the RTL backend, the simulator, and the area model all consume.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..exec.cache import CompileCache
 
 from .balancing import LoadBalancingScheme
 from .dataflow import SpaceTimeTransform, classify_dataflow, validate_schedule
@@ -72,6 +75,7 @@ class CompiledDesign:
         prune_reports: List[PruneReport],
         pipelining: PipeliningReport,
         dataflow_roles: Dict[str, str],
+        element_bits: int = 32,
     ):
         self.spec = spec
         self.bounds = bounds
@@ -87,6 +91,7 @@ class CompiledDesign:
         self.prune_reports = prune_reports
         self.pipelining = pipelining
         self.dataflow_roles = dataflow_roles
+        self.element_bits = element_bits
 
     @property
     def name(self) -> str:
@@ -129,6 +134,7 @@ def compile_design(
     membufs: Optional[Mapping[str, MemoryBufferSpec]] = None,
     element_bits: int = 32,
     check: bool = True,
+    cache: Optional["CompileCache"] = None,
 ) -> CompiledDesign:
     """Run the full compilation pipeline of Figure 7.
 
@@ -140,6 +146,13 @@ def compile_design(
     before elaboration and raises :class:`repro.analysis.AnalysisError`
     on error-severity findings; pass ``check=False`` to collect
     diagnostics yourself via :func:`repro.analysis.check_spec`.
+
+    ``cache`` (a :class:`repro.exec.cache.CompileCache`) memoizes the
+    stages that are shared between designs differing in only some axes:
+    elaboration per ``(spec, bounds)``, the transform-legality analysis
+    per ``(spec, bounds, transform)``, and pruning per ``(spec, bounds,
+    sparsity, balancing)``.  Memoized intermediates are shared objects;
+    the pipeline never mutates them after construction.
     """
     sparsity = sparsity or SparsityStructure()
     balancing = balancing or LoadBalancingScheme()
@@ -152,13 +165,22 @@ def compile_design(
     # multi-finding diagnostics win over the legacy first-failure error.
     if check:
         from ..analysis.diagnostics import AnalysisError, errors_only
-        from ..analysis.spec import check_spec
+        from ..analysis.spec import check_spec_annotations, check_spec_transform
 
         with profiler.scope("analysis.spec"), tracer.span(
             "check_spec", component="compiler", design=spec.name
         ):
+            if cache is not None:
+                transform_findings = cache.memo(
+                    "analysis.spec",
+                    (spec, bounds, transform),
+                    lambda: check_spec_transform(spec, bounds, transform),
+                )
+            else:
+                transform_findings = check_spec_transform(spec, bounds, transform)
             findings = errors_only(
-                check_spec(spec, bounds, transform, sparsity, balancing)
+                list(transform_findings)
+                + check_spec_annotations(spec, sparsity, balancing)
             )
         if findings:
             raise AnalysisError(findings)
@@ -172,17 +194,31 @@ def compile_design(
     with profiler.scope("compile.elaborate"), tracer.span(
         "elaborate", component="compiler", design=spec.name
     ):
-        functional = elaborate(spec, bounds)
+        if cache is not None:
+            functional = cache.memo(
+                "compile.elaborate",
+                (spec, bounds),
+                lambda: elaborate(spec, bounds),
+            )
+        else:
+            functional = elaborate(spec, bounds)
 
     # Stage 2: prune connections for sparsity and balancing (Figure 9b).
-    reports: List[PruneReport] = []
     with profiler.scope("compile.prune"), tracer.span(
         "prune", component="compiler", design=spec.name
     ):
-        pruned, report = prune_for_sparsity(functional, sparsity)
-        reports.append(report)
-        pruned, report = prune_for_balancing(pruned, balancing)
-        reports.append(report)
+        def _prune() -> Tuple[IterationSpace, Tuple[PruneReport, PruneReport]]:
+            step1, sparsity_report = prune_for_sparsity(functional, sparsity)
+            step2, balancing_report = prune_for_balancing(step1, balancing)
+            return step2, (sparsity_report, balancing_report)
+
+        if cache is not None:
+            pruned, report_pair = cache.memo(
+                "compile.prune", (spec, bounds, sparsity, balancing), _prune
+            )
+        else:
+            pruned, report_pair = _prune()
+        reports: List[PruneReport] = list(report_pair)
 
     # Stage 3: map to physical space-time (Figure 9c).
     with profiler.scope("compile.map_spacetime"), tracer.span(
@@ -220,6 +256,7 @@ def compile_design(
         prune_reports=reports,
         pipelining=pipelining,
         dataflow_roles=roles,
+        element_bits=element_bits,
     )
 
 

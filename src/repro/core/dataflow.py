@@ -17,6 +17,7 @@ component is the number of pipeline registers on that path.
 from __future__ import annotations
 
 from fractions import Fraction
+from math import gcd
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .expr import Bounds, SpecError, exact_inverse
@@ -83,6 +84,27 @@ class SpaceTimeTransform:
                 acc = int(acc)
             values.append(int(acc))
         return tuple(values)
+
+    def integer_inverse(self) -> Tuple[Tuple[Tuple[int, ...], ...], int]:
+        """``T^-1`` as ``(numerators, denominator)`` with integer entries.
+
+        ``unapply(st)`` equals ``(numerators @ st) / denominator`` and is an
+        integer point exactly when every product is divisible by the
+        denominator -- the form batch evaluation over a whole domain needs,
+        since it avoids per-point :class:`~fractions.Fraction` arithmetic.
+        """
+        denominator = 1
+        for row in self._inverse:
+            for value in row:
+                if isinstance(value, Fraction):
+                    denominator = denominator * value.denominator // gcd(
+                        denominator, value.denominator
+                    )
+        numerators = tuple(
+            tuple(int(value * denominator) for value in row)
+            for row in self._inverse
+        )
+        return numerators, denominator
 
     # ------------------------------------------------------------------
     # Derived properties

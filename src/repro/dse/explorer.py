@@ -13,20 +13,18 @@ model, and extracts the Pareto frontier over (cycles, area).
 from __future__ import annotations
 
 import itertools
-from typing import List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-from ..area.model import estimate_design_area
-from ..core.accelerator import Accelerator
 from ..core.balancing import LoadBalancingScheme
 from ..core.dataflow import SpaceTimeTransform
 from ..core.expr import Bounds, SpecError
 from ..core.functionality import FunctionalSpec
 from ..core.sparsity import SparsityStructure
-from ..obs.profile import get_profiler
+from ..exec.cache import CompileCache
+from ..exec.engine import EngineReport, evaluate_sweep
 from ..obs.trace import get_tracer
-from ..sim.spatial_array import SpatialArraySim
 
 
 class DesignPoint:
@@ -76,19 +74,30 @@ class DesignPoint:
 
 
 class ExplorationResult:
-    """All evaluated points plus derived selections."""
+    """All evaluated points plus derived selections.
 
-    def __init__(self, points: List[DesignPoint]):
+    ``report`` (when the sweep ran through the evaluation engine)
+    records how: worker count, skipped-point tally, cache hit rates.
+    """
+
+    def __init__(
+        self, points: List[DesignPoint], report: Optional[EngineReport] = None
+    ):
         self.points = points
+        self.report = report
 
     def pareto_frontier(self) -> List[DesignPoint]:
-        """Points not dominated by any other, sorted by cycles."""
+        """Points not dominated by any other, sorted by cycles.
+
+        Ties on (cycles, area) break by name, so the frontier -- like
+        :meth:`table` -- is byte-identical however the sweep executed.
+        """
         frontier = [
             p
             for p in self.points
             if not any(q.dominates(p) for q in self.points)
         ]
-        return sorted(frontier, key=lambda p: (p.cycles, p.area_um2))
+        return sorted(frontier, key=lambda p: (p.cycles, p.area_um2, p.name))
 
     def best_by(self, metric: str) -> DesignPoint:
         """The single best point by ``cycles``, ``area``, ``utilization``,
@@ -109,7 +118,7 @@ class ExplorationResult:
             f" {'conns':>6s} {'pareto':>7s}"
         ]
         frontier = set(id(p) for p in self.pareto_frontier())
-        for point in sorted(self.points, key=lambda p: p.cycles):
+        for point in sorted(self.points, key=lambda p: (p.cycles, p.name)):
             lines.append(
                 f"{point.name:44s} {point.cycles:7d} {point.utilization:7.1%}"
                 f" {point.area_um2:12,.0f} {point.conn_count:6d}"
@@ -133,71 +142,80 @@ def explore(
     balancings: Optional[Mapping[str, LoadBalancingScheme]] = None,
     element_bits: int = 32,
     skip_illegal: bool = True,
+    jobs: Optional[int] = None,
+    cache: Union[bool, CompileCache, None] = True,
 ) -> ExplorationResult:
     """Evaluate the cross product of per-axis candidates on one workload.
 
     Each candidate mapping is ``display name -> axis value``.  Illegal
-    combinations (e.g. transforms violating causality for the spec) are
-    skipped when ``skip_illegal`` is set, mirroring how an architect would
-    sweep broadly and keep what elaborates.
+    combinations -- those whose *compile* raises :class:`SpecError` (e.g.
+    transforms violating causality for the spec) -- are skipped when
+    ``skip_illegal`` is set, mirroring how an architect would sweep
+    broadly and keep what elaborates.  Failures past the compile (a
+    simulator crash, missing workload data) always propagate.
+
+    ``jobs`` selects the evaluation engine's worker count (``None``/1
+    serial, 0 one worker per CPU, N explicit); ``cache`` is ``True`` for
+    a fresh :class:`~repro.exec.cache.CompileCache` per sweep, an
+    existing cache to share across sweeps, or ``False`` to disable
+    memoization.  Results are bit-identical across all combinations.
     """
     sparsities = dict(sparsities or {"dense": SparsityStructure()})
     balancings = dict(balancings or {"none": LoadBalancingScheme()})
 
-    profiler = get_profiler()
-    tracer = get_tracer()
-    skipped = 0
+    if cache is True:
+        cache = CompileCache()
+    elif cache is False:
+        cache = None
 
-    points: List[DesignPoint] = []
-    for (t_name, transform), (s_name, sparsity), (b_name, balancing) in (
-        itertools.product(
-            transforms.items(), sparsities.items(), balancings.items()
-        )
-    ):
-        name = f"{t_name} / {s_name} / {b_name}"
-        accelerator = Accelerator(
-            spec=spec,
-            bounds=bounds,
-            transform=transform,
-            sparsity=sparsity,
-            balancing=balancing,
-            element_bits=element_bits,
-        )
-        with profiler.scope("dse.point"), tracer.span(
-            name, component="dse", transform=t_name,
-            sparsity=s_name, balancing=b_name,
-        ):
-            try:
-                with profiler.scope("dse.compile"):
-                    design = accelerator.build()
-                with profiler.scope("dse.simulate"):
-                    result = SpatialArraySim(design.compiled).run(tensors)
-            except SpecError:
-                if skip_illegal:
-                    skipped += 1
-                    tracer.instant("illegal_point", component="dse", point=name)
-                    continue
-                raise
-            with profiler.scope("dse.area"):
-                area = estimate_design_area(design.compiled)
-        points.append(
-            DesignPoint(
-                name=name,
-                transform_name=t_name,
-                sparsity_name=s_name,
-                balancing_name=b_name,
-                cycles=result.cycles,
-                utilization=result.utilization,
-                area_um2=area.total,
-                pe_count=design.pe_count,
-                conn_count=len(design.compiled.array.conns),
-                pruned_variables=design.compiled.pruned_variables(),
+    candidates = [
+        {
+            "name": f"{t_name} / {s_name} / {b_name}",
+            "transform_name": t_name,
+            "transform": transform,
+            "sparsity_name": s_name,
+            "sparsity": sparsity,
+            "balancing_name": b_name,
+            "balancing": balancing,
+        }
+        for (t_name, transform), (s_name, sparsity), (b_name, balancing) in (
+            itertools.product(
+                transforms.items(), sparsities.items(), balancings.items()
             )
         )
-    tracer.instant(
+    ]
+
+    outcomes, report = evaluate_sweep(
+        spec,
+        bounds,
+        tensors,
+        candidates,
+        element_bits=element_bits,
+        skip_illegal=skip_illegal,
+        jobs=jobs,
+        cache=cache,
+    )
+
+    points = [
+        DesignPoint(
+            name=out["name"],
+            transform_name=out["transform_name"],
+            sparsity_name=out["sparsity_name"],
+            balancing_name=out["balancing_name"],
+            cycles=out["cycles"],
+            utilization=out["utilization"],
+            area_um2=out["area_um2"],
+            pe_count=out["pe_count"],
+            conn_count=out["conn_count"],
+            pruned_variables=out["pruned_variables"],
+        )
+        for out in outcomes
+        if out["status"] == "ok"
+    ]
+    get_tracer().instant(
         "explore_done", component="dse",
-        evaluated=len(points), skipped_illegal=skipped,
+        evaluated=len(points), skipped_illegal=report.skipped,
     )
     if not points:
         raise SpecError("no legal design points in the given space")
-    return ExplorationResult(points)
+    return ExplorationResult(points, report=report)

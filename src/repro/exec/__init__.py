@@ -1,0 +1,35 @@
+"""repro.exec: the parallel + cached design-space evaluation engine.
+
+Three cooperating pieces (see DESIGN.md's "Performance engineering"):
+
+* :mod:`repro.exec.fingerprint` -- canonical content hashing of design
+  axes (specs, bounds, transforms, sparsity, balancing, tensors), the
+  keying primitive every cache below is built on;
+* :mod:`repro.exec.cache` -- :class:`CompileCache`, a content-addressed
+  memo store for :func:`~repro.core.compiler.compile_design` /
+  :func:`~repro.rtl.lowering.lower_design` products and their
+  intermediate stages (elaboration, legality checking, pruning,
+  simulator sub-products), so sweeps stop re-paying compilation for
+  configurations that share axes;
+* :mod:`repro.exec.engine` -- deterministic point evaluation for
+  :func:`repro.dse.explore`, inline or fanned out over a process pool,
+  with per-worker profiler/tracer/metric state merged back into the
+  parent's observability registry.
+
+:mod:`repro.exec.bench` records the wall-clock trajectory of a fixed
+reference sweep into ``BENCH_dse.json`` (``python -m repro bench``).
+"""
+
+from .cache import CacheStats, CompileCache
+from .engine import EngineReport, evaluate_sweep, resolve_jobs
+from .fingerprint import FingerprintError, fingerprint
+
+__all__ = [
+    "CacheStats",
+    "CompileCache",
+    "EngineReport",
+    "FingerprintError",
+    "evaluate_sweep",
+    "fingerprint",
+    "resolve_jobs",
+]

@@ -1,0 +1,256 @@
+"""Benchmark harness for the design-space-exploration fast path.
+
+Measures the same reference sweep three ways -- serial uncached (the
+seed path), serial with a :class:`~repro.exec.cache.CompileCache`, and
+cached with the process pool -- and records wall-clock plus the
+speedup of the best engine configuration over the seed path into
+``BENCH_dse.json``.
+
+Speedups, not absolute times, are the regression currency: absolute
+wall-clock shifts with the machine, but "the cache makes the sweep N x
+faster" is a property of the code.  :func:`check_regression` fails when
+the measured speedup drops below half of the committed baseline's.
+
+Run via ``python -m repro bench`` or ``python benchmarks/bench_dse.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..core.balancing import LoadBalancingScheme
+from ..core.expr import Bounds
+from ..core.sparsity import SparsityStructure
+from .cache import CompileCache
+from .fingerprint import tensor_signature
+
+#: A sweep regresses when its speedup falls below this fraction of the
+#: committed baseline's speedup (i.e. more than 2x slower, relatively).
+REGRESSION_RATIO = 0.5
+
+DEFAULT_OUTPUT = "BENCH_dse.json"
+
+
+def _reference_sweep(size: int, seed: int):
+    """The CLI's default matmul sweep: 4 transforms x 4 sparsities x 2
+    balancings, minus duplicates the cache is expected to exploit."""
+    from ..cli import SPARSITIES, TRANSFORMS, _random_tensors
+    from ..core import matmul_spec
+    from ..core.balancing import row_shift_scheme
+
+    spec = matmul_spec()
+    bounds = Bounds({name: size for name in spec.index_names})
+    tensors = _random_tensors(spec, size, seed)
+    sparsities = {"dense": SparsityStructure()}
+    for name, factory in SPARSITIES.items():
+        if factory is not None:
+            sparsities[name] = factory(spec)
+    return dict(
+        spec=spec,
+        bounds=bounds,
+        tensors=tensors,
+        transforms={name: factory() for name, factory in TRANSFORMS.items()},
+        sparsities=sparsities,
+        balancings={
+            "none": LoadBalancingScheme(),
+            "row-shift": row_shift_scheme(size // 2),
+        },
+    )
+
+
+def _time(fn: Callable[[], object], repeats: int) -> Dict[str, object]:
+    """Best-of-``repeats`` wall clock; the minimum is the least noisy
+    estimator for a deterministic workload."""
+    samples: List[float] = []
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        samples.append(time.perf_counter() - start)
+    return {"best_s": min(samples), "samples_s": samples, "value": value}
+
+
+def _point_signature(result) -> List[tuple]:
+    return [
+        (p.name, p.cycles, round(p.utilization, 12), round(p.area_um2, 6))
+        for p in result.points
+    ]
+
+
+def run_bench(
+    size: int = 8,
+    seed: int = 0,
+    repeats: int = 3,
+    jobs: int = 0,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Benchmark the reference sweep; returns the report dict.
+
+    ``quick`` shrinks the workload (smaller bounds, one repeat) for CI
+    smoke runs; the speedup ratio is noisier but still detects
+    an order-of-magnitude fast-path breakage.
+    """
+    from ..dse.explorer import explore
+
+    if quick:
+        size = min(size, 6)
+        repeats = 1
+
+    sweep = _reference_sweep(size, seed)
+    kwargs = dict(
+        transforms=sweep["transforms"],
+        sparsities=sweep["sparsities"],
+        balancings=sweep["balancings"],
+    )
+    spec, bounds, tensors = sweep["spec"], sweep["bounds"], sweep["tensors"]
+
+    serial = _time(
+        lambda: explore(spec, bounds, tensors, cache=False, **kwargs), repeats
+    )
+    cached = _time(
+        lambda: explore(spec, bounds, tensors, cache=True, **kwargs), repeats
+    )
+
+    def _parallel():
+        return explore(
+            spec, bounds, tensors, cache=CompileCache(), jobs=jobs, **kwargs
+        )
+
+    parallel = _time(_parallel, repeats)
+
+    baseline_sig = _point_signature(serial["value"])
+    identical = (
+        baseline_sig == _point_signature(cached["value"])
+        == _point_signature(parallel["value"])
+    )
+
+    serial_s = serial["best_s"]
+    cached_s = cached["best_s"]
+    parallel_s = parallel["value"].report.jobs, parallel["best_s"]
+    best_engine_s = min(cached_s, parallel_s[1])
+
+    return {
+        "sweep": "quick" if quick else "reference",
+        "size": size,
+        "seed": seed,
+        "repeats": repeats,
+        "points": len(serial["value"].points),
+        "tensors": [list(sig) for sig in tensor_signature(tensors)],
+        "serial_uncached_s": round(serial_s, 6),
+        "serial_cached_s": round(cached_s, 6),
+        "parallel_cached_s": round(parallel_s[1], 6),
+        "parallel_jobs": parallel_s[0],
+        "speedup_cached": round(serial_s / cached_s, 4),
+        "speedup_parallel": round(serial_s / parallel_s[1], 4),
+        "speedup": round(serial_s / best_engine_s, 4),
+        "results_identical": identical,
+        "cache": cached["value"].report.cache_stats.as_dict(),
+    }
+
+
+def check_regression(
+    report: Dict[str, object], baseline: Optional[Dict[str, object]]
+) -> Optional[str]:
+    """None when healthy; otherwise a human-readable failure reason.
+
+    Compares speedup *ratios* against the committed baseline for the
+    same sweep name, so the check is machine-independent; also fails
+    outright if the engine's results diverged from the serial path.
+    """
+    if not report.get("results_identical", False):
+        return "engine results diverged from the serial uncached sweep"
+    if baseline is None:
+        return None
+    reference = baseline.get("sweeps", {}).get(report["sweep"])
+    if reference is None:
+        return None
+    floor = reference["speedup"] * REGRESSION_RATIO
+    if report["speedup"] < floor:
+        return (
+            f"sweep {report['sweep']!r} speedup {report['speedup']:.2f}x fell"
+            f" below {floor:.2f}x (half the committed baseline"
+            f" {reference['speedup']:.2f}x)"
+        )
+    return None
+
+
+def load_baseline(path: str) -> Optional[Dict[str, object]]:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def write_report(
+    path: str, report: Dict[str, object], baseline: Optional[Dict[str, object]]
+) -> Dict[str, object]:
+    """Merge ``report`` into the baseline file's ``sweeps`` map and write.
+
+    Other sweeps' entries survive, so quick CI runs do not clobber the
+    committed reference numbers.
+    """
+    merged: Dict[str, object] = {
+        "benchmark": "dse_sweep",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "sweeps": dict((baseline or {}).get("sweeps", {})),
+    }
+    merged["sweeps"][report["sweep"]] = report
+    with open(path, "w") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return merged
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="bench_dse", description="Benchmark the DSE evaluation engine"
+    )
+    parser.add_argument("--size", type=int, default=8, help="per-index bound")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes for the parallel leg (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sweep, one repeat (the CI smoke configuration)",
+    )
+    parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    baseline = load_baseline(args.output)
+    report = run_bench(
+        size=args.size, seed=args.seed, repeats=args.repeats,
+        jobs=args.jobs, quick=args.quick,
+    )
+    failure = check_regression(report, baseline)
+    write_report(args.output, report, baseline)
+
+    print(
+        f"sweep={report['sweep']} points={report['points']}"
+        f" serial={report['serial_uncached_s'] * 1e3:.0f}ms"
+        f" cached={report['serial_cached_s'] * 1e3:.0f}ms"
+        f" parallel={report['parallel_cached_s'] * 1e3:.0f}ms"
+        f" (jobs={report['parallel_jobs']})"
+    )
+    print(
+        f"speedup: cached {report['speedup_cached']:.2f}x,"
+        f" parallel {report['speedup_parallel']:.2f}x,"
+        f" best {report['speedup']:.2f}x;"
+        f" results identical: {report['results_identical']}"
+    )
+    print(f"wrote {args.output}")
+    if failure is not None:
+        print(f"REGRESSION: {failure}")
+        return 1
+    return 0

@@ -1,0 +1,252 @@
+"""Content-addressed memoization of compilation and evaluation products.
+
+A :class:`CompileCache` is the single memo store the evaluation engine
+threads through the stack.  It operates at two granularities:
+
+* **whole products** -- :meth:`compile` and :meth:`lower` memoize
+  finished :class:`~repro.core.compiler.CompiledDesign` objects and RTL
+  netlists on the full design key ``(spec, bounds, transform, sparsity,
+  balancing, membufs, element_bits)``; a hit skips the entire pipeline,
+  including the static-analysis gates, which already passed when the
+  product was first built;
+* **stages** -- :meth:`memo` memoizes intermediate results on the exact
+  subset of axes they depend on, so a sweep over the transform x
+  sparsity x balancing cross product elaborates the iteration space
+  once per ``(spec, bounds)``, legality-checks the transform once per
+  ``(spec, bounds, transform)``, prunes once per ``(spec, bounds,
+  sparsity, balancing)``, and compresses sparse workloads once per
+  ``(spec, bounds, sparsity, tensors)``.
+
+Keys come from :func:`repro.exec.fingerprint.fingerprint` -- canonical
+content hashes, stable across processes -- with a per-object identity
+memo in front so the same spec object is only walked once per cache
+lifetime.  Values that cannot be fingerprinted bypass the cache and are
+counted as ``uncacheable`` rather than failing the build.
+
+Cached values are returned *shared*: callers must treat compiled
+designs, iteration spaces, and simulation results obtained through a
+cache as immutable.  Everything in the compiler pipeline already does.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple, TypeVar
+
+from ..obs.metrics import MetricsRegistry
+from .fingerprint import FingerprintError, fingerprint
+
+T = TypeVar("T")
+
+_MISSING = object()
+
+
+class CacheStats:
+    """Hit/miss/uncacheable tallies, total and per stage."""
+
+    __slots__ = ("hits", "misses", "uncacheable", "by_stage")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.uncacheable = 0
+        self.by_stage: Dict[str, Tuple[int, int]] = {}
+
+    def record(self, stage: str, hit: bool) -> None:
+        hits, misses = self.by_stage.get(stage, (0, 0))
+        if hit:
+            self.hits += 1
+            self.by_stage[stage] = (hits + 1, misses)
+        else:
+            self.misses += 1
+            self.by_stage[stage] = (hits, misses + 1)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "uncacheable": self.uncacheable,
+            "hit_rate": round(self.hit_rate, 4),
+            "by_stage": {
+                stage: {"hits": h, "misses": m}
+                for stage, (h, m) in sorted(self.by_stage.items())
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses},"
+            f" uncacheable={self.uncacheable})"
+        )
+
+
+class CompileCache:
+    """LRU memo store for compile/lower/evaluate products.
+
+    ``max_entries`` bounds the number of memoized values (least recently
+    used evicted first); the identity->fingerprint memo is bounded by
+    the same limit.  Hit/miss counts are mirrored into ``registry`` as
+    ``exec.cache.{hits,misses,uncacheable}`` counters so they merge
+    across worker processes with the rest of the observability state.
+    """
+
+    DEFAULT_MAX_ENTRIES = 1024
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self.registry = MetricsRegistry()
+        self._hits = self.registry.counter("exec.cache.hits")
+        self._misses = self.registry.counter("exec.cache.misses")
+        self._uncacheable = self.registry.counter("exec.cache.uncacheable")
+        self._entries: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
+        self._fp_memo: "OrderedDict[int, Tuple[object, str]]" = OrderedDict()
+
+    # -- keying ---------------------------------------------------------
+
+    def fingerprint_of(self, value: object) -> str:
+        """Content fingerprint with an identity fast path.
+
+        The memo holds a strong reference to each walked object, so a
+        recycled ``id`` can never alias a dead object's fingerprint.
+        """
+        cached = self._fp_memo.get(id(value))
+        if cached is not None and cached[0] is value:
+            self._fp_memo.move_to_end(id(value))
+            return cached[1]
+        digest = fingerprint(value)
+        self._fp_memo[id(value)] = (value, digest)
+        self._fp_memo.move_to_end(id(value))
+        while len(self._fp_memo) > self.max_entries:
+            self._fp_memo.popitem(last=False)
+        return digest
+
+    def key(self, parts: Tuple[object, ...]) -> str:
+        return fingerprint(tuple(self.fingerprint_of(part) for part in parts))
+
+    # -- the generic memo -----------------------------------------------
+
+    def memo(self, stage: str, parts: Tuple[object, ...], build: Callable[[], T]) -> T:
+        """Return the memoized value for ``(stage, parts)``, building it
+        on first use.  Unfingerprintable parts bypass the cache."""
+        try:
+            entry_key = (stage, self.key(parts))
+        except FingerprintError:
+            self.stats.uncacheable += 1
+            self._uncacheable.inc()
+            return build()
+        cached = self._entries.get(entry_key, _MISSING)
+        if cached is not _MISSING:
+            self._entries.move_to_end(entry_key)
+            self.stats.record(stage, hit=True)
+            self._hits.inc()
+            return cached
+        value = build()
+        self.stats.record(stage, hit=False)
+        self._misses.inc()
+        self._entries[entry_key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return value
+
+    # -- whole-product façades ------------------------------------------
+
+    def compile(
+        self,
+        spec,
+        bounds,
+        transform,
+        sparsity=None,
+        balancing=None,
+        membufs=None,
+        element_bits: int = 32,
+        check: bool = True,
+    ):
+        """Memoized :func:`repro.core.compiler.compile_design`.
+
+        A hit returns the shared compiled design without re-running any
+        pipeline stage or analysis gate; a miss compiles with this cache
+        threaded through, so the stage memos fill in too.
+        """
+        from ..core.compiler import compile_design
+
+        return self.memo(
+            "compile",
+            (spec, bounds, transform, sparsity, balancing,
+             dict(membufs or {}), element_bits, check),
+            lambda: compile_design(
+                spec,
+                bounds,
+                transform,
+                sparsity=sparsity,
+                balancing=balancing,
+                membufs=membufs,
+                element_bits=element_bits,
+                check=check,
+                cache=self,
+            ),
+        )
+
+    def lower(self, design, max_inflight_dma: int = 1, check: bool = True):
+        """Memoized :func:`repro.rtl.lowering.lower_design`.
+
+        Keyed on the design axes rather than the compiled object's
+        identity, so recompiling an identical design still hits.
+        """
+        from ..rtl.lowering import lower_design
+
+        return self.memo(
+            "lower",
+            (design.spec, design.bounds, design.transform, design.sparsity,
+             design.balancing, design.membufs, design.element_bits,
+             max_inflight_dma, check),
+            lambda: lower_design(design, max_inflight_dma=max_inflight_dma, check=check),
+        )
+
+    # -- maintenance ----------------------------------------------------
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._fp_memo.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompileCache({len(self._entries)}/{self.max_entries} entries,"
+            f" {self.stats!r})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The process-wide cache the CLI shares across commands
+# ---------------------------------------------------------------------------
+
+_global_cache: Optional[CompileCache] = None
+
+
+def get_compile_cache() -> CompileCache:
+    """The process-wide cache, created on first use."""
+    global _global_cache
+    if _global_cache is None:
+        _global_cache = CompileCache()
+    return _global_cache
+
+
+def set_compile_cache(cache: Optional[CompileCache]) -> Optional[CompileCache]:
+    """Install ``cache`` globally; returns the previous one for restore."""
+    global _global_cache
+    previous = _global_cache
+    _global_cache = cache
+    return previous

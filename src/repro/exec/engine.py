@@ -1,0 +1,358 @@
+"""Parallel evaluation of design-space sweeps.
+
+:func:`evaluate_sweep` is the execution core behind
+:func:`repro.dse.explorer.explore`: it takes an ordered candidate list
+(one dict per design point) and evaluates each point -- compile,
+simulate, estimate area -- either inline or fanned out over a process
+pool.  Three properties the explorer relies on:
+
+* **determinism** -- outcomes are returned in candidate order no matter
+  how the pool interleaves them, so parallel and serial sweeps produce
+  identical results;
+* **error discipline** -- only :class:`~repro.core.expr.SpecError` (and
+  its :class:`~repro.analysis.diagnostics.AnalysisError` subclass)
+  raised while *compiling* marks a point illegal; simulator and area
+  model failures always propagate, because silently dropping a crashed
+  point would shrink the Pareto frontier without anyone noticing;
+* **observability** -- when the parent's profiler/tracer are enabled,
+  each worker profiles and traces locally and the parent merges the
+  per-point records back, so ``--profile`` and trace exports describe
+  the whole fleet.
+
+Workers never share the parent's :class:`~repro.exec.cache.CompileCache`
+object; each builds its own and ships hit/miss deltas home, which the
+parent folds into the sweep cache's stats and metrics registry.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..area.model import estimate_design_area
+from ..core.accelerator import Accelerator
+from ..core.expr import SpecError
+from ..obs.profile import Profiler, get_profiler, set_profiler
+from ..obs.trace import Tracer, get_tracer, set_tracer
+from ..sim.spatial_array import SpatialArraySim
+from .cache import CacheStats, CompileCache
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """The effective worker count for a ``jobs`` request.
+
+    ``None`` and ``1`` mean serial (one inline worker); ``0`` means one
+    worker per CPU; any other positive value is taken literally.
+    """
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+class EngineReport:
+    """How a sweep was executed: worker count, outcome tallies, cache."""
+
+    def __init__(
+        self,
+        jobs: int,
+        evaluated: int,
+        skipped: int,
+        cache_stats: Optional[CacheStats] = None,
+    ):
+        self.jobs = jobs
+        self.evaluated = evaluated
+        self.skipped = skipped
+        self.cache_stats = cache_stats
+
+    @property
+    def mode(self) -> str:
+        return "serial" if self.jobs <= 1 else "parallel"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "jobs": self.jobs,
+            "evaluated": self.evaluated,
+            "skipped": self.skipped,
+            "cache": self.cache_stats.as_dict() if self.cache_stats else None,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineReport({self.mode}, jobs={self.jobs},"
+            f" evaluated={self.evaluated}, skipped={self.skipped})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# One design point
+# ---------------------------------------------------------------------------
+
+
+def _evaluate_point(
+    spec,
+    bounds,
+    tensors,
+    element_bits: int,
+    candidate: Mapping[str, object],
+    cache: Optional[CompileCache],
+    skip_illegal: bool,
+) -> Dict[str, object]:
+    """Compile + simulate + area for one candidate.
+
+    Runs against whatever profiler/tracer are currently installed, so the
+    same code serves the inline path (parent observability) and the
+    worker path (local observability, merged later).
+    """
+    profiler = get_profiler()
+    tracer = get_tracer()
+    name = candidate["name"]
+    accelerator = Accelerator(
+        spec=spec,
+        bounds=bounds,
+        transform=candidate["transform"],
+        sparsity=candidate["sparsity"],
+        balancing=candidate["balancing"],
+        element_bits=element_bits,
+    )
+    with profiler.scope("dse.point"), tracer.span(
+        name, component="dse",
+        transform=candidate["transform_name"],
+        sparsity=candidate["sparsity_name"],
+        balancing=candidate["balancing_name"],
+    ):
+        # Only the compile step decides legality.  A SpecError out of the
+        # simulator (bad workload data, a broken transform round-trip) is
+        # a real failure and must surface, not shrink the sweep.
+        try:
+            with profiler.scope("dse.compile"):
+                design = accelerator.build(cache=cache)
+        except SpecError as err:
+            if skip_illegal:
+                tracer.instant("illegal_point", component="dse", point=name)
+                return {"status": "illegal", "name": name, "error": str(err)}
+            raise
+        with profiler.scope("dse.simulate"):
+            result = SpatialArraySim(design.compiled, memo=cache).run(tensors)
+        with profiler.scope("dse.area"):
+            area = estimate_design_area(design.compiled)
+    return {
+        "status": "ok",
+        "name": name,
+        "transform_name": candidate["transform_name"],
+        "sparsity_name": candidate["sparsity_name"],
+        "balancing_name": candidate["balancing_name"],
+        "cycles": int(result.cycles),
+        "utilization": float(result.utilization),
+        "area_um2": float(area.total),
+        "pe_count": int(design.pe_count),
+        "conn_count": len(design.compiled.array.conns),
+        "pruned_variables": list(design.compiled.pruned_variables()),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Worker-process plumbing
+# ---------------------------------------------------------------------------
+
+#: Per-process sweep state, populated by the pool initializer.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_worker(payload: Dict[str, object]) -> None:
+    state = dict(payload)
+    state["cache"] = CompileCache() if payload["use_cache"] else None
+    _WORKER_STATE.clear()
+    _WORKER_STATE.update(state)
+
+
+def _stats_snapshot(cache: Optional[CompileCache]):
+    if cache is None:
+        return None
+    stats = cache.stats
+    return (stats.hits, stats.misses, stats.uncacheable, dict(stats.by_stage))
+
+
+def _stats_delta(before, after):
+    if before is None or after is None:
+        return None
+    by_stage = {}
+    for stage, (hits, misses) in after[3].items():
+        h0, m0 = before[3].get(stage, (0, 0))
+        if hits != h0 or misses != m0:
+            by_stage[stage] = (hits - h0, misses - m0)
+    return (
+        after[0] - before[0],
+        after[1] - before[1],
+        after[2] - before[2],
+        by_stage,
+    )
+
+
+def _apply_delta(cache: CompileCache, delta) -> None:
+    if delta is None:
+        return
+    hits, misses, uncacheable, by_stage = delta
+    stats = cache.stats
+    stats.hits += hits
+    stats.misses += misses
+    stats.uncacheable += uncacheable
+    for stage, (h, m) in by_stage.items():
+        h0, m0 = stats.by_stage.get(stage, (0, 0))
+        stats.by_stage[stage] = (h0 + h, m0 + m)
+    cache.registry.counter("exec.cache.hits").inc(hits)
+    cache.registry.counter("exec.cache.misses").inc(misses)
+    cache.registry.counter("exec.cache.uncacheable").inc(uncacheable)
+
+
+def _run_task(task) -> Dict[str, object]:
+    index, candidate = task
+    state = _WORKER_STATE
+    cache = state["cache"]
+    profiler = Profiler(enabled=True) if state["profile"] else None
+    tracer = Tracer(enabled=True) if state["trace"] else None
+    previous_profiler = set_profiler(profiler) if profiler is not None else None
+    previous_tracer = set_tracer(tracer) if tracer is not None else None
+    before = _stats_snapshot(cache)
+    try:
+        outcome = _evaluate_point(
+            state["spec"],
+            state["bounds"],
+            state["tensors"],
+            state["element_bits"],
+            candidate,
+            cache,
+            state["skip_illegal"],
+        )
+    finally:
+        if profiler is not None:
+            set_profiler(previous_profiler)
+        if tracer is not None:
+            set_tracer(previous_tracer)
+    outcome["index"] = index
+    outcome["profile"] = profiler
+    outcome["trace"] = tracer
+    outcome["cache_delta"] = _stats_delta(before, _stats_snapshot(cache))
+    return outcome
+
+
+def _make_pool(workers: int, payload: Dict[str, object]) -> ProcessPoolExecutor:
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=context,
+        initializer=_init_worker,
+        initargs=(payload,),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The sweep
+# ---------------------------------------------------------------------------
+
+
+def evaluate_sweep(
+    spec,
+    bounds,
+    tensors,
+    candidates: Sequence[Mapping[str, object]],
+    element_bits: int = 32,
+    skip_illegal: bool = True,
+    jobs: Optional[int] = None,
+    cache: Optional[CompileCache] = None,
+) -> Tuple[List[Dict[str, object]], EngineReport]:
+    """Evaluate every candidate; outcomes come back in candidate order.
+
+    Each candidate is a dict with ``name``, ``transform_name`` /
+    ``transform``, ``sparsity_name`` / ``sparsity`` and
+    ``balancing_name`` / ``balancing``.  Outcomes are plain dicts with
+    ``status`` either ``"ok"`` (plus the measured figures) or
+    ``"illegal"`` (plus the compile error text).
+
+    ``jobs`` follows :func:`resolve_jobs`; with one worker the sweep
+    runs inline in this process.  If the pool cannot be created (no
+    process-spawning rights in a sandbox), the sweep silently degrades
+    to serial -- the results are identical by construction.
+    """
+    workers = resolve_jobs(jobs)
+    workers = min(workers, max(1, len(candidates)))
+
+    if workers <= 1:
+        outcomes = [
+            _evaluate_point(
+                spec, bounds, tensors, element_bits, candidate, cache, skip_illegal
+            )
+            for candidate in candidates
+        ]
+        skipped = sum(1 for out in outcomes if out["status"] == "illegal")
+        return outcomes, EngineReport(
+            jobs=1,
+            evaluated=len(outcomes) - skipped,
+            skipped=skipped,
+            cache_stats=cache.stats if cache is not None else None,
+        )
+
+    payload = {
+        "spec": spec,
+        "bounds": bounds,
+        "tensors": tensors,
+        "element_bits": element_bits,
+        "skip_illegal": skip_illegal,
+        "use_cache": cache is not None,
+        "profile": get_profiler().enabled,
+        "trace": get_tracer().enabled,
+    }
+    try:
+        pool = _make_pool(workers, payload)
+    except (OSError, PermissionError):  # pragma: no cover - sandboxed envs
+        return evaluate_sweep(
+            spec, bounds, tensors, candidates,
+            element_bits=element_bits, skip_illegal=skip_illegal,
+            jobs=1, cache=cache,
+        )
+
+    outcomes: List[Optional[Dict[str, object]]] = [None] * len(candidates)
+    with pool:
+        futures = [
+            pool.submit(_run_task, (index, candidate))
+            for index, candidate in enumerate(candidates)
+        ]
+        # Collect in submission order: the first failing candidate (by
+        # sweep order, not completion order) raises, deterministically.
+        for future in futures:
+            outcome = future.result()
+            outcomes[outcome["index"]] = outcome
+
+    # Merge worker observability back into the parent, in sweep order so
+    # repeated runs aggregate identically.
+    profiler = get_profiler()
+    tracer = get_tracer()
+    for outcome in outcomes:
+        worker_profile = outcome.pop("profile", None)
+        worker_trace = outcome.pop("trace", None)
+        cache_delta = outcome.pop("cache_delta", None)
+        outcome.pop("index", None)
+        if worker_profile is not None and profiler.enabled:
+            profiler.merge(worker_profile)
+        if worker_trace is not None and tracer.enabled:
+            tracer.merge(worker_trace)
+        if cache is not None:
+            _apply_delta(cache, cache_delta)
+
+    skipped = sum(1 for out in outcomes if out["status"] == "illegal")
+    return outcomes, EngineReport(
+        jobs=workers,
+        evaluated=len(outcomes) - skipped,
+        skipped=skipped,
+        cache_stats=cache.stats if cache is not None else None,
+    )

@@ -233,6 +233,43 @@ class MetricsRegistry:
     def names(self) -> List[str]:
         return sorted(m.full_name for m in self)
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's series into this one.
+
+        Counters and histogram buckets add (histograms must share
+        boundaries); gauges take the other registry's latest value.
+        Series missing here are created with the same kind and labels.
+        """
+        for key, metric in other._metrics.items():
+            existing = self._metrics.get(key)
+            if existing is None:
+                if isinstance(metric, Histogram):
+                    existing = Histogram(metric.name, metric.boundaries, metric.labels)
+                else:
+                    existing = type(metric)(metric.name, metric.labels)
+                self._metrics[key] = existing
+            elif type(existing) is not type(metric):
+                raise ValueError(
+                    f"cannot merge {metric.kind} {metric.full_name!r} into"
+                    f" a {existing.kind}"
+                )
+            if isinstance(metric, Counter):
+                existing.value += metric.value
+            elif isinstance(metric, Gauge):
+                existing.value = metric.value
+            else:
+                if existing.boundaries != metric.boundaries:
+                    raise ValueError(
+                        f"histogram {metric.full_name!r} boundary mismatch:"
+                        f" {existing.boundaries} vs {metric.boundaries}"
+                    )
+                existing.bucket_counts = [
+                    a + b
+                    for a, b in zip(existing.bucket_counts, metric.bucket_counts)
+                ]
+                existing.sum += metric.sum
+                existing.count += metric.count
+
     # -- serialization --------------------------------------------------
 
     def as_dict(self) -> Dict[str, object]:

@@ -36,6 +36,13 @@ class ProfileRecord:
         self.min_s = min(self.min_s, seconds)
         self.max_s = max(self.max_s, seconds)
 
+    def merge(self, other: "ProfileRecord") -> None:
+        """Fold another record for the same label into this one."""
+        self.calls += other.calls
+        self.total_s += other.total_s
+        self.min_s = min(self.min_s, other.min_s)
+        self.max_s = max(self.max_s, other.max_s)
+
     @property
     def mean_s(self) -> float:
         return self.total_s / self.calls if self.calls else 0.0
@@ -86,6 +93,19 @@ class Profiler:
             yield
         finally:
             self.record(label, self._clock() - start)
+
+    def merge(self, other: "Profiler") -> None:
+        """Fold another profiler's records into this one.
+
+        The cross-process aggregation primitive: worker processes profile
+        locally, ship their (picklable) profilers back, and the parent
+        merges them so ``--profile`` reports one fleet-wide table.
+        """
+        for record in other._records.values():
+            existing = self._records.get(record.label)
+            if existing is None:
+                existing = self._records[record.label] = ProfileRecord(record.label)
+            existing.merge(record)
 
     # -- reporting ------------------------------------------------------
 

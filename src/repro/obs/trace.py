@@ -214,6 +214,18 @@ class Tracer:
                 )
             )
 
+    def merge(self, other: "Tracer") -> None:
+        """Append another tracer's buffered events to this one.
+
+        Used to fold worker-process trace buffers back into the parent:
+        events keep their original timestamps (wall-domain timelines from
+        different processes interleave naturally in the exporter), and
+        this buffer's capacity/drop accounting applies as usual.
+        """
+        self.dropped += other.dropped
+        for event in other._events:
+            self._emit(event)
+
     # -- inspection -----------------------------------------------------
 
     def events(self) -> List[TraceEvent]:

@@ -19,12 +19,23 @@ shortens the schedule.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.compiler import CompiledDesign
-from ..core.expr import EvalContext, SpecError, WILDCARD
+from ..core.expr import (
+    Access,
+    BinOp,
+    Comparison,
+    Const,
+    EvalContext,
+    IndexExpr,
+    IndexValue,
+    SpecError,
+    Tensor,
+    WILDCARD,
+)
 from ..core.functionality import AssignmentKind
 from ..core.iterspace import IODirection
 from ..obs.trace import get_tracer
@@ -69,11 +80,26 @@ class SpatialArraySim:
         paper attributes part of Stellar-Gemmini's ~10% utilization gap to
         per-tile start overheads and global start/stall signals
         (Section VI-B); handwritten baselines set this to 0.
+    memo:
+        An optional :class:`repro.exec.cache.CompileCache`.  When given,
+        whole dense runs are memoized per ``(spec, bounds, transform,
+        pe_count, tensors, fill_drain_overhead)`` -- the dense path is
+        independent of the sparsity/balancing axes -- and the sparse path
+        memoizes its sub-products: workload compression per ``(spec,
+        bounds, sparsity, tensors)`` and the reference interpretation per
+        ``(spec, bounds, tensors)``.  Sparse *results* are never memoized
+        whole because cycle counts depend on the balancing axis.
     """
 
-    def __init__(self, design: CompiledDesign, fill_drain_overhead: int = 0):
+    def __init__(
+        self,
+        design: CompiledDesign,
+        fill_drain_overhead: int = 0,
+        memo=None,
+    ):
         self.design = design
         self.fill_drain_overhead = fill_drain_overhead
+        self.memo = memo
 
     # ------------------------------------------------------------------
 
@@ -81,6 +107,14 @@ class SpatialArraySim:
         tensors = {name: np.asarray(arr) for name, arr in tensors.items()}
         if self._is_sparse():
             return self._run_sparse(tensors)
+        if self.memo is not None:
+            design = self.design
+            return self.memo.memo(
+                "sim.dense",
+                (design.spec, design.bounds, design.transform,
+                 design.array.pe_count, tensors, self.fill_drain_overhead),
+                lambda: self._run_dense(tensors),
+            )
         return self._run_dense(tensors)
 
     def _is_sparse(self) -> bool:
@@ -100,17 +134,27 @@ class SpatialArraySim:
         # Group live iteration points by timestep.  Multi-dimensional time
         # (e.g. a batched matmul folding the batch axis into a second time
         # dimension) orders timesteps lexicographically; each occupied
-        # time tuple is one cycle.
+        # time tuple is one cycle.  The whole domain maps through ``T`` in
+        # one matrix product, and the PE-side ``T^-1`` round-trip (each
+        # PE's IO request generator) is one more product against the
+        # integer numerator matrix -- exact, no per-point Fractions.
+        points = _domain_grid(bounds, spec.index_names)
+        tmat = np.array(transform.matrix, dtype=np.int64)
+        st = points @ tmat.T
+        numerators, denominator = transform.integer_inverse()
+        scaled = st @ np.array(numerators, dtype=np.int64).T
+        bad = (scaled % denominator != 0).any(axis=1) | (
+            scaled // denominator != points
+        ).any(axis=1)
+        if bad.any():
+            point = tuple(int(v) for v in points[int(np.argmax(bad))])
+            raise SpecError(
+                f"space-time transform is not invertible on point {point}"
+            )
         by_time: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
-        for point in bounds.domain(spec.index_names):
-            st = transform.apply(point)
-            # Round-trip through T^-1 as each PE's IO request generator does.
-            recovered = transform.unapply(st)
-            if recovered != tuple(point):
-                raise SpecError(
-                    f"space-time transform is not invertible on point {point}"
-                )
-            by_time.setdefault(st[transform.space_dims :], []).append(tuple(point))
+        time_keys = st[:, transform.space_dims :].tolist()
+        for key, row in zip(time_keys, points.tolist()):
+            by_time.setdefault(tuple(key), []).append(tuple(row))
 
         values: Dict[Tuple[str, Tuple[int, ...]], object] = {}
         outputs: Dict[str, Dict[Tuple[int, ...], object]] = {
@@ -198,32 +242,42 @@ class SpatialArraySim:
         counters = PerfCounters()
 
         tracer = get_tracer()
-        valid_points = self._valid_points(tensors)
-        compressed = self._compress_points(valid_points)
+
+        def _compress():
+            valid = self._valid_points(tensors)
+            return valid, self._compress_points(valid)
+
+        if self.memo is not None:
+            valid_points, compressed = self.memo.memo(
+                "sim.sparse.compress",
+                (spec, bounds, design.sparsity, tensors),
+                _compress,
+            )
+        else:
+            valid_points, compressed = _compress()
         if tracer.enabled:
             tracer.instant(
                 "sparse_compress", component="sim.array", cycle=0,
                 valid_points=len(valid_points),
-                domain_points=len(list(bounds.domain(spec.index_names))),
+                domain_points=bounds.point_count(spec.index_names),
             )
 
-        # Schedule the compressed points through the transform.
-        times: List[int] = []
-        row_slots: Dict[int, set] = {}
-        for original, packed in compressed.items():
-            st = transform.apply(packed)
-            space = st[: transform.space_dims]
-            t = st[transform.space_dims]
-            times.append(t)
-            row_slots.setdefault(space[0], set()).add(t)
-
-        if not times:
+        if not compressed:
             # No surviving work: outputs are still well-defined (all the
             # boundary initializations flow straight through).
-            outputs = spec.interpret(bounds, tensors)
+            outputs = self._reference_outputs(tensors)
             return SimResult(outputs, counters, 0)
 
-        schedule_length = max(times) - min(times) + 1
+        # Schedule the compressed points through the transform -- one
+        # matrix product for the whole workload; only the first space
+        # coordinate (the row) and the first time coordinate matter.
+        packed = np.array(list(compressed.values()), dtype=np.int64)
+        tmat = np.array(transform.matrix, dtype=np.int64)
+        st = packed @ tmat.T
+        rows = st[:, 0]
+        times = st[:, transform.space_dims]
+
+        schedule_length = int(times.max()) - int(times.min()) + 1
         pe_count = max(1, design.array.pe_count)
         macs_per_point = max(1, spec.macs_per_point())
         work = len(compressed)
@@ -232,8 +286,12 @@ class SpatialArraySim:
             # After pruning, rows drain independent work queues; balancing
             # shortens the longest queue.  The pipeline skew (schedule time
             # not attributable to queue depth) is unaffected by balancing.
-            row_range = range(min(row_slots), max(row_slots) + 1)
-            per_row = [len(row_slots.get(r, ())) for r in row_range]
+            slot_pairs = np.unique(np.stack([rows, times], axis=1), axis=0)
+            row_lo = int(slot_pairs[:, 0].min())
+            row_hi = int(slot_pairs[:, 0].max())
+            per_row = np.bincount(
+                slot_pairs[:, 0] - row_lo, minlength=row_hi - row_lo + 1
+            ).tolist()
             skew = schedule_length - max(per_row)
             balanced = spatial_balanced_makespan(
                 per_row, design.balancer.granularity
@@ -265,7 +323,7 @@ class SpatialArraySim:
 
         # Functional outputs: skipping zero-valued iterations never changes
         # results, so the reference interpreter provides them.
-        outputs = spec.interpret(bounds, tensors)
+        outputs = self._reference_outputs(tensors)
         if tracer.enabled:
             tracer.complete(
                 "sparse_run", component="sim.array",
@@ -274,10 +332,47 @@ class SpatialArraySim:
             )
         return SimResult(outputs, counters, schedule_length)
 
+    def _reference_outputs(self, tensors: Mapping[str, np.ndarray]):
+        """Outputs from the reference interpreter, memoized per workload."""
+        spec = self.design.spec
+        bounds = self.design.bounds
+        if self.memo is not None:
+            return self.memo.memo(
+                "sim.reference",
+                (spec, bounds, tensors),
+                lambda: spec.interpret(bounds, tensors),
+            )
+        return spec.interpret(bounds, tensors)
+
     def _valid_points(
         self, tensors: Mapping[str, np.ndarray]
     ) -> List[Tuple[int, ...]]:
-        """Iteration points that survive the pessimistic skip conditions."""
+        """Iteration points that survive the pessimistic skip conditions.
+
+        Skip conditions are evaluated over the whole domain at once with
+        numpy; any condition shape the batch evaluator does not recognize
+        falls back to the exact point-at-a-time evaluation.
+        """
+        spec = self.design.spec
+        bounds = self.design.bounds
+        skips = [s for s in self.design.sparsity if not s.optimistic]
+
+        points = _domain_grid(bounds, spec.index_names)
+        env = {
+            name: points[:, axis] for axis, name in enumerate(spec.index_names)
+        }
+        skipped = np.zeros(len(points), dtype=bool)
+        for skip in skips:
+            mask = _batch_condition(skip.condition, env, bounds, tensors, len(points))
+            if mask is None:
+                return self._valid_points_scalar(tensors)
+            skipped |= mask
+        return [tuple(row) for row in points[~skipped].tolist()]
+
+    def _valid_points_scalar(
+        self, tensors: Mapping[str, np.ndarray]
+    ) -> List[Tuple[int, ...]]:
+        """Point-at-a-time fallback for conditions the batch path skips."""
         spec = self.design.spec
         bounds = self.design.bounds
         skips = [s for s in self.design.sparsity if not s.optimistic]
@@ -340,9 +435,126 @@ class SpatialArraySim:
         return compressed
 
 
+def _domain_grid(bounds, order: Sequence[str]) -> np.ndarray:
+    """The iteration domain as an ``(N, rank)`` int array, rows ordered
+    exactly like ``bounds.domain(order)`` (lexicographic)."""
+    axes = []
+    for name in order:
+        lo, hi = bounds[name]
+        axes.append(np.arange(lo, hi + 1, dtype=np.int64))
+    if not axes:
+        return np.zeros((1, 0), dtype=np.int64)
+    mesh = np.meshgrid(*axes, indexing="ij")
+    return np.stack([m.reshape(-1) for m in mesh], axis=1)
+
+
+# Elementwise counterparts of BinOp._OPS (``min``/``max`` are the Python
+# builtins there, which do not broadcast).
+_BATCH_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+
+def _batch_subscript(sub, env: Mapping[str, np.ndarray], bounds):
+    """Evaluate an index-expression subscript over the whole domain.
+
+    ``Index``/``AffineIndexExpr``/``BoundMarker`` evaluation is pure
+    arithmetic over the environment, so passing coordinate *vectors*
+    broadcasts; data-dependent (``Expr``) subscripts return None.
+    """
+    if isinstance(sub, IndexExpr):
+        return sub.evaluate(env, bounds)
+    return None
+
+
+def _batch_value(
+    expr, env: Mapping[str, np.ndarray], bounds, tensors, n: int
+):
+    """Evaluate a condition operand over the whole domain, or None when
+    the expression needs the scalar path."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, IndexValue):
+        return _batch_subscript(expr.expr, env, bounds)
+    if isinstance(expr, Access):
+        if not isinstance(expr.target, Tensor):
+            return None
+        array = tensors.get(expr.target.name)
+        if array is None:
+            raise SpecError(f"no data for tensor {expr.target.name!r}")
+        coords = []
+        for sub in expr.subscripts:
+            if sub is WILDCARD:
+                return None  # handled at the Comparison level
+            coord = _batch_subscript(sub, env, bounds)
+            if coord is None:
+                return None
+            coords.append(coord)
+        return np.asarray(array)[tuple(coords)]
+    if isinstance(expr, BinOp):
+        lhs = _batch_value(expr.lhs, env, bounds, tensors, n)
+        rhs = _batch_value(expr.rhs, env, bounds, tensors, n)
+        if lhs is None or rhs is None:
+            return None
+        return _BATCH_BINOPS[expr.op](lhs, rhs)
+    return None
+
+
+def _batch_condition(
+    condition, env: Mapping[str, np.ndarray], bounds, tensors, n: int
+) -> Optional[np.ndarray]:
+    """Evaluate a skip condition over the whole domain as a bool mask.
+
+    Mirrors :func:`_condition_holds`: a wildcard row access compares the
+    row's any-nonzero flag (0/1) against the right-hand side.  Returns
+    None for shapes the batch evaluator does not support.
+    """
+    if not isinstance(condition, Comparison):
+        return None
+    lhs, rhs = condition.lhs, condition.rhs
+    if isinstance(lhs, Access) and any(s is WILDCARD for s in lhs.subscripts):
+        if not isinstance(lhs.target, Tensor):
+            return None
+        array = tensors.get(lhs.target.name)
+        if array is None:
+            return None  # scalar path raises the precise KeyError/SpecError
+        wild_axes = tuple(
+            axis for axis, s in enumerate(lhs.subscripts) if s is WILDCARD
+        )
+        # Reduce the wildcard axes to an any-nonzero flag first, then
+        # gather with the remaining (batched) subscripts.
+        reduced = np.asarray(array).astype(bool).any(axis=wild_axes)
+        coords = []
+        for s in lhs.subscripts:
+            if s is WILDCARD:
+                continue
+            coord = _batch_subscript(s, env, bounds)
+            if coord is None:
+                return None
+            coords.append(coord)
+        value = reduced[tuple(coords)].astype(np.int64)
+        other = _batch_value(rhs, env, bounds, tensors, n)
+        if other is None:
+            return None
+        result = Comparison._OPS[condition.op](value, other)
+    else:
+        lhs_v = _batch_value(lhs, env, bounds, tensors, n)
+        rhs_v = _batch_value(rhs, env, bounds, tensors, n)
+        if lhs_v is None or rhs_v is None:
+            return None
+        result = Comparison._OPS[condition.op](lhs_v, rhs_v)
+    return np.broadcast_to(np.asarray(result, dtype=bool), (n,)).copy()
+
+
 def _condition_holds(condition, ctx: EvalContext, tensors) -> bool:
     """Evaluate a skip condition, handling wildcard row accesses."""
-    from ..core.expr import Access, Comparison
 
     if isinstance(condition, Comparison):
         lhs, rhs = condition.lhs, condition.rhs

@@ -1,0 +1,141 @@
+"""Tests for the content-addressed compile cache."""
+
+import pytest
+
+from repro.core import Bounds, matmul_spec
+from repro.core.compiler import compile_design
+from repro.core.dataflow import output_stationary
+from repro.core.sparsity import csr_b_matrix
+from repro.exec.cache import CompileCache, get_compile_cache, set_compile_cache
+
+
+@pytest.fixture
+def design_axes():
+    spec = matmul_spec()
+    return spec, Bounds({"i": 4, "j": 4, "k": 4}), output_stationary()
+
+
+class TestMemo:
+    def test_build_runs_once_per_key(self):
+        cache = CompileCache()
+        calls = []
+        for _ in range(3):
+            value = cache.memo("stage", (1, "a"), lambda: calls.append(1) or 42)
+        assert value == 42
+        assert calls == [1]
+        assert cache.stats.hits == 2 and cache.stats.misses == 1
+
+    def test_falsy_values_are_cached(self):
+        cache = CompileCache()
+        calls = []
+        for _ in range(2):
+            value = cache.memo("stage", ("k",), lambda: calls.append(1) or [])
+        assert value == []
+        assert calls == [1]
+
+    def test_distinct_stages_do_not_collide(self):
+        cache = CompileCache()
+        a = cache.memo("s1", (1,), lambda: "a")
+        b = cache.memo("s2", (1,), lambda: "b")
+        assert (a, b) == ("a", "b")
+
+    def test_unfingerprintable_parts_bypass(self):
+        cache = CompileCache()
+        calls = []
+        for _ in range(2):
+            cache.memo("stage", (lambda: 0,), lambda: calls.append(1))
+        assert len(calls) == 2
+        assert cache.stats.uncacheable == 2
+        assert len(cache) == 0
+
+    def test_lru_eviction(self):
+        cache = CompileCache(max_entries=2)
+        cache.memo("s", (1,), lambda: 1)
+        cache.memo("s", (2,), lambda: 2)
+        cache.memo("s", (1,), lambda: 1)  # refresh 1
+        cache.memo("s", (3,), lambda: 3)  # evicts 2
+        calls = []
+        cache.memo("s", (2,), lambda: calls.append(1) or 2)
+        assert calls == [1]
+
+
+class TestCompileFacade:
+    def test_hit_returns_shared_design(self, design_axes):
+        spec, bounds, transform = design_axes
+        cache = CompileCache()
+        first = cache.compile(spec, bounds, transform)
+        second = cache.compile(spec, bounds, transform)
+        assert first is second
+        assert cache.stats.by_stage["compile"] == (1, 1)
+
+    def test_structurally_equal_keys_hit(self, design_axes):
+        spec, bounds, transform = design_axes
+        cache = CompileCache()
+        first = cache.compile(spec, bounds, transform)
+        second = cache.compile(matmul_spec(), Bounds({"i": 4, "j": 4, "k": 4}),
+                               output_stationary())
+        assert first is second
+
+    def test_axis_mutation_misses(self, design_axes):
+        """Changing bounds or element_bits must invalidate the key."""
+        spec, bounds, transform = design_axes
+        cache = CompileCache()
+        base = cache.compile(spec, bounds, transform)
+        other_bounds = cache.compile(
+            spec, Bounds({"i": 8, "j": 8, "k": 8}), transform
+        )
+        other_bits = cache.compile(spec, bounds, transform, element_bits=16)
+        assert base is not other_bounds
+        assert base is not other_bits
+        assert other_bits.element_bits == 16
+        hits, misses = cache.stats.by_stage["compile"]
+        assert (hits, misses) == (0, 3)
+
+    def test_sparsity_axis_changes_key(self, design_axes):
+        spec, bounds, transform = design_axes
+        cache = CompileCache()
+        dense = cache.compile(spec, bounds, transform)
+        sparse = cache.compile(spec, bounds, transform, sparsity=csr_b_matrix(spec))
+        assert dense is not sparse
+        # Elaboration depends only on (spec, bounds): shared across axes.
+        assert cache.stats.by_stage["compile.elaborate"] == (1, 1)
+        assert dense.functional_iterspace is sparse.functional_iterspace
+
+    def test_matches_uncached_compile(self, design_axes):
+        spec, bounds, transform = design_axes
+        cached = CompileCache().compile(spec, bounds, transform)
+        plain = compile_design(spec, bounds, transform)
+        assert cached.pe_count == plain.pe_count
+        assert cached.array.schedule_length == plain.array.schedule_length
+        assert sorted(cached.regfile_plans) == sorted(plain.regfile_plans)
+
+    def test_lower_facade_hits(self, design_axes):
+        spec, bounds, transform = design_axes
+        cache = CompileCache()
+        design = cache.compile(spec, bounds, transform)
+        first = cache.lower(design)
+        second = cache.lower(design)
+        assert first is second
+
+
+class TestGlobalCache:
+    def test_get_and_set(self):
+        previous = set_compile_cache(None)
+        try:
+            cache = get_compile_cache()
+            assert get_compile_cache() is cache
+            mine = CompileCache()
+            assert set_compile_cache(mine) is cache
+            assert get_compile_cache() is mine
+        finally:
+            set_compile_cache(previous)
+
+
+def test_stats_dict_shape():
+    cache = CompileCache()
+    cache.memo("s", (1,), lambda: 1)
+    cache.memo("s", (1,), lambda: 1)
+    d = cache.stats.as_dict()
+    assert d["hits"] == 1 and d["misses"] == 1
+    assert d["by_stage"]["s"] == {"hits": 1, "misses": 1}
+    assert cache.registry.counter("exec.cache.hits").value == 1

@@ -1,0 +1,122 @@
+"""Tests for canonical content fingerprinting."""
+
+import subprocess
+import sys
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core import Bounds, matmul_spec
+from repro.core.balancing import row_shift_scheme
+from repro.core.dataflow import hexagonal, output_stationary
+from repro.core.sparsity import csr_b_matrix
+from repro.exec.fingerprint import FingerprintError, fingerprint, tensor_signature
+
+
+class TestPrimitives:
+    def test_type_tags_distinguish_equal_values(self):
+        assert fingerprint(1) != fingerprint(1.0)
+        assert fingerprint(1) != fingerprint(True)
+        assert fingerprint("1") != fingerprint(1)
+        assert fingerprint(b"x") != fingerprint("x")
+
+    def test_container_kind_matters(self):
+        assert fingerprint((1, 2)) != fingerprint([1, 2])
+        assert fingerprint({1, 2}) != fingerprint((1, 2))
+
+    def test_multiple_args_hash_as_tuple(self):
+        assert fingerprint(1, 2) == fingerprint((1, 2))
+
+    def test_fraction(self):
+        assert fingerprint(Fraction(1, 2)) == fingerprint(Fraction(2, 4))
+        assert fingerprint(Fraction(1, 2)) != fingerprint(0.5)
+
+
+class TestCanonicalOrder:
+    def test_dict_insertion_order_is_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_set_iteration_order_is_irrelevant(self):
+        # Strings are the hash-randomized case: iteration order differs
+        # between processes but the fingerprint must not.
+        assert fingerprint({"x", "y", "zz"}) == fingerprint({"zz", "y", "x"})
+
+    def test_stable_across_processes(self):
+        import os
+
+        code = (
+            "from repro.exec.fingerprint import fingerprint;"
+            "from repro.core import matmul_spec;"
+            "print(fingerprint({'x', 'y', 'zz'}), fingerprint(matmul_spec()))"
+        )
+        runs = set()
+        for seed in ("1", "2"):
+            env = dict(os.environ)
+            env["PYTHONPATH"] = "src"
+            env["PYTHONHASHSEED"] = seed
+            runs.add(
+                subprocess.run(
+                    [sys.executable, "-c", code],
+                    capture_output=True, text=True, check=True, env=env,
+                ).stdout
+            )
+        assert len(runs) == 1
+
+    def test_numpy_arrays_hash_contents(self):
+        a = np.arange(6).reshape(2, 3)
+        assert fingerprint(a) == fingerprint(a.copy())
+        assert fingerprint(a) != fingerprint(a.T.copy())  # shape matters
+        assert fingerprint(a) != fingerprint(a.astype(np.float64))
+        # Non-contiguous views hash like their contiguous copies.
+        assert fingerprint(a.T) == fingerprint(np.ascontiguousarray(a.T))
+
+
+class TestDesignAxes:
+    def test_structurally_equal_specs_match(self):
+        assert fingerprint(matmul_spec()) == fingerprint(matmul_spec())
+
+    def test_each_axis_changes_the_key(self):
+        spec = matmul_spec()
+        base = (spec, Bounds({"i": 4, "j": 4, "k": 4}), output_stationary())
+        assert fingerprint(base) == fingerprint(
+            (matmul_spec(), Bounds({"i": 4, "j": 4, "k": 4}), output_stationary())
+        )
+        assert fingerprint(base) != fingerprint(
+            (spec, Bounds({"i": 8, "j": 4, "k": 4}), output_stationary())
+        )
+        assert fingerprint(base) != fingerprint(
+            (spec, Bounds({"i": 4, "j": 4, "k": 4}), hexagonal())
+        )
+
+    def test_sparsity_and_balancing(self):
+        spec = matmul_spec()
+        assert fingerprint(csr_b_matrix(spec)) == fingerprint(csr_b_matrix(spec))
+        assert fingerprint(row_shift_scheme(2)) != fingerprint(row_shift_scheme(3))
+
+    def test_cycles_encode_as_backreferences(self):
+        a = {"name": "a"}
+        a["self"] = a
+        b = {"name": "a"}
+        b["self"] = b
+        assert fingerprint(a) == fingerprint(b)
+
+
+class TestBehaviorRejection:
+    def test_functions_are_uncacheable(self):
+        with pytest.raises(FingerprintError):
+            fingerprint(lambda x: x)
+        with pytest.raises(FingerprintError):
+            fingerprint(len)
+
+    def test_classes_and_modules_are_uncacheable(self):
+        with pytest.raises(FingerprintError):
+            fingerprint(np)
+        with pytest.raises(FingerprintError):
+            fingerprint(Bounds)
+
+
+def test_tensor_signature():
+    sig = tensor_signature({"B": np.zeros((2, 3)), "A": np.ones(4, dtype=int)})
+    assert [name for name, _, _ in sig] == ["A", "B"]
+    assert sig[1][2] == (2, 3)
