@@ -1,14 +1,17 @@
 #!/usr/bin/env python
-"""Benchmark the DSE evaluation engine against the serial seed path.
+"""Benchmark the evaluation fast paths against their seed paths.
 
 Thin wrapper over :mod:`repro.exec.bench` so the harness can be run
 straight from a checkout::
 
-    PYTHONPATH=src python benchmarks/bench_dse.py [--quick] [-o BENCH_dse.json]
+    PYTHONPATH=src python benchmarks/bench_dse.py [--quick] [--only BENCH]
+                                                  [-o BENCH_dse.json]
 
-Equivalent to ``python -m repro bench``.  Writes/updates the named
-report file (default ``BENCH_dse.json`` in the current directory) and
-exits 1 when the sweep's speedup regressed more than 2x relative to the
+Equivalent to ``python -m repro bench``.  Runs the DSE wall-clock sweep
+plus the membuf/dma/merger micro-sweeps and the cold-vs-warm
+``suite_resnet50`` disk-cache bench, writes/updates the named report
+file (default ``BENCH_dse.json`` in the current directory), and exits 1
+when any sweep's speedup regressed more than 2x relative to its
 committed baseline.
 """
 

@@ -131,6 +131,7 @@ def check_design(
     design,
     name: Optional[str] = None,
     suppress: Iterable[str] = (),
+    cache=None,
 ) -> DesignReport:
     """Run one design through all three analysis levels.
 
@@ -139,6 +140,13 @@ def check_design(
     :class:`~repro.core.compiler.CompiledDesign`.  Netlist and program
     levels are skipped when the spec level reports errors (the design
     cannot be compiled).
+
+    ``cache`` (a :class:`~repro.exec.cache.CompileCache`) memoizes the
+    expensive halves -- the domain-enumerating ``analysis.spec``
+    findings and the compile/lower products feeding levels 2 and 3 --
+    under the same stage keys the compiler uses.  With a persistent
+    cache, repeat ``repro check`` invocations skip re-enumerating
+    iteration domains entirely.
 
     Two escape hatches let single layers be checked in isolation: a bare
     :class:`~repro.rtl.netlist.Netlist` runs only level 2, and an encoded
@@ -173,15 +181,19 @@ def check_design(
                 axes.transform,
                 axes.sparsity,
                 axes.balancing,
+                cache=cache,
             )
         )
 
     if not any(d.severity >= Severity.ERROR for d in diagnostics):
         try:
-            compiled = _compiled_of(design)
-            from ..rtl.lowering import lower_design
+            compiled = _compiled_of(design, cache=cache)
+            if cache is not None:
+                netlist = cache.lower(compiled, check=False)
+            else:
+                from ..rtl.lowering import lower_design
 
-            netlist = lower_design(compiled, check=False)
+                netlist = lower_design(compiled, check=False)
         except SpecError as error:
             diagnostics.append(
                 Diagnostic(
@@ -243,11 +255,22 @@ def _axes_of(design) -> _Axes:
     )
 
 
-def _compiled_of(design):
+def _compiled_of(design, cache=None):
     if hasattr(design, "compiled"):  # GeneratedDesign
         return design.compiled
     if hasattr(design, "array"):  # CompiledDesign
         return design
+    if cache is not None:
+        return cache.compile(
+            design.spec,
+            design.bounds,
+            design.transform,
+            sparsity=design.sparsity,
+            balancing=design.balancing,
+            membufs=design.membufs,
+            element_bits=getattr(design, "element_bits", 32),
+            check=False,
+        )
     from ..core.compiler import compile_design
 
     return compile_design(
@@ -427,9 +450,15 @@ def discover_examples(paths: Sequence[str]) -> List[ExampleTarget]:
 
 
 def run_check(
-    paths: Sequence[str], suppress: Iterable[str] = ()
+    paths: Sequence[str],
+    suppress: Iterable[str] = (),
+    cache=None,
 ) -> CheckReport:
-    """Discover examples under ``paths`` and run each through the ladder."""
+    """Discover examples under ``paths`` and run each through the ladder.
+
+    ``cache`` is forwarded to :func:`check_design` for every discovered
+    design, so designs sharing axes -- and repeat invocations, when the
+    cache is disk-backed -- reuse the memoized analysis products."""
     reports: List[DesignReport] = []
     for target in discover_examples(paths):
         if target.error:
@@ -468,7 +497,9 @@ def run_check(
                 )
             )
             continue
-        report = check_design(design, name=target.name, suppress=suppress)
+        report = check_design(
+            design, name=target.name, suppress=suppress, cache=cache
+        )
         report.source = target.path
         reports.append(report)
     return CheckReport(reports)

@@ -41,6 +41,7 @@ def check_spec(
     sparsity: Optional[SparsityStructure] = None,
     balancing: Optional[LoadBalancingScheme] = None,
     suppress: Tuple[str, ...] = (),
+    cache=None,
 ) -> List[Diagnostic]:
     """Run every spec-legality check; returns all findings.
 
@@ -49,8 +50,37 @@ def check_spec(
     per that sub-key by :class:`repro.exec.cache.CompileCache`) with
     :func:`check_spec_annotations` (cheap reference checks of the
     sparsity/balancing annotations).
+
+    ``cache`` (a :class:`~repro.exec.cache.CompileCache`) memoizes the
+    transform-legality findings under the same ``analysis.spec`` stage
+    key the compiler's gate uses, so ``repro check`` shares entries with
+    compiles -- including persisted ones when the cache has a disk tier.
     """
-    diagnostics = list(check_spec_transform(spec, bounds, transform))
+    if cache is not None:
+        transform_findings = cache.memo(
+            "analysis.spec",
+            (spec, bounds, transform),
+            lambda: check_spec_transform(spec, bounds, transform),
+        )
+    else:
+        transform_findings = check_spec_transform(spec, bounds, transform)
+    return compose_spec_findings(
+        transform_findings, spec, sparsity, balancing, suppress
+    )
+
+
+def compose_spec_findings(
+    transform_findings: List[Diagnostic],
+    spec: FunctionalSpec,
+    sparsity: Optional[SparsityStructure] = None,
+    balancing: Optional[LoadBalancingScheme] = None,
+    suppress: Tuple[str, ...] = (),
+) -> List[Diagnostic]:
+    """Combine memoizable transform findings with the (cheap, never
+    cached) annotation checks -- the composition rule of
+    :func:`check_spec`, shared with callers that memoized the first
+    half themselves."""
+    diagnostics = list(transform_findings)
     # Shape-consistency failures abort early: every other check (including
     # the annotation ones) presumes a well-shaped spec/bounds/transform.
     aborted = len(diagnostics) == 1 and diagnostics[0].code in (

@@ -10,6 +10,11 @@ Wraps the Figure 1 flow for quick use without writing Python:
   table (``--profile`` adds a per-pass timing table; ``--jobs`` fans the
   sweep out over worker processes, ``--no-cache`` disables the
   content-hash compile cache);
+* ``sweep`` -- evaluate a whole workload suite (``resnet50`` /
+  ``alexnet`` / ``suitesparse``) through the batched sweep engine, with
+  per-layer rows and aggregate cycles/area/energy; repeat invocations
+  warm-start from the persistent disk cache (``--no-disk-cache`` and
+  ``STELLAR_CACHE_DIR`` control it);
 * ``bench`` -- time the reference sweep serial/cached/parallel and
   write the ``BENCH_dse.json`` speedup report;
 * ``trace`` -- run a design with tracing enabled and write a Chrome
@@ -293,6 +298,49 @@ def cmd_explore(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    from .exec.cache import CompileCache, persistent_compile_cache
+    from .exec.suite import build_suite, evaluate_suite
+
+    try:
+        suite = build_suite(args.suite, cap=args.cap, seed=args.seed)
+    except KeyError as err:
+        print(f"sweep: {err.args[0]}", file=sys.stderr)
+        return 2
+    if args.no_disk_cache:
+        cache = CompileCache()
+    else:
+        cache = persistent_compile_cache(args.cache_dir)
+    result = evaluate_suite(suite, jobs=args.jobs, cache=cache)
+
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(result.table())
+    aggregates = result.aggregates()
+    print(
+        f"\n{suite.name}: {aggregates['cases']} cases,"
+        f" {aggregates['total_cycles']} cycles,"
+        f" mean utilization {aggregates['mean_utilization']:.1%},"
+        f" {aggregates['area_um2']:.0f} um^2,"
+        f" {aggregates['total_energy_pj']:.0f} pJ,"
+        f" {aggregates['elapsed_s']:.3f} s"
+    )
+    stats = cache.stats
+    line = (
+        f"engine: {result.report.mode} (jobs={result.report.jobs}),"
+        f" cache {stats.hits}/{stats.lookups} hits"
+    )
+    if cache.store is not None:
+        disk = cache.store.stats
+        line += (
+            f", disk {disk.hits}/{disk.lookups} hits"
+            f" ({disk.bytes_read} B read, {disk.bytes_written} B written)"
+        )
+    print(line)
+    return 0
+
+
 def cmd_bench(args) -> int:
     from .exec.bench import main as bench_main
 
@@ -305,6 +353,8 @@ def cmd_bench(args) -> int:
     ]
     if args.quick:
         argv.append("--quick")
+    for only in args.only or []:
+        argv.extend(["--only", only])
     return bench_main(argv)
 
 
@@ -356,8 +406,14 @@ def cmd_check(args) -> int:
 
         profiler = Profiler(enabled=True)
         previous_profiler = set_profiler(profiler)
+    from .exec.cache import CompileCache, persistent_compile_cache
+
+    if args.no_disk_cache:
+        cache = CompileCache()
+    else:
+        cache = persistent_compile_cache()
     try:
-        report = run_check(paths, suppress=args.suppress)
+        report = run_check(paths, suppress=args.suppress, cache=cache)
     finally:
         if previous_profiler is not None:
             from .obs.profile import set_profiler
@@ -371,6 +427,12 @@ def cmd_check(args) -> int:
     if profiler is not None:
         print("\nper-level timing:")
         print(profiler.table())
+        stats = cache.stats
+        line = f"cache: {stats.hits}/{stats.lookups} hits"
+        if cache.store is not None:
+            disk = cache.store.stats
+            line += f", disk {disk.hits}/{disk.lookups} hits"
+        print(line)
     worst = report.max_severity()
     return 1 if worst is not None and worst >= threshold else 0
 
@@ -446,6 +508,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explore_cmd.set_defaults(func=cmd_explore)
 
+    sweep = sub.add_parser(
+        "sweep", help="evaluate a workload suite through the batched engine"
+    )
+    sweep.add_argument(
+        "suite",
+        help="workload suite name (resnet50, alexnet, suitesparse)",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (0 = one per CPU; default serial)",
+    )
+    sweep.add_argument(
+        "--cap",
+        type=_positive_int,
+        default=8,
+        help="clip each matmul tile dimension to this bound (default 8)",
+    )
+    sweep.add_argument("--seed", type=int, default=7, help="operand seed")
+    sweep.add_argument(
+        "--json", action="store_true", help="machine-readable suite report"
+    )
+    sweep.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="in-memory cache only; do not read or write the disk store",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="disk store root (default STELLAR_CACHE_DIR or"
+        " ~/.cache/stellar-repro)",
+    )
+    sweep.set_defaults(func=cmd_sweep)
+
     bench = sub.add_parser(
         "bench", help="benchmark the DSE engine; write BENCH_dse.json"
     )
@@ -462,6 +560,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="small sweep, one repeat (the CI smoke configuration)",
+    )
+    bench.add_argument(
+        "--only",
+        action="append",
+        choices=["dse", "membuf", "dma", "merger", "suite"],
+        default=None,
+        metavar="BENCH",
+        help="run only this benchmark family (repeatable; default all)",
     )
     bench.add_argument("-o", "--output", default="BENCH_dse.json")
     bench.set_defaults(func=cmd_bench)
@@ -527,6 +633,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="print per-level wall-clock timings after checking",
+    )
+    check.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="in-memory memo only; do not read or write the disk store",
     )
     check.set_defaults(func=cmd_check)
     return parser

@@ -16,20 +16,62 @@ Three cooperating pieces (see DESIGN.md's "Performance engineering"):
   with per-worker profiler/tracer/metric state merged back into the
   parent's observability registry.
 
+Persistence and batching layers on top (this PR's subsystem):
+
+* :mod:`repro.exec.store` -- :class:`DiskStore`, the atomic, versioned,
+  content-addressed disk tier behind :class:`CompileCache`, so compile
+  and simulation products survive the process;
+* :mod:`repro.exec.shm` -- :class:`SharedTensorPool`, shared-memory
+  operand transport for the process pool (tensors published once per
+  sweep instead of re-pickled per task);
+* :mod:`repro.exec.suite` -- whole-workload-table evaluation
+  (``python -m repro sweep resnet50``), routing every layer through
+  :func:`evaluate_sweep` as one candidate list.
+
 :mod:`repro.exec.bench` records the wall-clock trajectory of a fixed
 reference sweep into ``BENCH_dse.json`` (``python -m repro bench``).
 """
 
-from .cache import CacheStats, CompileCache
+from .cache import (
+    CacheStats,
+    CompileCache,
+    get_compile_cache,
+    persistent_compile_cache,
+)
 from .engine import EngineReport, evaluate_sweep, resolve_jobs
-from .fingerprint import FingerprintError, fingerprint
+from .fingerprint import FINGERPRINT_VERSION, FingerprintError, fingerprint
+from .shm import SharedTensorPool, ShmUnavailable, shared_memory_available
+from .store import DiskStore, DiskStoreStats, default_cache_dir
+from .suite import (
+    Suite,
+    SuiteCase,
+    SuiteResult,
+    build_suite,
+    evaluate_suite,
+    suite_names,
+)
 
 __all__ = [
     "CacheStats",
     "CompileCache",
+    "DiskStore",
+    "DiskStoreStats",
     "EngineReport",
+    "FINGERPRINT_VERSION",
     "FingerprintError",
+    "SharedTensorPool",
+    "ShmUnavailable",
+    "Suite",
+    "SuiteCase",
+    "SuiteResult",
+    "build_suite",
+    "default_cache_dir",
+    "evaluate_suite",
     "evaluate_sweep",
     "fingerprint",
+    "get_compile_cache",
+    "persistent_compile_cache",
     "resolve_jobs",
+    "shared_memory_available",
+    "suite_names",
 ]

@@ -42,14 +42,21 @@ _MISSING = object()
 
 
 class CacheStats:
-    """Hit/miss/uncacheable tallies, total and per stage."""
+    """Hit/miss/uncacheable tallies, total and per stage.
 
-    __slots__ = ("hits", "misses", "uncacheable", "by_stage")
+    ``disk_hits`` counts the subset of ``hits`` that were answered by
+    the persistent tier (a memory miss rescued by the
+    :class:`~repro.exec.store.DiskStore`) rather than the in-process
+    memo.
+    """
+
+    __slots__ = ("hits", "misses", "uncacheable", "disk_hits", "by_stage")
 
     def __init__(self):
         self.hits = 0
         self.misses = 0
         self.uncacheable = 0
+        self.disk_hits = 0
         self.by_stage: Dict[str, Tuple[int, int]] = {}
 
     def record(self, stage: str, hit: bool) -> None:
@@ -74,6 +81,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "uncacheable": self.uncacheable,
+            "disk_hits": self.disk_hits,
             "hit_rate": round(self.hit_rate, 4),
             "by_stage": {
                 stage: {"hits": h, "misses": m}
@@ -89,18 +97,30 @@ class CacheStats:
 
 
 class CompileCache:
-    """LRU memo store for compile/lower/evaluate products.
+    """Two-tier LRU memo store for compile/lower/evaluate products.
 
     ``max_entries`` bounds the number of memoized values (least recently
     used evicted first); the identity->fingerprint memo is bounded by
     the same limit.  Hit/miss counts are mirrored into ``registry`` as
-    ``exec.cache.{hits,misses,uncacheable}`` counters so they merge
-    across worker processes with the rest of the observability state.
+    ``exec.cache.{hits,misses,uncacheable,disk_hits}`` counters so they
+    merge across worker processes with the rest of the observability
+    state.
+
+    ``store`` (a :class:`~repro.exec.store.DiskStore`) adds the
+    persistent tier: a memory miss consults the disk before building,
+    and every freshly built value is written back, so content keys
+    survive the process.  The disk is strictly behind the memory tier --
+    a disk hit is promoted into memory and evicting it from memory does
+    not touch the disk copy.
     """
 
     DEFAULT_MAX_ENTRIES = 1024
 
-    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        store=None,
+    ):
         if max_entries < 1:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.max_entries = max_entries
@@ -109,8 +129,12 @@ class CompileCache:
         self._hits = self.registry.counter("exec.cache.hits")
         self._misses = self.registry.counter("exec.cache.misses")
         self._uncacheable = self.registry.counter("exec.cache.uncacheable")
+        self._disk_hits = self.registry.counter("exec.cache.disk_hits")
         self._entries: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
         self._fp_memo: "OrderedDict[int, Tuple[object, str]]" = OrderedDict()
+        self.store = store
+        if store is not None:
+            store.attach_registry(self.registry)
 
     # -- keying ---------------------------------------------------------
 
@@ -138,26 +162,44 @@ class CompileCache:
 
     def memo(self, stage: str, parts: Tuple[object, ...], build: Callable[[], T]) -> T:
         """Return the memoized value for ``(stage, parts)``, building it
-        on first use.  Unfingerprintable parts bypass the cache."""
+        on first use.  Unfingerprintable parts bypass the cache --
+        including the disk tier, so values without a canonical content
+        key are never persisted under a guessed one."""
         try:
-            entry_key = (stage, self.key(parts))
+            digest = self.key(parts)
         except FingerprintError:
             self.stats.uncacheable += 1
             self._uncacheable.inc()
             return build()
+        entry_key = (stage, digest)
         cached = self._entries.get(entry_key, _MISSING)
         if cached is not _MISSING:
             self._entries.move_to_end(entry_key)
             self.stats.record(stage, hit=True)
             self._hits.inc()
             return cached
+        if self.store is not None:
+            found, value = self.store.get(stage, digest)
+            if found:
+                self.stats.record(stage, hit=True)
+                self.stats.disk_hits += 1
+                self._hits.inc()
+                self._disk_hits.inc()
+                self._insert(entry_key, value)
+                return value
         value = build()
         self.stats.record(stage, hit=False)
         self._misses.inc()
+        self._insert(entry_key, value)
+        if self.store is not None:
+            self.store.put(stage, digest, value)
+        return value
+
+    def _insert(self, entry_key: Tuple[str, str], value: object) -> None:
         self._entries[entry_key] = value
+        self._entries.move_to_end(entry_key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
-        return value
 
     # -- whole-product façades ------------------------------------------
 
@@ -250,3 +292,18 @@ def set_compile_cache(cache: Optional[CompileCache]) -> Optional[CompileCache]:
     previous = _global_cache
     _global_cache = cache
     return previous
+
+
+def persistent_compile_cache(
+    root: Optional[str] = None,
+    max_entries: int = CompileCache.DEFAULT_MAX_ENTRIES,
+) -> CompileCache:
+    """A cache backed by the default disk store.
+
+    ``root`` overrides the store directory (else ``STELLAR_CACHE_DIR``
+    then ``~/.cache/stellar-repro``); when persistence is disabled via
+    the environment this degrades to a plain in-memory cache.
+    """
+    from .store import DiskStore
+
+    return CompileCache(max_entries=max_entries, store=DiskStore.default(root))

@@ -21,7 +21,19 @@ pool.  Three properties the explorer relies on:
 
 Workers never share the parent's :class:`~repro.exec.cache.CompileCache`
 object; each builds its own and ships hit/miss deltas home, which the
-parent folds into the sweep cache's stats and metrics registry.
+parent folds into the sweep cache's stats and metrics registry.  When
+the parent cache has a persistent :class:`~repro.exec.store.DiskStore`
+tier, each worker opens its own handle on the same root (atomic entry
+writes make that safe) and its disk traffic merges home the same way.
+
+Suites ride on the same sweep: a candidate may carry its own
+``bounds``, a ``tensors_key`` naming an operand set in the sweep-wide
+``tensor_table``, and ``want_energy`` / ``want_digest`` flags asking
+for an energy estimate and a canonical output fingerprint in the
+outcome.  Workload tensors (and the tensor table) ship to workers
+through :class:`~repro.exec.shm.SharedTensorPool` segments published
+once per sweep; if shared memory is unavailable the payload falls back
+to inline arrays with identical results.
 """
 
 from __future__ import annotations
@@ -30,6 +42,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..area.energy import energy_from_counters
 from ..area.model import estimate_design_area
 from ..core.accelerator import Accelerator
 from ..core.expr import SpecError
@@ -37,6 +50,14 @@ from ..obs.profile import Profiler, get_profiler, set_profiler
 from ..obs.trace import Tracer, get_tracer, set_tracer
 from ..sim.spatial_array import SpatialArraySim
 from .cache import CacheStats, CompileCache
+from .fingerprint import fingerprint
+from .shm import SharedTensorPool, ShmUnavailable, shared_memory_available
+from .store import (
+    DiskStore,
+    merge_store_stats,
+    store_stats_delta,
+    store_stats_snapshot,
+)
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -102,16 +123,33 @@ def _evaluate_point(
     candidate: Mapping[str, object],
     cache: Optional[CompileCache],
     skip_illegal: bool,
+    tensor_table: Optional[Mapping[str, Mapping[str, object]]] = None,
 ) -> Dict[str, object]:
     """Compile + simulate + area for one candidate.
 
     Runs against whatever profiler/tracer are currently installed, so the
     same code serves the inline path (parent observability) and the
     worker path (local observability, merged later).
+
+    Suite candidates may override the sweep-wide ``bounds`` and name
+    their operand set via ``tensors_key`` (resolved against
+    ``tensor_table``), and may opt into extra figures with
+    ``want_energy`` (energy model over the sim counters) and
+    ``want_digest`` (canonical fingerprint of the simulated outputs,
+    for byte-identity checks across runs and transports).
     """
     profiler = get_profiler()
     tracer = get_tracer()
     name = candidate["name"]
+    bounds = candidate.get("bounds", bounds)
+    tensors_key = candidate.get("tensors_key")
+    if tensors_key is not None:
+        if tensor_table is None or tensors_key not in tensor_table:
+            raise KeyError(
+                f"candidate {name!r} names tensors_key {tensors_key!r}"
+                " but the sweep has no such tensor-table entry"
+            )
+        tensors = tensor_table[tensors_key]
     accelerator = Accelerator(
         spec=spec,
         bounds=bounds,
@@ -141,7 +179,7 @@ def _evaluate_point(
             result = SpatialArraySim(design.compiled, memo=cache).run(tensors)
         with profiler.scope("dse.area"):
             area = estimate_design_area(design.compiled)
-    return {
+    outcome = {
         "status": "ok",
         "name": name,
         "transform_name": candidate["transform_name"],
@@ -154,6 +192,14 @@ def _evaluate_point(
         "conn_count": len(design.compiled.array.conns),
         "pruned_variables": list(design.compiled.pruned_variables()),
     }
+    if candidate.get("want_energy"):
+        energy = energy_from_counters(
+            result.counters, element_bytes=max(1, element_bits // 8)
+        )
+        outcome["energy_pj"] = float(energy.total_pj)
+    if candidate.get("want_digest"):
+        outcome["output_digest"] = fingerprint(result.outputs)
+    return outcome
 
 
 # ---------------------------------------------------------------------------
@@ -164,9 +210,34 @@ def _evaluate_point(
 _WORKER_STATE: Dict[str, object] = {}
 
 
+def _decode_operands(packed):
+    """Materialize an operand payload shipped as ``(transport, value)``.
+
+    ``("inline", arrays)`` passes through; ``("shm", handles)`` maps
+    read-only views of the parent's shared segments.
+    """
+    if packed is None:
+        return None
+    transport, value = packed
+    if transport == "inline":
+        return value
+    if transport == "shm":
+        return SharedTensorPool.attach(value)
+    if transport == "shm-table":
+        return SharedTensorPool.attach_table(value)
+    raise ValueError(f"unknown operand transport {transport!r}")
+
+
 def _init_worker(payload: Dict[str, object]) -> None:
     state = dict(payload)
-    state["cache"] = CompileCache() if payload["use_cache"] else None
+    state["tensors"] = _decode_operands(payload["tensors"])
+    state["tensor_table"] = _decode_operands(payload["tensor_table"])
+    if payload["use_cache"]:
+        store_config = payload.get("store")
+        store = DiskStore(**store_config) if store_config else None
+        state["cache"] = CompileCache(store=store)
+    else:
+        state["cache"] = None
     _WORKER_STATE.clear()
     _WORKER_STATE.update(state)
 
@@ -175,7 +246,14 @@ def _stats_snapshot(cache: Optional[CompileCache]):
     if cache is None:
         return None
     stats = cache.stats
-    return (stats.hits, stats.misses, stats.uncacheable, dict(stats.by_stage))
+    return (
+        stats.hits,
+        stats.misses,
+        stats.uncacheable,
+        dict(stats.by_stage),
+        stats.disk_hits,
+        store_stats_snapshot(cache.store),
+    )
 
 
 def _stats_delta(before, after):
@@ -191,23 +269,32 @@ def _stats_delta(before, after):
         after[1] - before[1],
         after[2] - before[2],
         by_stage,
+        after[4] - before[4],
+        store_stats_delta(before[5], after[5]),
     )
 
 
 def _apply_delta(cache: CompileCache, delta) -> None:
     if delta is None:
         return
-    hits, misses, uncacheable, by_stage = delta
+    hits, misses, uncacheable, by_stage, disk_hits, store_delta = delta
     stats = cache.stats
     stats.hits += hits
     stats.misses += misses
     stats.uncacheable += uncacheable
+    stats.disk_hits += disk_hits
     for stage, (h, m) in by_stage.items():
         h0, m0 = stats.by_stage.get(stage, (0, 0))
         stats.by_stage[stage] = (h0 + h, m0 + m)
     cache.registry.counter("exec.cache.hits").inc(hits)
     cache.registry.counter("exec.cache.misses").inc(misses)
     cache.registry.counter("exec.cache.uncacheable").inc(uncacheable)
+    cache.registry.counter("exec.cache.disk_hits").inc(disk_hits)
+    if cache.store is not None and store_delta:
+        merge_store_stats(cache.store.stats, store_delta)
+        for name, amount in store_delta.items():
+            if amount:
+                cache.registry.counter(f"exec.store.{name}").inc(amount)
 
 
 def _run_task(task) -> Dict[str, object]:
@@ -228,6 +315,7 @@ def _run_task(task) -> Dict[str, object]:
             candidate,
             cache,
             state["skip_illegal"],
+            tensor_table=state["tensor_table"],
         )
     finally:
         if profiler is not None:
@@ -261,6 +349,19 @@ def _make_pool(workers: int, payload: Dict[str, object]) -> ProcessPoolExecutor:
 # ---------------------------------------------------------------------------
 
 
+def _pack_operands(pool: Optional[SharedTensorPool], tensors, table: bool):
+    """Ship an operand payload through shared memory when a pool is
+    live, inline otherwise.  Raises :class:`ShmUnavailable` (caught by
+    the caller, which retries inline) if segment creation fails."""
+    if tensors is None:
+        return None
+    if pool is None:
+        return ("inline", tensors)
+    if table:
+        return ("shm-table", pool.publish_table(tensors))
+    return ("shm", pool.publish(tensors))
+
+
 def evaluate_sweep(
     spec,
     bounds,
@@ -270,19 +371,24 @@ def evaluate_sweep(
     skip_illegal: bool = True,
     jobs: Optional[int] = None,
     cache: Optional[CompileCache] = None,
+    tensor_table: Optional[Mapping[str, Mapping[str, object]]] = None,
 ) -> Tuple[List[Dict[str, object]], EngineReport]:
     """Evaluate every candidate; outcomes come back in candidate order.
 
     Each candidate is a dict with ``name``, ``transform_name`` /
     ``transform``, ``sparsity_name`` / ``sparsity`` and
-    ``balancing_name`` / ``balancing``.  Outcomes are plain dicts with
-    ``status`` either ``"ok"`` (plus the measured figures) or
+    ``balancing_name`` / ``balancing``; suite candidates may add
+    ``bounds``, ``tensors_key`` (an entry of ``tensor_table``), and the
+    ``want_energy`` / ``want_digest`` flags.  Outcomes are plain dicts
+    with ``status`` either ``"ok"`` (plus the measured figures) or
     ``"illegal"`` (plus the compile error text).
 
     ``jobs`` follows :func:`resolve_jobs`; with one worker the sweep
     runs inline in this process.  If the pool cannot be created (no
-    process-spawning rights in a sandbox), the sweep silently degrades
-    to serial -- the results are identical by construction.
+    process-spawning rights in a sandbox) or shared-memory segments
+    cannot be allocated, the sweep silently degrades -- to serial, or
+    to inline operand shipping -- with identical results by
+    construction.
     """
     workers = resolve_jobs(jobs)
     workers = min(workers, max(1, len(candidates)))
@@ -290,7 +396,8 @@ def evaluate_sweep(
     if workers <= 1:
         outcomes = [
             _evaluate_point(
-                spec, bounds, tensors, element_bits, candidate, cache, skip_illegal
+                spec, bounds, tensors, element_bits, candidate, cache,
+                skip_illegal, tensor_table=tensor_table,
             )
             for candidate in candidates
         ]
@@ -302,36 +409,62 @@ def evaluate_sweep(
             cache_stats=cache.stats if cache is not None else None,
         )
 
+    # Publish operands into shared memory once; every worker maps the
+    # same segments instead of re-pickling arrays per task.
+    shm_pool: Optional[SharedTensorPool] = None
+    packed_tensors = packed_table = None
+    if shared_memory_available():
+        try:
+            shm_pool = SharedTensorPool()
+            packed_tensors = _pack_operands(shm_pool, tensors, table=False)
+            packed_table = _pack_operands(shm_pool, tensor_table, table=True)
+        except ShmUnavailable:  # pragma: no cover - sandboxed /dev/shm
+            if shm_pool is not None:
+                shm_pool.close()
+            shm_pool = None
+    if shm_pool is None:
+        packed_tensors = _pack_operands(None, tensors, table=False)
+        packed_table = _pack_operands(None, tensor_table, table=True)
+
+    store = cache.store if cache is not None else None
     payload = {
         "spec": spec,
         "bounds": bounds,
-        "tensors": tensors,
+        "tensors": packed_tensors,
+        "tensor_table": packed_table,
         "element_bits": element_bits,
         "skip_illegal": skip_illegal,
         "use_cache": cache is not None,
+        "store": store.spawn_config() if store is not None else None,
         "profile": get_profiler().enabled,
         "trace": get_tracer().enabled,
     }
     try:
         pool = _make_pool(workers, payload)
     except (OSError, PermissionError):  # pragma: no cover - sandboxed envs
+        if shm_pool is not None:
+            shm_pool.close()
         return evaluate_sweep(
             spec, bounds, tensors, candidates,
             element_bits=element_bits, skip_illegal=skip_illegal,
-            jobs=1, cache=cache,
+            jobs=1, cache=cache, tensor_table=tensor_table,
         )
 
     outcomes: List[Optional[Dict[str, object]]] = [None] * len(candidates)
-    with pool:
-        futures = [
-            pool.submit(_run_task, (index, candidate))
-            for index, candidate in enumerate(candidates)
-        ]
-        # Collect in submission order: the first failing candidate (by
-        # sweep order, not completion order) raises, deterministically.
-        for future in futures:
-            outcome = future.result()
-            outcomes[outcome["index"]] = outcome
+    try:
+        with pool:
+            futures = [
+                pool.submit(_run_task, (index, candidate))
+                for index, candidate in enumerate(candidates)
+            ]
+            # Collect in submission order: the first failing candidate (by
+            # sweep order, not completion order) raises, deterministically.
+            for future in futures:
+                outcome = future.result()
+                outcomes[outcome["index"]] = outcome
+    finally:
+        if shm_pool is not None:
+            shm_pool.close()
 
     # Merge worker observability back into the parent, in sweep order so
     # repeated runs aggregate identically.

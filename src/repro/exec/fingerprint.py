@@ -33,6 +33,15 @@ from typing import Tuple
 
 import numpy as np
 
+#: Version of the canonical encoding itself.  Any change to the byte
+#: stream this module produces -- new tags, different ordering, a hash
+#: swap -- MUST bump this: the disk store folds it into its layout so
+#: entries keyed under an old encoding become unreachable instead of
+#: silently colliding or missing.  The golden-digest tests in
+#: ``tests/exec/test_fingerprint.py`` pin concrete digests and fail on
+#: accidental drift.
+FINGERPRINT_VERSION = 1
+
 _PRIMITIVE_TAGS = {
     type(None): b"N",
     bool: b"b",

@@ -1,0 +1,204 @@
+"""Shared-memory operand transport for the evaluation process pool.
+
+Workload tensors are the bulkiest thing a sweep ships to its workers --
+a ResNet-scale suite carries one operand set per layer -- and serializing
+them into every worker is pure overhead: the arrays are immutable for
+the whole sweep.  A :class:`SharedTensorPool` copies each array into a
+:class:`multiprocessing.shared_memory.SharedMemory` segment exactly once
+in the parent; workers receive only ``(segment name, dtype, shape)``
+descriptors and map zero-copy read-only views.
+
+Ownership protocol:
+
+* the **parent** creates segments, keeps them alive for the sweep, and
+  unlinks them in ``close()`` (also invoked by the context manager and
+  as a ``__del__`` backstop);
+* **workers** attach by name without taking ownership: ``track=False``
+  where the Python version supports it (3.13+), a plain attach
+  otherwise.  The evaluation pool forks its workers, and forked
+  children share the parent's ``resource_tracker``, whose per-name
+  cache is a set -- the attach-side duplicate ``register`` coalesces
+  with the parent's, and the parent's ``unlink`` retires the name
+  exactly once.  (The folklore "unregister after attach" workaround is
+  for *spawned* workers with their own tracker; under fork it would
+  strip the parent's registration instead.)
+
+Everything degrades gracefully: platforms or sandboxes where segment
+creation fails fall back to sending the arrays inline (fork inherits
+them), preserving results exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - import succeeds on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+#: One shared tensor: (segment_name, dtype_str, shape).
+TensorHandle = Tuple[str, str, Tuple[int, ...]]
+
+#: One tensor mapping: tensor name -> handle.
+TensorSetHandle = Dict[str, TensorHandle]
+
+
+def shared_memory_available() -> bool:
+    """Whether this platform can create shared-memory segments at all."""
+    return _shared_memory is not None
+
+
+class ShmUnavailable(RuntimeError):
+    """Raised when the shared-memory transport cannot be used; callers
+    fall back to inline operand shipping."""
+
+
+#: Worker-side pins for attached segments (process lifetime; see
+#: :meth:`SharedTensorPool.attach`).  Tests may call
+#: :func:`release_attached` to drop them early.
+_ATTACHED_SEGMENTS: List[object] = []
+
+
+def release_attached() -> None:
+    """Close every segment attached in this process (test teardown)."""
+    for segment in _ATTACHED_SEGMENTS:
+        try:
+            segment.close()
+        except (OSError, BufferError):  # pragma: no cover
+            pass
+    _ATTACHED_SEGMENTS.clear()
+
+
+class SharedTensorPool:
+    """Parent-side owner of the sweep's shared operand segments."""
+
+    def __init__(self):
+        if _shared_memory is None:  # pragma: no cover - py<3.8 only
+            raise ShmUnavailable("multiprocessing.shared_memory unavailable")
+        self._segments: List[object] = []
+        self._closed = False
+
+    # -- publishing (parent) --------------------------------------------
+
+    def publish(
+        self, tensors: Mapping[str, np.ndarray]
+    ) -> TensorSetHandle:
+        """Copy every array into its own segment; returns the handles.
+
+        Zero-size arrays are shipped as empty-name handles (shared
+        memory rejects zero-byte segments, and there is nothing to
+        share anyway).
+        """
+        handles: TensorSetHandle = {}
+        for name, array in tensors.items():
+            array = np.ascontiguousarray(array)
+            if array.nbytes == 0:
+                handles[name] = ("", str(array.dtype), tuple(array.shape))
+                continue
+            try:
+                segment = _shared_memory.SharedMemory(
+                    create=True, size=array.nbytes
+                )
+            except OSError as error:
+                raise ShmUnavailable(str(error)) from error
+            self._segments.append(segment)
+            view = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=segment.buf
+            )
+            view[...] = array
+            handles[name] = (segment.name, str(array.dtype), tuple(array.shape))
+        return handles
+
+    def publish_table(
+        self, table: Mapping[str, Mapping[str, np.ndarray]]
+    ) -> Dict[str, TensorSetHandle]:
+        return {key: self.publish(tensors) for key, tensors in table.items()}
+
+    # -- attaching (worker) ---------------------------------------------
+
+    @staticmethod
+    def attach(handles: TensorSetHandle) -> Dict[str, np.ndarray]:
+        """Map every handle to a read-only array view.
+
+        The attached segments are intentionally left out of the worker's
+        resource tracker (see module docstring) and pinned in
+        :data:`_ATTACHED_SEGMENTS` for the life of the process -- an
+        ndarray cannot anchor its segment itself, and letting the
+        ``SharedMemory`` object get collected would close the mapping
+        under live views.
+        """
+        tensors: Dict[str, np.ndarray] = {}
+        for name, (segment_name, dtype, shape) in handles.items():
+            if not segment_name:
+                empty = np.empty(shape, dtype=np.dtype(dtype))
+                empty.flags.writeable = False
+                tensors[name] = empty
+                continue
+            segment = _attach_untracked(segment_name)
+            _ATTACHED_SEGMENTS.append(segment)
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+            view.flags.writeable = False
+            tensors[name] = view
+        return tensors
+
+    @staticmethod
+    def attach_table(
+        handle_table: Mapping[str, TensorSetHandle]
+    ) -> Dict[str, Dict[str, np.ndarray]]:
+        return {
+            key: SharedTensorPool.attach(handles)
+            for key, handles in handle_table.items()
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        return sum(segment.size for segment in self._segments)
+
+    def close(self) -> None:
+        """Release and unlink every owned segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self._segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            try:
+                segment.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "SharedTensorPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC-order dependent backstop
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+
+def _attach_untracked(segment_name: str):
+    """Attach to an existing segment without taking ownership.
+
+    Python 3.13 grew ``track=False`` for exactly this.  Earlier
+    versions attach plainly: under the fork start method (the only one
+    the evaluation pool uses) the worker shares the parent's resource
+    tracker, whose cache is a name *set*, so the attach-side register
+    deduplicates against the parent's and the parent's eventual
+    ``unlink`` unregisters the name exactly once.
+    """
+    try:
+        return _shared_memory.SharedMemory(name=segment_name, track=False)
+    except TypeError:  # Python < 3.13
+        return _shared_memory.SharedMemory(name=segment_name)

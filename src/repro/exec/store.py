@@ -1,0 +1,452 @@
+"""Disk-backed persistence for :class:`~repro.exec.cache.CompileCache`.
+
+A :class:`DiskStore` is the second tier behind the in-memory memo: a
+content-addressed file store under ``~/.cache/stellar-repro`` (override
+with ``STELLAR_CACHE_DIR``) that survives the process, so repeated CLI
+invocations and CI runs warm-start instead of recompiling and
+re-simulating designs whose content keys they have already paid for.
+
+Design constraints, in order:
+
+* **corruption is a miss, never a crash** -- every read validates a
+  magic string, a schema stamp, and a SHA-256 payload checksum; any
+  mismatch (truncated write, bit rot, a concurrent writer's leftovers,
+  a hostile edit) deletes the entry and reports a miss;
+* **writes are atomic** -- payloads land in a same-directory temp file
+  and :func:`os.replace` into place, so concurrent readers and writers
+  (the process pool's workers share one store) never observe a partial
+  entry;
+* **versioned** -- entries live under a directory stamped with
+  :data:`SCHEMA_VERSION` plus the fingerprint algorithm's
+  :data:`~repro.exec.fingerprint.FINGERPRINT_VERSION`; bumping either
+  orphans every old entry (collected by GC) instead of deserializing
+  stale IR into a newer pipeline;
+* **numpy products are pickle-free** -- arrays and str->array mappings
+  (simulator outputs, reference interpretations) serialize through the
+  ``.npy``/``.npz`` formats with ``allow_pickle=False``; only composite
+  compiler products (compiled designs, netlists, diagnostics) use
+  pickle;
+* **size-bounded** -- a byte budget (``STELLAR_CACHE_MAX_BYTES``,
+  default 256 MiB) is enforced by a least-recently-*used* GC: reads
+  bump an entry's mtime, eviction drops the stalest entries and any
+  other-version directories first.
+
+Failures on the write path (read-only filesystem, disk full,
+unpicklable value) silently degrade the store to a pass-through: the
+computation still happened, it just is not persisted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pickle
+import tempfile
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..obs.profile import get_profiler
+from .fingerprint import FINGERPRINT_VERSION
+
+#: Bump when the layout of cached products changes incompatibly --
+#: e.g. a new field on CompiledDesign that old pickles lack, a changed
+#: SimResult shape -- so stale entries become misses, not wrong answers.
+SCHEMA_VERSION = 1
+
+#: First bytes of every entry file.
+MAGIC = b"STLRSTORE1\n"
+
+#: Default size budget when ``STELLAR_CACHE_MAX_BYTES`` is unset.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+_MISSING = object()
+
+
+def default_cache_dir() -> Optional[str]:
+    """The store root the CLI uses: ``STELLAR_CACHE_DIR`` wins, the
+    empty string (or ``0``/``off``/``none``) disables persistence, and
+    the fallback is ``~/.cache/stellar-repro``."""
+    env = os.environ.get("STELLAR_CACHE_DIR")
+    if env is not None:
+        if env.strip().lower() in ("", "0", "off", "none"):
+            return None
+        return os.path.expanduser(env)
+    return os.path.join(os.path.expanduser("~"), ".cache", "stellar-repro")
+
+
+class DiskStoreStats:
+    """Tallies of disk-tier traffic for one store handle."""
+
+    __slots__ = (
+        "hits", "misses", "corrupt", "writes", "write_failures",
+        "bytes_read", "bytes_written", "evicted",
+    )
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.writes = 0
+        self.write_failures = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.evicted = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "writes": self.writes,
+            "write_failures": self.write_failures,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "evicted": self.evicted,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskStoreStats(hits={self.hits}, misses={self.misses},"
+            f" corrupt={self.corrupt}, writes={self.writes})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Payload codecs
+# ---------------------------------------------------------------------------
+
+
+def _is_array_mapping(value: object) -> bool:
+    return (
+        isinstance(value, dict)
+        and len(value) > 0
+        and all(
+            isinstance(k, str) and isinstance(v, np.ndarray)
+            for k, v in value.items()
+        )
+        and all(v.dtype != object for v in value.values())
+    )
+
+
+def _encode(value: object) -> Tuple[str, bytes]:
+    """``(format, payload)`` for a cacheable value.
+
+    numpy products get the pickle-free ``npy``/``npz`` formats; anything
+    else falls back to pickle.  Raises whatever the serializer raises --
+    the caller turns that into a skipped write.
+    """
+    if isinstance(value, np.ndarray) and value.dtype != object:
+        buffer = io.BytesIO()
+        np.save(buffer, value, allow_pickle=False)
+        return "npy", buffer.getvalue()
+    if _is_array_mapping(value):
+        buffer = io.BytesIO()
+        np.savez(buffer, **value)
+        return "npz", buffer.getvalue()
+    return "pickle", pickle.dumps(value, protocol=4)
+
+
+def _decode(fmt: str, payload: bytes) -> object:
+    if fmt == "npy":
+        return np.load(io.BytesIO(payload), allow_pickle=False)
+    if fmt == "npz":
+        with np.load(io.BytesIO(payload), allow_pickle=False) as archive:
+            return {name: archive[name] for name in archive.files}
+    if fmt == "pickle":
+        return pickle.loads(payload)
+    raise ValueError(f"unknown payload format {fmt!r}")
+
+
+class StoreCorruption(Exception):
+    """Internal: an entry failed validation (becomes a miss)."""
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+
+class DiskStore:
+    """One handle on the on-disk cache tier.
+
+    Multiple handles -- across threads, processes, and machines sharing
+    a filesystem -- may point at the same root concurrently; atomic
+    entry writes keep them consistent without locks (last writer wins,
+    and both writers wrote the same bytes for the same content key).
+    """
+
+    def __init__(
+        self,
+        root: str,
+        max_bytes: Optional[int] = None,
+        registry=None,
+    ):
+        self.root = os.path.expanduser(root)
+        if max_bytes is None:
+            try:
+                max_bytes = int(
+                    os.environ.get("STELLAR_CACHE_MAX_BYTES", DEFAULT_MAX_BYTES)
+                )
+            except ValueError:
+                max_bytes = DEFAULT_MAX_BYTES
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.stats = DiskStoreStats()
+        self._registry = registry
+        self._bytes_since_gc = 0
+
+    @classmethod
+    def default(cls, root: Optional[str] = None, **kwargs) -> Optional["DiskStore"]:
+        """The CLI's store: rooted per :func:`default_cache_dir`, or
+        ``None`` when persistence is disabled via the environment."""
+        resolved = os.path.expanduser(root) if root else default_cache_dir()
+        if resolved is None:
+            return None
+        return cls(resolved, **kwargs)
+
+    # -- layout ---------------------------------------------------------
+
+    @property
+    def version_tag(self) -> str:
+        return f"v{SCHEMA_VERSION}-fp{FINGERPRINT_VERSION}"
+
+    @property
+    def version_dir(self) -> str:
+        return os.path.join(self.root, self.version_tag)
+
+    def entry_path(self, stage: str, key: str) -> str:
+        # Stage names are dotted identifiers ("compile.elaborate"); keys
+        # are hex digests.  Shard on the key's first byte to keep
+        # directory listings short at ResNet-suite entry counts.
+        safe_stage = stage.replace(os.sep, "_")
+        return os.path.join(
+            self.version_dir, safe_stage, key[:2], key[2:] + ".entry"
+        )
+
+    # -- reads ----------------------------------------------------------
+
+    def get(self, stage: str, key: str) -> Tuple[bool, object]:
+        """``(hit, value)``; every failure mode is ``(False, None)``."""
+        path = self.entry_path(stage, key)
+        with get_profiler().scope("store.get"):
+            try:
+                with open(path, "rb") as handle:
+                    raw = handle.read()
+            except OSError:
+                self._count("misses")
+                return False, None
+            try:
+                value, payload_len = self._validate(raw, stage)
+            except Exception:  # noqa: BLE001 -- any failure in validation
+                # or deserialization is a miss; a bad entry must never
+                # take the build down.
+                self._count("corrupt")
+                self._count("misses")
+                self._remove(path)
+                return False, None
+            self.stats.bytes_read += payload_len
+            self._count("hits")
+            try:
+                os.utime(path)  # bump recency for the LRU GC
+            except OSError:
+                pass
+            return True, value
+
+    def _validate(self, raw: bytes, stage: str) -> Tuple[object, int]:
+        if not raw.startswith(MAGIC):
+            raise StoreCorruption("bad magic")
+        rest = raw[len(MAGIC):]
+        newline = rest.find(b"\n")
+        if newline < 0:
+            raise StoreCorruption("truncated header")
+        header = json.loads(rest[:newline].decode("utf-8"))
+        payload = rest[newline + 1:]
+        if header.get("schema") != SCHEMA_VERSION:
+            raise StoreCorruption("schema version mismatch")
+        if header.get("fingerprint") != FINGERPRINT_VERSION:
+            raise StoreCorruption("fingerprint version mismatch")
+        if header.get("stage") != stage:
+            raise StoreCorruption("stage mismatch")
+        if header.get("size") != len(payload):
+            raise StoreCorruption("payload length mismatch")
+        if hashlib.sha256(payload).hexdigest() != header.get("sha256"):
+            raise StoreCorruption("payload checksum mismatch")
+        return _decode(header["format"], payload), len(payload)
+
+    # -- writes ---------------------------------------------------------
+
+    def put(self, stage: str, key: str, value: object) -> bool:
+        """Persist ``value``; ``False`` (never an exception) on any
+        serialization or filesystem failure."""
+        with get_profiler().scope("store.put"):
+            try:
+                fmt, payload = _encode(value)
+            except Exception:  # noqa: BLE001 -- unpicklable: skip disk
+                self._count("write_failures")
+                return False
+            header = json.dumps(
+                {
+                    "schema": SCHEMA_VERSION,
+                    "fingerprint": FINGERPRINT_VERSION,
+                    "stage": stage,
+                    "format": fmt,
+                    "size": len(payload),
+                    "sha256": hashlib.sha256(payload).hexdigest(),
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+            blob = MAGIC + header + b"\n" + payload
+            path = self.entry_path(stage, key)
+            try:
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    dir=os.path.dirname(path), prefix=".tmp-"
+                )
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        handle.write(blob)
+                    os.replace(tmp, path)
+                except BaseException:
+                    self._remove(tmp)
+                    raise
+            except OSError:
+                self._count("write_failures")
+                return False
+        self._count("writes")
+        self.stats.bytes_written += len(blob)
+        if self._registry is not None:
+            self._registry.counter("exec.store.bytes_written").inc(len(blob))
+        self._bytes_since_gc += len(blob)
+        # Amortized GC: only rescan the tree after writing a fair slice
+        # of the budget, so steady-state sweeps pay ~zero for it.
+        if self._bytes_since_gc >= max(self.max_bytes // 16, 1 << 20):
+            self.gc()
+        return True
+
+    # -- maintenance ----------------------------------------------------
+
+    def _entries(self) -> Iterable[Tuple[str, int, float]]:
+        """(path, size, mtime) of every entry under the current version."""
+        for dirpath, _dirnames, filenames in os.walk(self.version_dir):
+            for filename in filenames:
+                if not filename.endswith(".entry"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                try:
+                    status = os.stat(path)
+                except OSError:
+                    continue
+                yield path, status.st_size, status.st_mtime
+
+    def total_bytes(self) -> int:
+        return sum(size for _path, size, _mtime in self._entries())
+
+    def gc(self) -> int:
+        """Evict until the current version fits the byte budget.
+
+        Other-version directories (stale schema or fingerprint stamps)
+        are removed wholesale first -- nothing can ever read them again.
+        Within the live version, entries leave least-recently-used
+        first, by mtime (reads bump it).  Returns entries evicted.
+        """
+        self._bytes_since_gc = 0
+        evicted = 0
+        try:
+            siblings = os.listdir(self.root)
+        except OSError:
+            siblings = []
+        for name in siblings:
+            if name != self.version_tag:
+                evicted += self._remove_tree(os.path.join(self.root, name))
+
+        entries = sorted(self._entries(), key=lambda e: e[2])  # oldest first
+        total = sum(size for _path, size, _mtime in entries)
+        for path, size, _mtime in entries:
+            if total <= self.max_bytes:
+                break
+            self._remove(path)
+            total -= size
+            evicted += 1
+        self.stats.evicted += evicted
+        if evicted and self._registry is not None:
+            self._registry.counter("exec.store.evicted").inc(evicted)
+        return evicted
+
+    def clear(self) -> None:
+        self._remove_tree(self.version_dir)
+
+    def _remove(self, path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    def _remove_tree(self, path: str) -> int:
+        removed = 0
+        for dirpath, dirnames, filenames in os.walk(path, topdown=False):
+            for filename in filenames:
+                self._remove(os.path.join(dirpath, filename))
+                removed += 1
+            for dirname in dirnames:
+                try:
+                    os.rmdir(os.path.join(dirpath, dirname))
+                except OSError:
+                    pass
+        try:
+            os.rmdir(path)
+        except OSError:
+            pass
+        return removed
+
+    def _count(self, what: str) -> None:
+        setattr(self.stats, what, getattr(self.stats, what) + 1)
+        if self._registry is not None:
+            self._registry.counter(f"exec.store.{what}").inc()
+
+    def attach_registry(self, registry) -> None:
+        """Mirror future tallies into ``registry`` as ``exec.store.*``."""
+        self._registry = registry
+
+    def spawn_config(self) -> Dict[str, object]:
+        """Constructor arguments for an equivalent handle in a worker."""
+        return {"root": self.root, "max_bytes": self.max_bytes}
+
+    def __repr__(self) -> str:
+        return f"DiskStore({self.root!r}, {self.stats!r})"
+
+
+def merge_store_stats(into: DiskStoreStats, delta: Optional[Dict[str, int]]) -> None:
+    """Fold a worker's stat dict (from :func:`store_stats_delta`) home."""
+    if not delta:
+        return
+    for name in DiskStoreStats.__slots__:
+        setattr(into, name, getattr(into, name) + delta.get(name, 0))
+
+
+def store_stats_snapshot(store: Optional[DiskStore]) -> Optional[Dict[str, int]]:
+    if store is None:
+        return None
+    return {
+        name: getattr(store.stats, name) for name in DiskStoreStats.__slots__
+    }
+
+
+def store_stats_delta(
+    before: Optional[Dict[str, int]], after: Optional[Dict[str, int]]
+) -> Optional[Dict[str, int]]:
+    if before is None or after is None:
+        return None
+    return {name: after[name] - before[name] for name in before}

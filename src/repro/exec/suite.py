@@ -1,0 +1,385 @@
+"""Batched evaluation of the paper's workload suites.
+
+The headline experiments (Fig. 15-18, Table III) are not single design
+points but *suites*: every distinct ResNet-50 conv shape, the pruned
+AlexNet layers, the SuiteSparse-like matrix registry.  This module
+routes a whole suite through :func:`repro.exec.engine.evaluate_sweep`
+as one candidate list -- each layer becomes a candidate carrying its
+own bounds and a ``tensors_key`` into the sweep's shared tensor table
+-- so layers share the compile cache (most ResNet shapes collapse onto
+a handful of tile configurations), fan out over the process pool with
+shared-memory operands, and warm-start from the persistent disk store
+on repeat invocations.
+
+Layer shapes are evaluated at a *tile* scale: each matmul dimension is
+clipped to ``cap`` (cycle-accurate simulation of a full 12544x64x576
+im2col matmul is neither feasible nor needed -- utilization and energy
+per MAC are properties of the tile).  Operands are seeded per layer, so
+results are reproducible across processes and machines; the
+``output_digest`` column is a canonical content hash of the simulated
+outputs, which is what the determinism and warm-cache gates compare.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..core import Bounds, matmul_spec
+from ..core.balancing import LoadBalancingScheme
+from ..core.dataflow import output_stationary
+from ..core.sparsity import SparsityStructure, csr_b_matrix
+from .cache import CompileCache
+from .engine import EngineReport, evaluate_sweep
+
+#: Default tile clip for each matmul dimension.
+DEFAULT_CAP = 8
+
+#: Default operand seed.
+DEFAULT_SEED = 7
+
+
+class SuiteCase:
+    """One workload of a suite: a named matmul tile plus its operands.
+
+    ``info`` carries workload-level figures (full-layer MACs, operand
+    densities) that ride along into the result rows untouched.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Bounds,
+        tensors: Mapping[str, np.ndarray],
+        info: Optional[Dict[str, object]] = None,
+    ):
+        self.name = name
+        self.bounds = bounds
+        self.tensors = dict(tensors)
+        self.info = dict(info or {})
+
+    def __repr__(self) -> str:
+        dims = {name: self.bounds.size(name) for name in self.bounds.names()}
+        return f"SuiteCase({self.name!r}, {dims})"
+
+
+class Suite:
+    """A named workload table bound to one accelerator configuration."""
+
+    def __init__(
+        self,
+        name: str,
+        spec,
+        cases: List[SuiteCase],
+        sparsity: SparsityStructure,
+        sparsity_name: str,
+        element_bits: int = 32,
+    ):
+        self.name = name
+        self.spec = spec
+        self.cases = cases
+        self.sparsity = sparsity
+        self.sparsity_name = sparsity_name
+        self.element_bits = element_bits
+        self.transform = output_stationary()
+        self.transform_name = "output-stationary"
+        self.balancing = LoadBalancingScheme()
+        self.balancing_name = "none"
+
+    def tensor_table(self) -> Dict[str, Dict[str, np.ndarray]]:
+        return {case.name: case.tensors for case in self.cases}
+
+    def candidates(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "name": case.name,
+                "transform_name": self.transform_name,
+                "transform": self.transform,
+                "sparsity_name": self.sparsity_name,
+                "sparsity": self.sparsity,
+                "balancing_name": self.balancing_name,
+                "balancing": self.balancing,
+                "bounds": case.bounds,
+                "tensors_key": case.name,
+                "want_energy": True,
+                "want_digest": True,
+            }
+            for case in self.cases
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Suite builders
+# ---------------------------------------------------------------------------
+
+
+def _tile_bounds(m: int, k: int, n: int, cap: int) -> Bounds:
+    return Bounds({"i": min(m, cap), "j": min(n, cap), "k": min(k, cap)})
+
+
+def _case_rng(seed: int, index: int) -> np.random.Generator:
+    # Seeded per case, never shared: case order and worker scheduling
+    # cannot perturb any operand.
+    return np.random.default_rng([seed, index])
+
+
+def _masked(rng: np.random.Generator, shape, density: float) -> np.ndarray:
+    values = rng.integers(1, 5, shape)
+    if density >= 1.0:
+        return values
+    return np.where(rng.random(shape) < density, values, 0)
+
+
+def build_resnet50(cap: int = DEFAULT_CAP, seed: int = DEFAULT_SEED) -> Suite:
+    """Every distinct ResNet-50 conv shape as a dense im2col matmul tile."""
+    from ..workloads import resnet50_layers
+
+    cases = []
+    for index, layer in enumerate(resnet50_layers()):
+        bounds = _tile_bounds(layer.matmul_m, layer.matmul_k, layer.matmul_n, cap)
+        rng = _case_rng(seed, index)
+        i, j, k = (bounds.size("i"), bounds.size("j"), bounds.size("k"))
+        cases.append(
+            SuiteCase(
+                layer.name,
+                bounds,
+                {"A": rng.integers(1, 5, (i, k)), "B": rng.integers(1, 5, (k, j))},
+                info={
+                    "macs": layer.macs,
+                    "matmul": (layer.matmul_m, layer.matmul_k, layer.matmul_n),
+                },
+            )
+        )
+    spec = matmul_spec()
+    return Suite(
+        "resnet50", spec, cases,
+        sparsity=SparsityStructure(), sparsity_name="dense",
+        element_bits=8,
+    )
+
+
+def build_alexnet(cap: int = DEFAULT_CAP, seed: int = DEFAULT_SEED) -> Suite:
+    """Pruned AlexNet: weight/activation densities thin the operands and
+    the design skips zero B columns (Listing 5's CSR-B sparsity)."""
+    from ..workloads import alexnet_pruned_layers
+
+    spec = matmul_spec()
+    cases = []
+    for index, layer in enumerate(alexnet_pruned_layers()):
+        m = layer.output_size * layer.output_size
+        k = layer.in_channels * layer.filter_size * layer.filter_size
+        n = layer.out_channels
+        bounds = _tile_bounds(m, k, n, cap)
+        rng = _case_rng(seed, index)
+        i, j, kk = (bounds.size("i"), bounds.size("j"), bounds.size("k"))
+        cases.append(
+            SuiteCase(
+                layer.name,
+                bounds,
+                {
+                    "A": _masked(rng, (i, kk), layer.activation_density),
+                    "B": _masked(rng, (kk, j), layer.weight_density),
+                },
+                info={
+                    "macs": layer.effective_macs,
+                    "weight_density": layer.weight_density,
+                    "activation_density": layer.activation_density,
+                },
+            )
+        )
+    return Suite(
+        "alexnet", spec, cases,
+        sparsity=csr_b_matrix(spec), sparsity_name="B-csr",
+        element_bits=8,
+    )
+
+
+def build_suitesparse(cap: int = DEFAULT_CAP, seed: int = DEFAULT_SEED) -> Suite:
+    """The SuiteSparse-like registry as A (dense) x B (sparse) tiles."""
+    from ..workloads import info as matrix_info
+    from ..workloads import matrix_names, synthesize
+
+    spec = matmul_spec()
+    cases = []
+    for index, name in enumerate(matrix_names()):
+        matrix = synthesize(name, max_rows=cap, seed=seed + index)
+        dense_b = matrix.to_dense()
+        rows, cols = dense_b.shape
+        rng = _case_rng(seed, index)
+        bounds = Bounds({"i": rows, "j": cols, "k": rows})
+        meta = matrix_info(name)
+        cases.append(
+            SuiteCase(
+                name,
+                bounds,
+                {"A": rng.integers(1, 5, (rows, rows)), "B": dense_b},
+                info={
+                    "density": round(meta.nnz / (meta.rows * meta.rows), 6),
+                    "class": meta.kind,
+                    "nnz": int(np.count_nonzero(dense_b)),
+                },
+            )
+        )
+    return Suite(
+        "suitesparse", spec, cases,
+        sparsity=csr_b_matrix(spec), sparsity_name="B-csr",
+        element_bits=32,
+    )
+
+
+SUITES: Dict[str, Callable[..., Suite]] = {
+    "resnet50": build_resnet50,
+    "alexnet": build_alexnet,
+    "suitesparse": build_suitesparse,
+}
+
+
+def suite_names() -> List[str]:
+    return sorted(SUITES)
+
+
+def build_suite(name: str, cap: int = DEFAULT_CAP, seed: int = DEFAULT_SEED) -> Suite:
+    try:
+        builder = SUITES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown suite {name!r}; available: {', '.join(suite_names())}"
+        ) from None
+    return builder(cap=cap, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+
+class SuiteResult:
+    """Per-layer rows plus suite aggregates and the engine report."""
+
+    def __init__(
+        self,
+        suite: Suite,
+        rows: List[Dict[str, object]],
+        report: EngineReport,
+        elapsed_s: float,
+        cache: Optional[CompileCache],
+    ):
+        self.suite = suite
+        self.rows = rows
+        self.report = report
+        self.elapsed_s = elapsed_s
+        self.cache = cache
+
+    # -- aggregates ------------------------------------------------------
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(int(row["cycles"]) for row in self.rows)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(float(row.get("energy_pj", 0.0)) for row in self.rows)
+
+    @property
+    def total_area_um2(self) -> float:
+        # One accelerator serves the whole suite: its area is the
+        # largest tile configuration's, not the sum over layers.
+        return max((float(row["area_um2"]) for row in self.rows), default=0.0)
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(float(row["utilization"]) for row in self.rows) / len(self.rows)
+
+    def aggregates(self) -> Dict[str, object]:
+        return {
+            "cases": len(self.rows),
+            "total_cycles": self.total_cycles,
+            "mean_utilization": round(self.mean_utilization, 4),
+            "area_um2": self.total_area_um2,
+            "total_energy_pj": round(self.total_energy_pj, 3),
+            "elapsed_s": round(self.elapsed_s, 4),
+        }
+
+    # -- presentation ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = {
+            "suite": self.suite.name,
+            "transform": self.suite.transform_name,
+            "sparsity": self.suite.sparsity_name,
+            "rows": self.rows,
+            "aggregates": self.aggregates(),
+            "engine": self.report.as_dict(),
+        }
+        if self.cache is not None and self.cache.store is not None:
+            payload["store"] = self.cache.store.stats.as_dict()
+        return payload
+
+    def table(self) -> str:
+        headers = ("case", "bounds", "cycles", "util", "energy/pJ", "digest")
+        body = []
+        for row in self.rows:
+            bounds = row.get("bounds_str", "")
+            body.append(
+                (
+                    str(row["name"]),
+                    bounds,
+                    str(row["cycles"]),
+                    f"{float(row['utilization']):.3f}",
+                    f"{float(row.get('energy_pj', 0.0)):.1f}",
+                    str(row.get("output_digest", ""))[:12],
+                )
+            )
+        widths = [
+            max(len(headers[col]), *(len(line[col]) for line in body)) if body
+            else len(headers[col])
+            for col in range(len(headers))
+        ]
+        lines = [
+            "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+            "  ".join("-" * width for width in widths),
+        ]
+        for line in body:
+            lines.append(
+                "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+            )
+        return "\n".join(lines)
+
+
+def evaluate_suite(
+    suite: Suite,
+    jobs: Optional[int] = None,
+    cache: Optional[CompileCache] = None,
+) -> SuiteResult:
+    """Run every case of ``suite`` through the sweep engine.
+
+    ``skip_illegal`` is off: a suite layer that fails to compile is a
+    configuration bug, not a design-space point to prune.
+    """
+    candidates = suite.candidates()
+    started = time.perf_counter()
+    outcomes, report = evaluate_sweep(
+        suite.spec,
+        None,
+        None,
+        candidates,
+        element_bits=suite.element_bits,
+        skip_illegal=False,
+        jobs=jobs,
+        cache=cache,
+        tensor_table=suite.tensor_table(),
+    )
+    elapsed = time.perf_counter() - started
+    rows = []
+    for case, outcome in zip(suite.cases, outcomes):
+        row = dict(outcome)
+        row.update(case.info)
+        row["bounds_str"] = "x".join(
+            str(case.bounds.size(name)) for name in ("i", "j", "k")
+        )
+        rows.append(row)
+    return SuiteResult(suite, rows, report, elapsed, cache)

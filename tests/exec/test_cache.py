@@ -6,7 +6,13 @@ from repro.core import Bounds, matmul_spec
 from repro.core.compiler import compile_design
 from repro.core.dataflow import output_stationary
 from repro.core.sparsity import csr_b_matrix
-from repro.exec.cache import CompileCache, get_compile_cache, set_compile_cache
+from repro.exec.cache import (
+    CompileCache,
+    get_compile_cache,
+    persistent_compile_cache,
+    set_compile_cache,
+)
+from repro.exec.store import DiskStore
 
 
 @pytest.fixture
@@ -57,6 +63,30 @@ class TestMemo:
         calls = []
         cache.memo("s", (2,), lambda: calls.append(1) or 2)
         assert calls == [1]
+
+    def test_hit_refreshes_recency(self):
+        """Regression: a hit must move the entry to the LRU tail, or a
+        hot entry inserted early gets evicted while cold entries live."""
+        cache = CompileCache(max_entries=3)
+        cache.memo("s", (1,), lambda: "hot")
+        cache.memo("s", (2,), lambda: 2)
+        cache.memo("s", (3,), lambda: 3)
+        cache.memo("s", (1,), lambda: "hot")  # hit: bump recency
+        cache.memo("s", (4,), lambda: 4)  # evicts 2, NOT the hot entry
+        rebuilt = []
+        cache.memo("s", (1,), lambda: rebuilt.append(1) or "rebuilt")
+        assert rebuilt == []
+
+    def test_fingerprint_memo_refreshes_recency(self):
+        """Same regression for the identity->fingerprint memo: re-keying
+        with a hot object must not let it age out."""
+        cache = CompileCache(max_entries=2)
+        hot = Bounds({"i": 4, "j": 4, "k": 4})
+        cache.fingerprint_of(hot)
+        cache.fingerprint_of(Bounds({"i": 8, "j": 8, "k": 8}))
+        cache.fingerprint_of(hot)  # bump
+        cache.fingerprint_of(Bounds({"i": 2, "j": 2, "k": 2}))  # evicts the 8s
+        assert cache._fp_memo[id(hot)][0] is hot
 
 
 class TestCompileFacade:
@@ -116,6 +146,66 @@ class TestCompileFacade:
         first = cache.lower(design)
         second = cache.lower(design)
         assert first is second
+
+
+class TestDiskTier:
+    def test_fresh_cache_same_root_hits_disk(self, tmp_path):
+        root = str(tmp_path / "store")
+        built = []
+        first = CompileCache(store=DiskStore(root))
+        first.memo("stage", (1, "a"), lambda: built.append(1) or {"v": 42})
+
+        second = CompileCache(store=DiskStore(root))
+        value = second.memo("stage", (1, "a"), lambda: built.append(1) or None)
+        assert value == {"v": 42}
+        assert built == [1]  # rebuilt zero times in the second process
+        assert second.stats.disk_hits == 1
+        assert second.stats.hits == 1
+        assert second.registry.counter("exec.cache.disk_hits").value == 1
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        root = str(tmp_path / "store")
+        CompileCache(store=DiskStore(root)).memo("stage", (1,), lambda: "x")
+        cache = CompileCache(store=DiskStore(root))
+        cache.memo("stage", (1,), lambda: "x")
+        cache.memo("stage", (1,), lambda: "x")
+        assert cache.stats.disk_hits == 1  # second hit came from memory
+        assert cache.store.stats.hits == 1
+
+    def test_memory_hit_does_not_touch_disk(self, tmp_path):
+        cache = CompileCache(store=DiskStore(str(tmp_path)))
+        cache.memo("stage", (1,), lambda: "x")
+        lookups_after_build = cache.store.stats.lookups
+        cache.memo("stage", (1,), lambda: "x")
+        assert cache.store.stats.lookups == lookups_after_build
+
+    def test_unfingerprintable_bypasses_disk(self, tmp_path):
+        cache = CompileCache(store=DiskStore(str(tmp_path)))
+        cache.memo("stage", (lambda: 0,), lambda: "value")
+        assert cache.stats.uncacheable == 1
+        assert cache.store.stats.lookups == 0
+        assert cache.store.stats.writes == 0
+
+    def test_compile_products_persist(self, tmp_path, design_axes):
+        spec, bounds, transform = design_axes
+        root = str(tmp_path / "store")
+        cold = CompileCache(store=DiskStore(root))
+        first = cold.compile(spec, bounds, transform)
+
+        warm = CompileCache(store=DiskStore(root))
+        second = warm.compile(matmul_spec(), Bounds({"i": 4, "j": 4, "k": 4}),
+                              output_stationary())
+        assert warm.stats.disk_hits >= 1
+        assert second.pe_count == first.pe_count
+        assert second.array.schedule_length == first.array.schedule_length
+
+    def test_persistent_compile_cache_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("STELLAR_CACHE_DIR", str(tmp_path / "env-root"))
+        cache = persistent_compile_cache()
+        assert cache.store is not None
+        assert cache.store.root == str(tmp_path / "env-root")
+        monkeypatch.setenv("STELLAR_CACHE_DIR", "off")
+        assert persistent_compile_cache().store is None
 
 
 class TestGlobalCache:

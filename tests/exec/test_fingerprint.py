@@ -102,6 +102,55 @@ class TestDesignAxes:
         assert fingerprint(a) == fingerprint(b)
 
 
+class TestGoldenDigests:
+    """Pinned digests guard cross-process / cross-version stability.
+
+    The persistent :class:`~repro.exec.store.DiskStore` addresses entries
+    by these digests, so any drift silently orphans every cache on every
+    machine.  If an intentional canonicalization change breaks one of
+    these pins, bump ``FINGERPRINT_VERSION`` (which retires old store
+    entries cleanly) and re-pin.
+    """
+
+    GOLDEN = {
+        "spec": "8217f79dc349c1bffc6cbd9f366f1dc16e57d4c5984ddd141e8eb24ca36c1339",
+        "bounds": "c29b70bdc10b1cc2aa4695a7acd56dfa3639bfbe0840f9f50390053215f555e0",
+        "transform": "ce4e157292d57d11599c0fad1fb5ef6c7b081fb966463083b551b5b5d2fcfc0f",
+        "sparsity": "63ff8f42d05baab12273190f7820e9f6c7c7369c5219eab1146fef2c5cf3e9f4",
+        "balancing": "fc3605f0e9c1e8ca987b444e953e113125fa588f9cefa02aea453635f59bc733",
+        "tensors": "87742e27573e712dce4a77f7fa08e52885445d0d76905324e8db59e4b670f498",
+        "key": "979129e40af1602fd83d7b1a78f50476b070adb23aacea73bf1734c7095baa25",
+        "prims": "912fdc0dc1eba334378972d6075875e7f503250c0e76526a815472f638c60970",
+    }
+
+    def test_fingerprint_version_is_pinned(self):
+        from repro.exec.fingerprint import FINGERPRINT_VERSION
+
+        assert FINGERPRINT_VERSION == 1
+
+    def test_design_axis_digests(self):
+        spec = matmul_spec()
+        assert fingerprint(spec) == self.GOLDEN["spec"]
+        assert fingerprint(Bounds({"i": 4, "j": 4, "k": 4})) == self.GOLDEN["bounds"]
+        assert fingerprint(output_stationary()) == self.GOLDEN["transform"]
+        assert fingerprint(csr_b_matrix(spec)) == self.GOLDEN["sparsity"]
+        assert fingerprint(row_shift_scheme(2)) == self.GOLDEN["balancing"]
+
+    def test_tensor_and_composite_digests(self):
+        tensors = {
+            "A": np.arange(16, dtype=np.int64).reshape(4, 4),
+            "B": np.eye(4, dtype=np.int64),
+        }
+        assert fingerprint(tensors) == self.GOLDEN["tensors"]
+        key = fingerprint(
+            (matmul_spec(), Bounds({"i": 4, "j": 4, "k": 4}), output_stationary())
+        )
+        assert key == self.GOLDEN["key"]
+
+    def test_primitive_digests(self):
+        assert fingerprint((None, True, 1, 1.5, "x", b"y")) == self.GOLDEN["prims"]
+
+
 class TestBehaviorRejection:
     def test_functions_are_uncacheable(self):
         with pytest.raises(FingerprintError):

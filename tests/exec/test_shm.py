@@ -1,0 +1,97 @@
+"""Tests for the shared-memory operand transport."""
+
+import numpy as np
+import pytest
+
+from repro.exec.shm import (
+    SharedTensorPool,
+    release_attached,
+    shared_memory_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no shared_memory on this platform"
+)
+
+
+@pytest.fixture
+def pool():
+    pool = SharedTensorPool()
+    yield pool
+    pool.close()
+    release_attached()
+
+
+class TestRoundTrip:
+    def test_publish_attach_preserves_contents(self, pool):
+        tensors = {
+            "A": np.arange(24, dtype=np.int64).reshape(4, 6),
+            "B": np.linspace(0.0, 1.0, 10, dtype=np.float32),
+        }
+        attached = SharedTensorPool.attach(pool.publish(tensors))
+        assert set(attached) == {"A", "B"}
+        for name in tensors:
+            np.testing.assert_array_equal(attached[name], tensors[name])
+            assert attached[name].dtype == tensors[name].dtype
+
+    def test_attached_views_are_read_only(self, pool):
+        attached = SharedTensorPool.attach(pool.publish({"A": np.ones(3)}))
+        with pytest.raises(ValueError):
+            attached["A"][0] = 5.0
+
+    def test_publish_copies_so_later_mutation_is_invisible(self, pool):
+        source = np.zeros(4, dtype=np.int64)
+        handles = pool.publish({"A": source})
+        source[:] = 9
+        np.testing.assert_array_equal(
+            SharedTensorPool.attach(handles)["A"], np.zeros(4, dtype=np.int64)
+        )
+
+    def test_non_contiguous_arrays_publish(self, pool):
+        base = np.arange(16, dtype=np.int32).reshape(4, 4)
+        attached = SharedTensorPool.attach(pool.publish({"T": base.T}))
+        np.testing.assert_array_equal(attached["T"], base.T)
+
+    def test_zero_size_arrays_ship_as_empty_handles(self, pool):
+        handles = pool.publish({"E": np.empty((0, 3), dtype=np.float64)})
+        segment_name, dtype, shape = handles["E"]
+        assert segment_name == "" and shape == (0, 3)
+        attached = SharedTensorPool.attach(handles)
+        assert attached["E"].shape == (0, 3)
+        assert attached["E"].dtype == np.float64
+        assert not attached["E"].flags.writeable
+
+    def test_table_round_trip(self, pool):
+        table = {
+            "case0": {"A": np.arange(4)},
+            "case1": {"A": np.arange(4) * 2, "B": np.eye(2)},
+        }
+        attached = SharedTensorPool.attach_table(pool.publish_table(table))
+        assert set(attached) == {"case0", "case1"}
+        np.testing.assert_array_equal(attached["case1"]["A"], table["case1"]["A"])
+        np.testing.assert_array_equal(attached["case1"]["B"], table["case1"]["B"])
+
+
+class TestLifecycle:
+    def test_nbytes_accounts_published_segments(self, pool):
+        assert pool.nbytes == 0
+        pool.publish({"A": np.zeros(1024, dtype=np.uint8)})
+        assert pool.nbytes >= 1024
+
+    def test_close_is_idempotent(self, pool):
+        pool.publish({"A": np.zeros(8)})
+        pool.close()
+        pool.close()
+        assert pool.nbytes == 0
+
+    def test_context_manager_closes(self):
+        with SharedTensorPool() as pool:
+            handles = pool.publish({"A": np.arange(6, dtype=np.int16)})
+            attached = SharedTensorPool.attach(handles)
+            np.testing.assert_array_equal(attached["A"], np.arange(6, dtype=np.int16))
+        release_attached()
+        # The segment was unlinked on close: a fresh attach must fail.
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=handles["A"][0])

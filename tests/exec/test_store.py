@@ -1,0 +1,229 @@
+"""Tests for the disk-backed cache tier."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.exec.store import (
+    MAGIC,
+    DiskStore,
+    default_cache_dir,
+    store_stats_delta,
+    store_stats_snapshot,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return DiskStore(str(tmp_path / "cache"), max_bytes=1 << 20)
+
+
+KEY = "ab" + "cd" * 31  # shaped like a sha256 hex digest
+
+
+class TestRoundTrip:
+    def test_miss_on_empty_store(self, store):
+        hit, value = store.get("stage", KEY)
+        assert (hit, value) == (False, None)
+        assert store.stats.misses == 1
+
+    def test_pickle_value(self, store):
+        assert store.put("stage", KEY, {"cycles": 42, "name": "x"})
+        hit, value = store.get("stage", KEY)
+        assert hit and value == {"cycles": 42, "name": "x"}
+        assert store.stats.hits == 1 and store.stats.writes == 1
+
+    def test_ndarray_uses_npy_not_pickle(self, store):
+        array = np.arange(12, dtype=np.float32).reshape(3, 4)
+        store.put("sim", KEY, array)
+        header = _header_of(store, "sim", KEY)
+        assert header["format"] == "npy"
+        hit, value = store.get("sim", KEY)
+        assert hit
+        np.testing.assert_array_equal(value, array)
+        assert value.dtype == array.dtype
+
+    def test_array_mapping_uses_npz_not_pickle(self, store):
+        tensors = {
+            "A": np.arange(4, dtype=np.int64),
+            "B": np.ones((2, 2)),
+        }
+        store.put("sim", KEY, tensors)
+        assert _header_of(store, "sim", KEY)["format"] == "npz"
+        hit, value = store.get("sim", KEY)
+        assert hit and set(value) == {"A", "B"}
+        np.testing.assert_array_equal(value["A"], tensors["A"])
+        np.testing.assert_array_equal(value["B"], tensors["B"])
+
+    def test_stages_do_not_collide(self, store):
+        store.put("s1", KEY, "one")
+        store.put("s2", KEY, "two")
+        assert store.get("s1", KEY) == (True, "one")
+        assert store.get("s2", KEY) == (True, "two")
+
+    def test_second_handle_sees_entries(self, store):
+        store.put("stage", KEY, [1, 2, 3])
+        other = DiskStore(store.root)
+        assert other.get("stage", KEY) == (True, [1, 2, 3])
+
+
+class TestFailureModes:
+    """Every bad entry is a miss; nothing ever raises out of the store."""
+
+    def test_corrupted_payload_is_a_miss(self, store):
+        store.put("stage", KEY, {"x": 1})
+        path = store.entry_path("stage", KEY)
+        raw = bytearray(open(path, "rb").read())
+        raw[-1] ^= 0xFF
+        open(path, "wb").write(bytes(raw))
+        assert store.get("stage", KEY) == (False, None)
+        assert store.stats.corrupt == 1
+        assert not os.path.exists(path)  # bad entry deleted
+
+    def test_truncated_entry_is_a_miss(self, store):
+        store.put("stage", KEY, {"x": 1})
+        path = store.entry_path("stage", KEY)
+        raw = open(path, "rb").read()
+        open(path, "wb").write(raw[: len(raw) // 2])
+        assert store.get("stage", KEY) == (False, None)
+        assert store.stats.corrupt == 1
+
+    def test_bad_magic_is_a_miss(self, store):
+        store.put("stage", KEY, 7)
+        path = store.entry_path("stage", KEY)
+        open(path, "wb").write(b"NOTSTELLAR" + b"\x00" * 64)
+        assert store.get("stage", KEY) == (False, None)
+
+    @pytest.mark.parametrize("field", ["schema", "fingerprint"])
+    def test_version_mismatch_is_a_miss(self, store, field):
+        store.put("stage", KEY, "value")
+        path = store.entry_path("stage", KEY)
+        _rewrite_header(path, {field: 999999})
+        assert store.get("stage", KEY) == (False, None)
+        assert store.stats.corrupt == 1
+
+    def test_stage_mismatch_is_a_miss(self, store):
+        # An entry renamed (or hard-linked) across stage directories must
+        # not be served under the wrong stage.
+        store.put("stage", KEY, "value")
+        source = store.entry_path("stage", KEY)
+        target = store.entry_path("other", KEY)
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        os.rename(source, target)
+        assert store.get("other", KEY) == (False, None)
+
+    def test_unpicklable_value_degrades_to_pass_through(self, store):
+        assert store.put("stage", KEY, lambda: 0) is False
+        assert store.stats.write_failures == 1
+        assert store.get("stage", KEY) == (False, None)
+
+    def test_unwritable_root_degrades_to_pass_through(self, store, monkeypatch):
+        # Simulate a read-only filesystem (chmod is no barrier when the
+        # suite runs as root).
+        monkeypatch.setattr(
+            os, "makedirs", _raise_oserror, raising=True
+        )
+        assert store.put("stage", KEY, 1) is False
+        assert store.stats.write_failures == 1
+
+
+class TestVersioningAndGC:
+    def test_entries_live_under_version_tag(self, store):
+        store.put("stage", KEY, 1)
+        assert store.entry_path("stage", KEY).startswith(store.version_dir)
+        assert store.version_tag in store.entry_path("stage", KEY)
+
+    def test_gc_removes_other_version_directories(self, store):
+        store.put("stage", KEY, 1)
+        stale = os.path.join(store.root, "v0-fp0", "stage")
+        os.makedirs(stale)
+        open(os.path.join(stale, "old.entry"), "wb").write(b"x")
+        store.gc()
+        assert not os.path.exists(os.path.join(store.root, "v0-fp0"))
+        assert store.get("stage", KEY)[0]  # live version untouched
+
+    def test_gc_enforces_byte_budget_lru(self, store, tmp_path):
+        keys = [f"{i:02d}" + "ee" * 31 for i in range(4)]
+        payload = b"z" * 4096
+        for index, key in enumerate(keys):
+            store.put("stage", key, payload)
+            os.utime(store.entry_path("stage", key), (1000 + index, 1000 + index))
+        # Re-read the oldest entry: its recency bump must save it.
+        os.utime(store.entry_path("stage", keys[0]), (2000, 2000))
+        store.max_bytes = 2 * (4096 + 256)
+        store.gc()
+        assert store.total_bytes() <= store.max_bytes
+        assert store.get("stage", keys[0])[0]
+        assert not store.get("stage", keys[1])[0]
+        assert store.stats.evicted >= 1
+
+    def test_clear_removes_everything(self, store):
+        store.put("stage", KEY, 1)
+        store.clear()
+        assert store.total_bytes() == 0
+        assert store.get("stage", KEY) == (False, None)
+
+
+class TestEnvironment:
+    def test_default_cache_dir_fallback(self, monkeypatch):
+        monkeypatch.delenv("STELLAR_CACHE_DIR", raising=False)
+        assert default_cache_dir().endswith(os.path.join(".cache", "stellar-repro"))
+
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("STELLAR_CACHE_DIR", str(tmp_path))
+        assert default_cache_dir() == str(tmp_path)
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "none", " OFF "])
+    def test_env_disables_persistence(self, monkeypatch, value):
+        monkeypatch.setenv("STELLAR_CACHE_DIR", value)
+        assert default_cache_dir() is None
+        assert DiskStore.default() is None
+
+    def test_explicit_root_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("STELLAR_CACHE_DIR", "off")
+        store = DiskStore.default(str(tmp_path / "explicit"))
+        assert store is not None and store.root == str(tmp_path / "explicit")
+
+    def test_max_bytes_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("STELLAR_CACHE_MAX_BYTES", "12345")
+        assert DiskStore(str(tmp_path)).max_bytes == 12345
+
+
+class TestStatsPlumbing:
+    def test_snapshot_delta(self, store):
+        before = store_stats_snapshot(store)
+        store.put("stage", KEY, 1)
+        store.get("stage", KEY)
+        delta = store_stats_delta(before, store_stats_snapshot(store))
+        assert delta["writes"] == 1 and delta["hits"] == 1
+        assert delta["bytes_written"] > 0
+
+    def test_none_snapshots(self):
+        assert store_stats_snapshot(None) is None
+        assert store_stats_delta(None, None) is None
+
+    def test_spawn_config_reconstructs(self, store):
+        twin = DiskStore(**store.spawn_config())
+        assert (twin.root, twin.max_bytes) == (store.root, store.max_bytes)
+
+
+def _raise_oserror(*_args, **_kwargs):
+    raise OSError(30, "Read-only file system")
+
+
+def _header_of(store, stage, key):
+    raw = open(store.entry_path(stage, key), "rb").read()
+    rest = raw[len(MAGIC):]
+    return json.loads(rest[: rest.find(b"\n")].decode())
+
+
+def _rewrite_header(path, overrides):
+    raw = open(path, "rb").read()
+    rest = raw[len(MAGIC):]
+    newline = rest.find(b"\n")
+    header = json.loads(rest[:newline].decode())
+    header.update(overrides)
+    blob = MAGIC + json.dumps(header, sort_keys=True).encode() + rest[newline:]
+    open(path, "wb").write(blob)

@@ -1,0 +1,129 @@
+"""Tests for workload-suite construction and batched evaluation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.exec.cache import CompileCache
+from repro.exec.store import DiskStore
+from repro.exec.suite import (
+    Suite,
+    build_suite,
+    evaluate_suite,
+    suite_names,
+)
+
+
+class TestConstruction:
+    def test_registry_names(self):
+        assert set(suite_names()) == {"resnet50", "alexnet", "suitesparse"}
+
+    @pytest.mark.parametrize("name", ["resnet50", "alexnet", "suitesparse"])
+    def test_build_is_deterministic(self, name):
+        first = build_suite(name, cap=4, seed=3)
+        second = build_suite(name, cap=4, seed=3)
+        assert isinstance(first, Suite)
+        assert [c.name for c in first.cases] == [c.name for c in second.cases]
+        for a, b in zip(first.cases, second.cases):
+            for tensor in a.tensors:
+                np.testing.assert_array_equal(a.tensors[tensor], b.tensors[tensor])
+
+    @pytest.mark.parametrize("name", ["resnet50", "alexnet", "suitesparse"])
+    def test_tensors_match_bounds(self, name):
+        suite = build_suite(name, cap=4)
+        assert suite.cases
+        for case in suite.cases:
+            i, j, k = (case.bounds.size(axis) for axis in ("i", "j", "k"))
+            assert i <= 4 and j <= 4 and k <= 4
+            assert case.tensors["A"].shape == (i, k)
+            assert case.tensors["B"].shape == (k, j)
+
+    def test_candidates_route_per_case_operands(self):
+        suite = build_suite("alexnet", cap=4)
+        table = suite.tensor_table()
+        for case, candidate in zip(suite.cases, suite.candidates()):
+            assert candidate["tensors_key"] == case.name
+            assert candidate["want_energy"] and candidate["want_digest"]
+            assert candidate["tensors_key"] in table
+
+    def test_unknown_suite_names_available(self):
+        with pytest.raises(KeyError, match="resnet50"):
+            build_suite("vgg19")
+
+
+class TestEvaluation:
+    def test_rows_carry_metrics_and_digests(self):
+        suite = build_suite("alexnet", cap=4)
+        result = evaluate_suite(suite, jobs=1)
+        assert len(result.rows) == len(suite.cases)
+        for row in result.rows:
+            assert row["cycles"] > 0
+            assert row["energy_pj"] > 0
+            assert len(row["output_digest"]) == 64
+            assert row["bounds_str"].count("x") == 2
+        aggregates = result.aggregates()
+        assert aggregates["total_cycles"] == result.total_cycles
+        assert aggregates["cases"] == len(suite.cases)
+        assert "elapsed_s" in aggregates
+
+    def test_parallel_matches_serial_byte_identically(self):
+        suite = build_suite("suitesparse", cap=4)
+        serial = evaluate_suite(suite, jobs=1)
+        parallel = evaluate_suite(build_suite("suitesparse", cap=4), jobs=2)
+        assert [r["output_digest"] for r in serial.rows] == [
+            r["output_digest"] for r in parallel.rows
+        ]
+        assert [r["cycles"] for r in serial.rows] == [
+            r["cycles"] for r in parallel.rows
+        ]
+
+    def test_warm_store_reuses_results_identically(self, tmp_path):
+        root = str(tmp_path / "store")
+        cold_cache = CompileCache(store=DiskStore(root))
+        cold = evaluate_suite(build_suite("alexnet", cap=4), jobs=1, cache=cold_cache)
+        assert cold_cache.store.stats.writes > 0
+
+        warm_cache = CompileCache(store=DiskStore(root))
+        warm = evaluate_suite(build_suite("alexnet", cap=4), jobs=1, cache=warm_cache)
+        assert warm_cache.store.stats.hits > 0
+        assert warm_cache.stats.disk_hits > 0
+        assert [r["output_digest"] for r in cold.rows] == [
+            r["output_digest"] for r in warm.rows
+        ]
+
+    def test_table_renders_every_case(self):
+        suite = build_suite("alexnet", cap=4)
+        result = evaluate_suite(suite, jobs=1)
+        rendered = result.table()
+        for case in suite.cases:
+            assert case.name in rendered
+
+
+class TestCli:
+    def test_sweep_json(self, capsys, tmp_path):
+        status = cli_main(
+            [
+                "sweep", "alexnet", "--cap", "4", "--jobs", "1", "--json",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert status == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["suite"] == "alexnet"
+        assert payload["rows"] and payload["aggregates"]["total_cycles"] > 0
+        assert payload["store"]["writes"] > 0
+
+    def test_sweep_table_and_no_disk_cache(self, capsys):
+        status = cli_main(
+            ["sweep", "alexnet", "--cap", "4", "--jobs", "1", "--no-disk-cache"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "mean utilization" in out and "cases" in out
+        assert "disk" not in out  # persistence was disabled
+
+    def test_sweep_unknown_suite_exits_2(self, capsys):
+        assert cli_main(["sweep", "nope"]) == 2
+        assert "resnet50" in capsys.readouterr().err
