@@ -11,10 +11,16 @@ Wraps the Figure 1 flow for quick use without writing Python:
   sweep out over worker processes, ``--no-cache`` disables the
   content-hash compile cache);
 * ``sweep`` -- evaluate a whole workload suite (``resnet50`` /
-  ``alexnet`` / ``suitesparse``) through the batched sweep engine, with
+  ``alexnet`` / ``suitesparse``, or any user workload table given as a
+  ``.json``/``.csv`` path) through the batched sweep engine, with
   per-layer rows and aggregate cycles/area/energy; repeat invocations
   warm-start from the persistent disk cache (``--no-disk-cache`` and
-  ``STELLAR_CACHE_DIR`` control it);
+  ``STELLAR_CACHE_DIR`` control it); ``--autotune`` crosses each layer
+  with the DSE design space and picks the Pareto-best design point per
+  layer under ``--objective`` (cycles / energy / edp), within an
+  optional per-layer candidate ``--budget``;
+* ``cache`` -- inspect or maintain the persistent design cache
+  (``stats`` / ``gc`` / ``clear``);
 * ``bench`` -- time the reference sweep serial/cached/parallel and
   write the ``BENCH_dse.json`` speedup report;
 * ``trace`` -- run a design with tracing enabled and write a Chrome
@@ -298,19 +304,70 @@ def cmd_explore(args) -> int:
     return 0
 
 
+def _cache_line(report, cache) -> str:
+    stats = cache.stats
+    line = (
+        f"engine: {report.mode} (jobs={report.jobs}),"
+        f" cache {stats.hits}/{stats.lookups} hits"
+    )
+    if cache.store is not None:
+        disk = cache.store.stats
+        line += (
+            f", disk {disk.hits}/{disk.lookups} hits"
+            f" ({disk.bytes_read} B read, {disk.bytes_written} B written)"
+        )
+    return line
+
+
 def cmd_sweep(args) -> int:
     from .exec.cache import CompileCache, persistent_compile_cache
-    from .exec.suite import build_suite, evaluate_suite
+    from .exec.suite import SuiteError, build_suite, evaluate_suite
 
     try:
         suite = build_suite(args.suite, cap=args.cap, seed=args.seed)
     except KeyError as err:
         print(f"sweep: {err.args[0]}", file=sys.stderr)
         return 2
+    except SuiteError as err:
+        print(f"sweep: {err}", file=sys.stderr)
+        return 2
     if args.no_disk_cache:
         cache = CompileCache()
     else:
         cache = persistent_compile_cache(args.cache_dir)
+
+    if args.autotune:
+        from .exec.autotune import autotune_suite
+
+        try:
+            result = autotune_suite(
+                suite,
+                objective=args.objective,
+                budget=args.budget,
+                jobs=args.jobs,
+                cache=cache,
+            )
+        except (SuiteError, ValueError) as err:
+            print(f"sweep: {err}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2))
+            return 0
+        print(result.table())
+        aggregates = result.aggregates()
+        print(
+            f"\n{suite.name} [autotune/{args.objective}]:"
+            f" {aggregates['cases']} cases,"
+            f" {aggregates['total_cycles']} cycles"
+            f" (fixed design: {aggregates['fixed_total_cycles']}),"
+            f" {aggregates['retuned_layers']} layers re-tuned,"
+            f" {aggregates['candidates_per_layer']} candidates/layer,"
+            f" {aggregates['total_energy_pj']:.0f} pJ,"
+            f" {aggregates['elapsed_s']:.3f} s"
+        )
+        print(_cache_line(result.report, cache))
+        return 0
+
     result = evaluate_suite(suite, jobs=args.jobs, cache=cache)
 
     if args.json:
@@ -326,18 +383,69 @@ def cmd_sweep(args) -> int:
         f" {aggregates['total_energy_pj']:.0f} pJ,"
         f" {aggregates['elapsed_s']:.3f} s"
     )
-    stats = cache.stats
-    line = (
-        f"engine: {result.report.mode} (jobs={result.report.jobs}),"
-        f" cache {stats.hits}/{stats.lookups} hits"
-    )
-    if cache.store is not None:
-        disk = cache.store.stats
-        line += (
-            f", disk {disk.hits}/{disk.lookups} hits"
-            f" ({disk.bytes_read} B read, {disk.bytes_written} B written)"
+    print(_cache_line(result.report, cache))
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from .exec.store import DiskStore
+
+    store = DiskStore.default(args.cache_dir, max_bytes=args.max_bytes)
+    if store is None:
+        if args.json:
+            print(json.dumps({"enabled": False}, indent=2))
+        else:
+            print(
+                "cache: persistence is disabled"
+                " (STELLAR_CACHE_DIR is off and no --cache-dir given)"
+            )
+        return 0
+
+    if args.action == "stats":
+        summary = store.summary()
+        summary["enabled"] = True
+        if args.json:
+            print(json.dumps(summary, indent=2))
+            return 0
+        print(f"root:     {summary['root']}")
+        print(f"version:  {summary['version']}")
+        print(
+            f"entries:  {summary['entries']}"
+            f" ({summary['total_bytes']} / {summary['max_bytes']} bytes)"
         )
-    print(line)
+        stages = summary["stages"]
+        if stages:
+            width = max(len(stage) for stage in stages)
+            for stage, bucket in stages.items():
+                print(
+                    f"  {stage.ljust(width)}  {bucket['entries']:5d} entries"
+                    f"  {bucket['bytes']:10d} bytes"
+                )
+        return 0
+
+    if args.action == "gc":
+        evicted = store.gc()
+        remaining = store.total_bytes()
+        payload = {
+            "evicted": evicted,
+            "total_bytes": remaining,
+            "max_bytes": store.max_bytes,
+        }
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(
+                f"cache: evicted {evicted} entries;"
+                f" {remaining} / {store.max_bytes} bytes in use"
+            )
+        return 0
+
+    # clear
+    store.clear()
+    if args.json:
+        print(json.dumps({"cleared": True, "root": store.root}, indent=2))
+    else:
+        print(f"cache: cleared {store.root}")
     return 0
 
 
@@ -513,7 +621,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "suite",
-        help="workload suite name (resnet50, alexnet, suitesparse)",
+        help="workload suite name (resnet50, alexnet, suitesparse) or a"
+        " path to a user workload table (.json/.csv of layer shapes"
+        " and densities)",
+    )
+    sweep.add_argument(
+        "--autotune",
+        action="store_true",
+        help="cross each layer with the DSE design space and pick the"
+        " Pareto-best design point per layer",
+    )
+    sweep.add_argument(
+        "--objective",
+        choices=["cycles", "energy", "edp"],
+        default="cycles",
+        help="autotuning objective minimized on each layer's Pareto"
+        " frontier (default cycles)",
+    )
+    sweep.add_argument(
+        "--budget",
+        type=_positive_int,
+        default=None,
+        help="cap the candidate designs per layer (the fixed baseline"
+        " design is always kept)",
     )
     sweep.add_argument(
         "--jobs",
@@ -564,7 +694,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--only",
         action="append",
-        choices=["dse", "membuf", "dma", "merger", "suite"],
+        choices=["dse", "membuf", "dma", "merger", "suite", "autotune"],
         default=None,
         metavar="BENCH",
         help="run only this benchmark family (repeatable; default all)",
@@ -604,6 +734,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     frameworks = sub.add_parser("frameworks", help="print the Table I matrix")
     frameworks.set_defaults(func=cmd_frameworks)
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or maintain the persistent design cache"
+    )
+    cache_cmd.add_argument(
+        "action",
+        choices=["stats", "gc", "clear"],
+        help="stats: per-stage occupancy; gc: enforce the byte budget;"
+        " clear: drop every entry of the live version",
+    )
+    cache_cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        help="disk store root (default STELLAR_CACHE_DIR or"
+        " ~/.cache/stellar-repro)",
+    )
+    cache_cmd.add_argument(
+        "--max-bytes",
+        type=_positive_int,
+        default=None,
+        help="override the byte budget for this invocation (gc evicts"
+        " down to it; default STELLAR_CACHE_MAX_BYTES)",
+    )
+    cache_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    cache_cmd.set_defaults(func=cmd_cache)
 
     check = sub.add_parser(
         "check", help="static-check example designs (spec/netlist/program)"

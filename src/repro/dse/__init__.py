@@ -1,5 +1,21 @@
 """Automated design-space exploration (the paper's Section I use case)."""
 
 from .explorer import DesignPoint, ExplorationResult, explore
+from .space import (
+    DesignCombo,
+    DesignSpace,
+    budgeted_combos,
+    standard_transforms,
+    suite_design_space,
+)
 
-__all__ = ["DesignPoint", "ExplorationResult", "explore"]
+__all__ = [
+    "DesignCombo",
+    "DesignPoint",
+    "DesignSpace",
+    "ExplorationResult",
+    "budgeted_combos",
+    "explore",
+    "standard_transforms",
+    "suite_design_space",
+]

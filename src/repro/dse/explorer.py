@@ -12,8 +12,7 @@ model, and extracts the Pareto frontier over (cycles, area).
 
 from __future__ import annotations
 
-import itertools
-from typing import List, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -22,13 +21,26 @@ from ..core.dataflow import SpaceTimeTransform
 from ..core.expr import Bounds, SpecError
 from ..core.functionality import FunctionalSpec
 from ..core.sparsity import SparsityStructure
-from ..exec.cache import CompileCache
-from ..exec.engine import EngineReport, evaluate_sweep
 from ..obs.trace import get_tracer
+from .space import DesignSpace
+
+if TYPE_CHECKING:
+    # Annotation-only: the runtime imports live inside explore(), so
+    # importing repro.dse does not trigger the repro.exec package (which
+    # imports back into repro.dse for the autotuner).
+    from ..exec.cache import CompileCache
+    from ..exec.engine import EngineReport
 
 
 class DesignPoint:
-    """One evaluated configuration of the design space."""
+    """One evaluated configuration of the design space.
+
+    ``energy_pj`` is optional: sweeps that ask the engine for
+    ``want_energy`` (the suite autotuner does) carry it, and Pareto
+    dominance then extends over (cycles, area, energy); plain explore
+    sweeps leave it ``None`` and keep the classic (cycles, area)
+    frontier.
+    """
 
     def __init__(
         self,
@@ -42,6 +54,7 @@ class DesignPoint:
         pe_count: int,
         conn_count: int,
         pruned_variables: Sequence[str],
+        energy_pj: Optional[float] = None,
     ):
         self.name = name
         self.transform_name = transform_name
@@ -53,17 +66,33 @@ class DesignPoint:
         self.pe_count = pe_count
         self.conn_count = conn_count
         self.pruned_variables = list(pruned_variables)
+        self.energy_pj = energy_pj
 
     @property
     def area_delay_product(self) -> float:
         """The classic ADP figure of merit (lower is better)."""
         return self.area_um2 * self.cycles
 
+    @property
+    def edp(self) -> Optional[float]:
+        """Energy-delay product in pJ-cycles (lower is better); ``None``
+        when the sweep measured no energy."""
+        if self.energy_pj is None:
+            return None
+        return self.energy_pj * self.cycles
+
     def dominates(self, other: "DesignPoint") -> bool:
-        """Pareto dominance over (cycles, area): no worse on both, better
-        on at least one."""
-        no_worse = self.cycles <= other.cycles and self.area_um2 <= other.area_um2
-        better = self.cycles < other.cycles or self.area_um2 < other.area_um2
+        """Pareto dominance: no worse on every measured metric, better on
+        at least one.  Metrics are (cycles, area), plus energy when both
+        points carry it."""
+        pairs = [
+            (self.cycles, other.cycles),
+            (self.area_um2, other.area_um2),
+        ]
+        if self.energy_pj is not None and other.energy_pj is not None:
+            pairs.append((self.energy_pj, other.energy_pj))
+        no_worse = all(a <= b for a, b in pairs)
+        better = any(a < b for a, b in pairs)
         return no_worse and better
 
     def __repr__(self) -> str:
@@ -101,15 +130,25 @@ class ExplorationResult:
 
     def best_by(self, metric: str) -> DesignPoint:
         """The single best point by ``cycles``, ``area``, ``utilization``,
-        or ``adp``."""
+        ``adp``, ``energy``, or ``edp`` (the energy metrics require a
+        sweep that measured energy)."""
         keys = {
             "cycles": lambda p: p.cycles,
             "area": lambda p: p.area_um2,
             "utilization": lambda p: -p.utilization,
             "adp": lambda p: p.area_delay_product,
+            "energy": lambda p: p.energy_pj,
+            "edp": lambda p: p.edp,
         }
         if metric not in keys:
             raise ValueError(f"unknown metric {metric!r}; pick from {sorted(keys)}")
+        if metric in ("energy", "edp") and any(
+            p.energy_pj is None for p in self.points
+        ):
+            raise ValueError(
+                f"metric {metric!r} needs energy figures, but this sweep"
+                " did not measure energy"
+            )
         return min(self.points, key=keys[metric])
 
     def table(self) -> str:
@@ -160,30 +199,16 @@ def explore(
     existing cache to share across sweeps, or ``False`` to disable
     memoization.  Results are bit-identical across all combinations.
     """
-    sparsities = dict(sparsities or {"dense": SparsityStructure()})
-    balancings = dict(balancings or {"none": LoadBalancingScheme()})
+    from ..exec.cache import CompileCache
+    from ..exec.engine import evaluate_sweep
 
     if cache is True:
         cache = CompileCache()
     elif cache is False:
         cache = None
 
-    candidates = [
-        {
-            "name": f"{t_name} / {s_name} / {b_name}",
-            "transform_name": t_name,
-            "transform": transform,
-            "sparsity_name": s_name,
-            "sparsity": sparsity,
-            "balancing_name": b_name,
-            "balancing": balancing,
-        }
-        for (t_name, transform), (s_name, sparsity), (b_name, balancing) in (
-            itertools.product(
-                transforms.items(), sparsities.items(), balancings.items()
-            )
-        )
-    ]
+    space = DesignSpace(transforms, sparsities, balancings)
+    candidates = [combo.candidate() for combo in space.combos()]
 
     outcomes, report = evaluate_sweep(
         spec,

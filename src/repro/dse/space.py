@@ -1,0 +1,171 @@
+"""Deterministic enumeration of the candidate design space.
+
+The explorer and the suite autotuner both sweep the same axes --
+space-time transform, sparsity wiring, load balancing -- but they need
+the *enumeration* pinned down independently of how the points are
+evaluated: candidate order decides tie-breaks, budget truncation, and
+the shape of every golden-pinned winner table.  :class:`DesignSpace`
+owns that order (insertion order per axis, transform-major cross
+product) so a sweep enumerated today and a sweep enumerated in a worker
+process next week agree combo-for-combo.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, NamedTuple, Optional, Tuple
+
+from ..core.balancing import LoadBalancingScheme, row_shift_scheme
+from ..core.dataflow import (
+    SpaceTimeTransform,
+    hexagonal,
+    input_stationary,
+    output_stationary,
+    weight_stationary,
+)
+from ..core.sparsity import SparsityStructure
+
+
+class DesignCombo(NamedTuple):
+    """One fully named point of the (transform, sparsity, balancing) space."""
+
+    transform_name: str
+    transform: SpaceTimeTransform
+    sparsity_name: str
+    sparsity: SparsityStructure
+    balancing_name: str
+    balancing: LoadBalancingScheme
+
+    @property
+    def names(self) -> Tuple[str, str, str]:
+        return (self.transform_name, self.sparsity_name, self.balancing_name)
+
+    @property
+    def label(self) -> str:
+        return f"{self.transform_name} / {self.sparsity_name} / {self.balancing_name}"
+
+    def candidate(self, **extra: object) -> Dict[str, object]:
+        """The evaluation-engine candidate dict for this combo.
+
+        ``extra`` adds (or overrides) engine fields -- per-case
+        ``bounds``/``tensors_key``, the ``want_*`` flags, a distinct
+        ``name`` when one combo appears once per workload layer.
+        """
+        fields: Dict[str, object] = {
+            "name": self.label,
+            "transform_name": self.transform_name,
+            "transform": self.transform,
+            "sparsity_name": self.sparsity_name,
+            "sparsity": self.sparsity,
+            "balancing_name": self.balancing_name,
+            "balancing": self.balancing,
+        }
+        fields.update(extra)
+        return fields
+
+
+class DesignSpace:
+    """Named per-axis candidate lists with a deterministic cross product.
+
+    Axis values keep their mapping insertion order; :meth:`combos`
+    enumerates transform-major, then sparsity, then balancing -- the
+    same order :func:`repro.dse.explore` has always swept, now shared
+    with the suite autotuner.
+    """
+
+    def __init__(
+        self,
+        transforms: Mapping[str, SpaceTimeTransform],
+        sparsities: Optional[Mapping[str, SparsityStructure]] = None,
+        balancings: Optional[Mapping[str, LoadBalancingScheme]] = None,
+    ):
+        self.transforms = dict(transforms)
+        self.sparsities = dict(sparsities or {"dense": SparsityStructure()})
+        self.balancings = dict(balancings or {"none": LoadBalancingScheme()})
+        if not self.transforms:
+            raise ValueError("a design space needs at least one transform")
+
+    def __len__(self) -> int:
+        return len(self.transforms) * len(self.sparsities) * len(self.balancings)
+
+    def combos(self) -> List[DesignCombo]:
+        return [
+            DesignCombo(t_name, transform, s_name, sparsity, b_name, balancing)
+            for t_name, transform in self.transforms.items()
+            for s_name, sparsity in self.sparsities.items()
+            for b_name, balancing in self.balancings.items()
+        ]
+
+    def axes(self) -> Dict[str, List[str]]:
+        """The axis names, for reports (``repro sweep --autotune --json``)."""
+        return {
+            "transforms": list(self.transforms),
+            "sparsities": list(self.sparsities),
+            "balancings": list(self.balancings),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DesignSpace({len(self.transforms)} transforms x"
+            f" {len(self.sparsities)} sparsities x"
+            f" {len(self.balancings)} balancings)"
+        )
+
+
+def standard_transforms() -> Dict[str, SpaceTimeTransform]:
+    """The paper's Figure 2 dataflow menu, in canonical sweep order."""
+    return {
+        "output-stationary": output_stationary(),
+        "input-stationary": input_stationary(),
+        "weight-stationary": weight_stationary(),
+        "hexagonal": hexagonal(),
+    }
+
+
+def suite_design_space(suite) -> DesignSpace:
+    """The autotuning space for one workload suite.
+
+    Transforms are the full Figure 2 menu.  Sparsity candidates are
+    ``dense`` plus the suite's own annotation (Listing 5's CSR-B wiring
+    for the pruned/sparse suites) -- autotuning decides per layer
+    whether the skip logic pays for itself.  For sparse suites the
+    balancing axis adds the Listing 3 row-shift scheme sized to the
+    suite's widest tile; dense tiles have nothing to rebalance, so the
+    axis stays degenerate and the cross product stays small.
+    """
+    sparsities: Dict[str, SparsityStructure] = {"dense": SparsityStructure()}
+    if suite.sparsity_name != "dense" and not suite.sparsity.is_dense():
+        sparsities[suite.sparsity_name] = suite.sparsity
+
+    balancings: Dict[str, LoadBalancingScheme] = {"none": LoadBalancingScheme()}
+    if len(sparsities) > 1:
+        max_rows = max(
+            (case.bounds.size("i") for case in suite.cases), default=0
+        )
+        if max_rows >= 2:
+            balancings["row-shift"] = row_shift_scheme(max_rows // 2)
+
+    return DesignSpace(standard_transforms(), sparsities, balancings)
+
+
+def budgeted_combos(
+    combos: List[DesignCombo],
+    budget: Optional[int],
+    require: Optional[Tuple[str, str, str]] = None,
+) -> List[DesignCombo]:
+    """The first ``budget`` combos, never dropping the ``require`` d one.
+
+    ``require`` names the fixed baseline design (the suite's own
+    configuration): autotuning under any budget must still evaluate it,
+    so the chosen winner is never worse than the fixed sweep.  When the
+    budget would truncate it away, it replaces the last kept combo.
+    """
+    if budget is None:
+        return list(combos)
+    if budget < 1:
+        raise ValueError(f"budget must be at least 1, got {budget}")
+    kept = list(combos[:budget])
+    if require is not None and not any(c.names == require for c in kept):
+        required = [c for c in combos if c.names == require]
+        if required:
+            kept[-1] = required[0]
+    return kept

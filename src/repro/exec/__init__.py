@@ -25,13 +25,19 @@ Persistence and batching layers on top (this PR's subsystem):
   operand transport for the process pool (tensors published once per
   sweep instead of re-pickled per task);
 * :mod:`repro.exec.suite` -- whole-workload-table evaluation
-  (``python -m repro sweep resnet50``), routing every layer through
-  :func:`evaluate_sweep` as one candidate list.
+  (``python -m repro sweep resnet50``, or any user table via
+  ``repro sweep path/to/table.json``), routing every layer through
+  :func:`evaluate_sweep` as one candidate list;
+* :mod:`repro.exec.autotune` -- per-layer Pareto autotuning
+  (``repro sweep <suite> --autotune``): every layer crossed with the
+  DSE design space, ranked by Pareto frontier under a configurable
+  objective (cycles / energy / EDP), winners pinned deterministically.
 
 :mod:`repro.exec.bench` records the wall-clock trajectory of a fixed
 reference sweep into ``BENCH_dse.json`` (``python -m repro bench``).
 """
 
+from .autotune import OBJECTIVES, AutotuneResult, autotune_suite, select_winner
 from .cache import (
     CacheStats,
     CompileCache,
@@ -45,13 +51,16 @@ from .store import DiskStore, DiskStoreStats, default_cache_dir
 from .suite import (
     Suite,
     SuiteCase,
+    SuiteError,
     SuiteResult,
     build_suite,
     evaluate_suite,
+    load_workload_table,
     suite_names,
 )
 
 __all__ = [
+    "AutotuneResult",
     "CacheStats",
     "CompileCache",
     "DiskStore",
@@ -59,19 +68,24 @@ __all__ = [
     "EngineReport",
     "FINGERPRINT_VERSION",
     "FingerprintError",
+    "OBJECTIVES",
     "SharedTensorPool",
     "ShmUnavailable",
     "Suite",
     "SuiteCase",
+    "SuiteError",
     "SuiteResult",
+    "autotune_suite",
     "build_suite",
     "default_cache_dir",
     "evaluate_suite",
     "evaluate_sweep",
     "fingerprint",
     "get_compile_cache",
+    "load_workload_table",
     "persistent_compile_cache",
     "resolve_jobs",
+    "select_winner",
     "shared_memory_available",
     "suite_names",
 ]

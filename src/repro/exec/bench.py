@@ -1,6 +1,6 @@
 """Multi-benchmark harness for the evaluation fast paths.
 
-Four benchmark families, each recording an entry in ``BENCH_dse.json``'s
+Five benchmark families, each recording an entry in ``BENCH_dse.json``'s
 ``sweeps`` map and each gated by :func:`check_regression`:
 
 * **dse** (``reference``/``quick``) -- the original wall-clock sweep:
@@ -14,7 +14,11 @@ Four benchmark families, each recording an entry in ``BENCH_dse.json``'s
 * **suite_resnet50** -- cold vs warm ``repro sweep`` in two fresh
   subprocesses sharing one :class:`~repro.exec.store.DiskStore` root:
   the measured value is what the persistent tier buys a repeat
-  invocation, and the gate also requires byte-identical rows.
+  invocation, and the gate also requires byte-identical rows;
+* **autotune_resnet50** -- fixed-design sweep vs warm-cache per-layer
+  autotuning; the speedup is the deterministic aggregate-cycle ratio,
+  gated at >= 1.0 (the fixed design is always a candidate, so losing to
+  it is a selection bug) plus run-to-run identical winner rows.
 
 Speedups, not absolute times, are the regression currency: absolute
 wall-clock shifts with the machine, but "the cache makes the sweep N x
@@ -285,6 +289,61 @@ def run_merger_bench(max_rows: int = 48, seed: int = 7) -> Dict[str, object]:
 
 
 # ---------------------------------------------------------------------------
+# Autotune bench (what per-layer design selection buys over the fixed array)
+# ---------------------------------------------------------------------------
+
+#: Operand seed for the autotune bench -- the suite default, so the gate
+#: compares the same workload the acceptance sweep runs.
+DEFAULT_AUTOTUNE_SEED = 7
+
+
+def run_autotune_bench(
+    suite: str = "resnet50", cap: int = 8, seed: int = DEFAULT_AUTOTUNE_SEED
+) -> Dict[str, object]:
+    """Fixed-design sweep vs warm-cache autotune on aggregate cycles.
+
+    The recorded speedup is ``fixed_total_cycles / autotuned_total_cycles``
+    -- a deterministic model-cycle ratio, not wall clock -- and the gate
+    requires it to be at least 1.0: the fixed baseline design is always
+    on every layer's candidate list, so autotuning that loses to it is a
+    selection bug.  Determinism is checked by autotuning twice against
+    the same warm cache and requiring identical winner rows.
+    """
+    from .autotune import autotune_suite
+    from .suite import build_suite, evaluate_suite
+
+    cache = CompileCache()
+    fixed = evaluate_suite(build_suite(suite, cap=cap, seed=seed), jobs=1, cache=cache)
+    first = autotune_suite(
+        build_suite(suite, cap=cap, seed=seed), objective="cycles",
+        jobs=1, cache=cache,
+    )
+    again = autotune_suite(
+        build_suite(suite, cap=cap, seed=seed), objective="cycles",
+        jobs=1, cache=cache,
+    )
+
+    identical = first.rows == again.rows
+    fixed_cycles = fixed.total_cycles
+    tuned_cycles = first.total_cycles
+    return {
+        "sweep": f"autotune_{suite}",
+        "suite": suite,
+        "cap": cap,
+        "seed": seed,
+        "cases": len(first.decisions),
+        "candidates_per_layer": len(first.combos),
+        "fixed_cycles": int(fixed_cycles),
+        "autotuned_cycles": int(tuned_cycles),
+        "retuned_layers": first.retuned_layers,
+        "speedup": round(fixed_cycles / max(tuned_cycles, 1), 4),
+        "results_identical": identical,
+        "beats_fixed": tuned_cycles <= fixed_cycles,
+        "cache": cache.stats.as_dict(),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Suite warm-start bench (the persistent tier's payoff)
 # ---------------------------------------------------------------------------
 
@@ -391,6 +450,12 @@ def check_regression(
     """
     if not report.get("results_identical", False):
         return "engine results diverged from the serial uncached sweep"
+    if report.get("beats_fixed") is False:
+        return (
+            f"sweep {report['sweep']!r}: autotuned aggregate cycles"
+            f" ({report.get('autotuned_cycles')}) exceed the fixed-design"
+            f" sweep's ({report.get('fixed_cycles')})"
+        )
     if baseline is None:
         return None
     reference = baseline.get("sweeps", {}).get(report["sweep"])
@@ -463,14 +528,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--only",
         action="append",
-        choices=["dse", "membuf", "dma", "merger", "suite"],
+        choices=["dse", "membuf", "dma", "merger", "suite", "autotune"],
         default=None,
         metavar="BENCH",
         help="run only this benchmark family (repeatable; default all)",
     )
     parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT)
     args = parser.parse_args(argv)
-    selected = set(args.only or ["dse", "membuf", "dma", "merger", "suite"])
+    selected = set(
+        args.only or ["dse", "membuf", "dma", "merger", "suite", "autotune"]
+    )
 
     baseline = load_baseline(args.output)
     reports: List[Dict[str, object]] = []
@@ -502,6 +569,8 @@ def main(argv=None) -> int:
         reports.append(run_merger_bench())
     if "suite" in selected:
         reports.append(run_suite_bench(seed=args.seed))
+    if "autotune" in selected:
+        reports.append(run_autotune_bench())
 
     for report in reports:
         if report["sweep"] in ("quick", "reference"):

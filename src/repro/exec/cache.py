@@ -257,6 +257,18 @@ class CompileCache:
 
     # -- maintenance ----------------------------------------------------
 
+    def entries_by_stage(self) -> Dict[str, int]:
+        """Live memory-tier entry counts per stage, sorted by stage name.
+
+        The disk tier's counterpart is
+        :meth:`repro.exec.store.DiskStore.stage_summary`; both feed the
+        ``repro cache stats`` view of where the budget is going.
+        """
+        counts: Dict[str, int] = {}
+        for stage, _digest in self._entries:
+            counts[stage] = counts.get(stage, 0) + 1
+        return dict(sorted(counts.items()))
+
     def clear(self) -> None:
         self._entries.clear()
         self._fp_memo.clear()

@@ -137,10 +137,17 @@ def _evaluate_point(
     ``want_energy`` (energy model over the sim counters) and
     ``want_digest`` (canonical fingerprint of the simulated outputs,
     for byte-identity checks across runs and transports).
+
+    A candidate may also override the sweep-wide ``skip_illegal``: the
+    autotuner sweeps exploration combos permissively (an illegal
+    transform is a pruned point) while pinning ``skip_illegal: False``
+    on each layer's fixed baseline design, whose failure to compile is
+    a configuration bug and must raise.
     """
     profiler = get_profiler()
     tracer = get_tracer()
     name = candidate["name"]
+    skip_illegal = bool(candidate.get("skip_illegal", skip_illegal))
     bounds = candidate.get("bounds", bounds)
     tensors_key = candidate.get("tensors_key")
     if tensors_key is not None:
@@ -378,8 +385,9 @@ def evaluate_sweep(
     Each candidate is a dict with ``name``, ``transform_name`` /
     ``transform``, ``sparsity_name`` / ``sparsity`` and
     ``balancing_name`` / ``balancing``; suite candidates may add
-    ``bounds``, ``tensors_key`` (an entry of ``tensor_table``), and the
-    ``want_energy`` / ``want_digest`` flags.  Outcomes are plain dicts
+    ``bounds``, ``tensors_key`` (an entry of ``tensor_table``), the
+    ``want_energy`` / ``want_digest`` flags, and a per-candidate
+    ``skip_illegal`` override.  Outcomes are plain dicts
     with ``status`` either ``"ok"`` (plus the measured figures) or
     ``"illegal"`` (plus the compile error text).
 

@@ -354,6 +354,35 @@ class DiskStore:
     def total_bytes(self) -> int:
         return sum(size for _path, size, _mtime in self._entries())
 
+    def stage_summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-stage ``{"entries": n, "bytes": b}`` for the live version.
+
+        Stages are the memo names under the version directory
+        (``compile``, ``sim.dense``, ``analysis.spec``, ...); the map is
+        sorted by stage name so renders are stable.
+        """
+        stages: Dict[str, Dict[str, int]] = {}
+        prefix = self.version_dir + os.sep
+        for path, size, _mtime in self._entries():
+            relative = path[len(prefix):] if path.startswith(prefix) else path
+            stage = relative.split(os.sep, 1)[0]
+            bucket = stages.setdefault(stage, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+        return dict(sorted(stages.items()))
+
+    def summary(self) -> Dict[str, object]:
+        """The ``repro cache stats`` payload: layout, budget, occupancy."""
+        stages = self.stage_summary()
+        return {
+            "root": self.root,
+            "version": self.version_tag,
+            "max_bytes": self.max_bytes,
+            "total_bytes": sum(s["bytes"] for s in stages.values()),
+            "entries": sum(s["entries"] for s in stages.values()),
+            "stages": stages,
+        }
+
     def gc(self) -> int:
         """Evict until the current version fits the byte budget.
 

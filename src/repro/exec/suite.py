@@ -22,6 +22,9 @@ outputs, which is what the determinism and warm-cache gates compare.
 
 from __future__ import annotations
 
+import csv
+import json
+import os
 import time
 from typing import Callable, Dict, List, Mapping, Optional
 
@@ -39,6 +42,14 @@ DEFAULT_CAP = 8
 
 #: Default operand seed.
 DEFAULT_SEED = 7
+
+
+class SuiteError(Exception):
+    """A workload table or suite configuration is invalid.
+
+    Raised with a single human-readable message carrying the file and
+    row context; the CLI prints it and exits 2 instead of surfacing a
+    traceback for what is a user-input problem."""
 
 
 class SuiteCase:
@@ -229,6 +240,201 @@ def build_suitesparse(cap: int = DEFAULT_CAP, seed: int = DEFAULT_SEED) -> Suite
     )
 
 
+# ---------------------------------------------------------------------------
+# User workload tables (JSON / CSV)
+# ---------------------------------------------------------------------------
+
+#: Columns every workload-table row must provide.
+REQUIRED_COLUMNS = ("name", "m", "k", "n")
+
+#: Optional per-row operand densities, both defaulting to 1.0 (dense).
+DENSITY_COLUMNS = ("a_density", "b_density")
+
+
+def _parse_dim(raw: object, column: str, context: str) -> int:
+    try:
+        value = int(raw)
+    except (TypeError, ValueError):
+        raise SuiteError(
+            f"{context}: column {column!r} must be an integer, got {raw!r}"
+        ) from None
+    if isinstance(raw, float) and raw != value:
+        raise SuiteError(
+            f"{context}: column {column!r} must be an integer, got {raw!r}"
+        )
+    if value < 1:
+        raise SuiteError(
+            f"{context}: column {column!r} must be positive, got {value}"
+        )
+    return value
+
+
+def _parse_density(raw: object, column: str, context: str) -> float:
+    if raw is None or raw == "":
+        return 1.0
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        raise SuiteError(
+            f"{context}: column {column!r} must be a number in [0, 1],"
+            f" got {raw!r}"
+        ) from None
+    if not 0.0 <= value <= 1.0:
+        raise SuiteError(
+            f"{context}: column {column!r} must be within [0, 1], got {value}"
+        )
+    return value
+
+
+def _parse_table_row(row: Mapping[str, object], context: str) -> Dict[str, object]:
+    if not isinstance(row, Mapping):
+        raise SuiteError(f"{context}: expected an object, got {type(row).__name__}")
+    if row.get("name") not in (None, ""):
+        context = f"{context} ({str(row['name'])!r})"
+    missing = [col for col in REQUIRED_COLUMNS if row.get(col) in (None, "")]
+    if missing:
+        raise SuiteError(
+            f"{context}: missing required column(s) {', '.join(missing)}"
+            f" (need {', '.join(REQUIRED_COLUMNS)})"
+        )
+    name = str(row["name"])
+    parsed: Dict[str, object] = {"name": name}
+    for column in ("m", "k", "n"):
+        parsed[column] = _parse_dim(row[column], column, context)
+    for column in DENSITY_COLUMNS:
+        parsed[column] = _parse_density(row.get(column), column, context)
+    return parsed
+
+
+def _read_table_json(path: str) -> Dict[str, object]:
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as err:
+        raise SuiteError(f"{path}: cannot read workload table: {err}") from None
+    except ValueError as err:
+        raise SuiteError(f"{path}: malformed JSON: {err}") from None
+    if isinstance(payload, list):
+        payload = {"layers": payload}
+    if not isinstance(payload, dict):
+        raise SuiteError(
+            f"{path}: workload table must be a JSON array of rows or an"
+            " object with a 'layers' array"
+        )
+    if not isinstance(payload.get("layers"), list):
+        raise SuiteError(f"{path}: workload table needs a 'layers' array")
+    return payload
+
+
+def _read_table_csv(path: str) -> Dict[str, object]:
+    try:
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            fields = reader.fieldnames
+            if fields is None:
+                raise SuiteError(f"{path}: empty CSV workload table")
+            missing = [col for col in REQUIRED_COLUMNS if col not in fields]
+            if missing:
+                raise SuiteError(
+                    f"{path}: CSV header is missing column(s)"
+                    f" {', '.join(missing)} (need {', '.join(REQUIRED_COLUMNS)})"
+                )
+            layers = [dict(row) for row in reader]
+    except OSError as err:
+        raise SuiteError(f"{path}: cannot read workload table: {err}") from None
+    except csv.Error as err:
+        raise SuiteError(f"{path}: malformed CSV: {err}") from None
+    return {"layers": layers}
+
+
+def load_workload_table(
+    path: str, cap: int = DEFAULT_CAP, seed: int = DEFAULT_SEED
+) -> Suite:
+    """Build a :class:`Suite` from a user workload table on disk.
+
+    The table is a JSON array (or an object with ``layers`` plus
+    optional ``name`` / ``element_bits`` / ``sparsity`` fields) or a
+    CSV with header columns ``name,m,k,n[,a_density][,b_density]``.
+    Each row is one layer-shaped matmul ``m x k x n`` with optional
+    operand densities in ``[0, 1]`` (default dense).  The suite's
+    sparsity wiring defaults to Listing 5's CSR-B structure when any
+    row thins its B operand, else dense; an explicit ``sparsity`` of
+    ``"dense"`` or ``"b-csr"`` overrides.
+
+    Every malformed input -- unreadable file, bad JSON/CSV, missing
+    columns, non-positive dims, out-of-range densities -- raises a
+    single :class:`SuiteError` naming the file and row.
+    """
+    if not os.path.exists(path):
+        raise SuiteError(f"{path}: no such workload table")
+    if path.endswith(".csv"):
+        payload = _read_table_csv(path)
+    else:
+        payload = _read_table_json(path)
+
+    rows = [
+        _parse_table_row(row, f"{path}: row {index + 1}")
+        for index, row in enumerate(payload["layers"])
+    ]
+    if not rows:
+        raise SuiteError(f"{path}: workload table has no layers")
+    seen: Dict[str, int] = {}
+    for index, row in enumerate(rows):
+        first = seen.setdefault(str(row["name"]), index)
+        if first != index:
+            raise SuiteError(
+                f"{path}: row {index + 1}: duplicate layer name"
+                f" {row['name']!r} (first used in row {first + 1})"
+            )
+
+    table_name = str(payload.get("name") or os.path.splitext(os.path.basename(path))[0])
+    element_bits = payload.get("element_bits", 8)
+    if not isinstance(element_bits, int) or element_bits < 1:
+        raise SuiteError(
+            f"{path}: element_bits must be a positive integer,"
+            f" got {element_bits!r}"
+        )
+
+    spec = matmul_spec()
+    cases = []
+    for index, row in enumerate(rows):
+        bounds = _tile_bounds(row["m"], row["k"], row["n"], cap)
+        rng = _case_rng(seed, index)
+        i, j, k = (bounds.size("i"), bounds.size("j"), bounds.size("k"))
+        cases.append(
+            SuiteCase(
+                str(row["name"]),
+                bounds,
+                {
+                    "A": _masked(rng, (i, k), row["a_density"]),
+                    "B": _masked(rng, (k, j), row["b_density"]),
+                },
+                info={
+                    "matmul": (row["m"], row["k"], row["n"]),
+                    "a_density": row["a_density"],
+                    "b_density": row["b_density"],
+                },
+            )
+        )
+
+    sparse = any(row["b_density"] < 1.0 for row in rows)
+    sparsity_name = payload.get("sparsity", "b-csr" if sparse else "dense")
+    if sparsity_name == "dense":
+        sparsity = SparsityStructure()
+    elif sparsity_name == "b-csr":
+        sparsity = csr_b_matrix(spec)
+    else:
+        raise SuiteError(
+            f"{path}: unknown sparsity {sparsity_name!r}"
+            " (choose 'dense' or 'b-csr')"
+        )
+    return Suite(
+        table_name, spec, cases,
+        sparsity=sparsity, sparsity_name=str(sparsity_name),
+        element_bits=element_bits,
+    )
+
+
 SUITES: Dict[str, Callable[..., Suite]] = {
     "resnet50": build_resnet50,
     "alexnet": build_alexnet,
@@ -240,12 +446,26 @@ def suite_names() -> List[str]:
     return sorted(SUITES)
 
 
+def is_table_path(name: str) -> bool:
+    """Whether a ``repro sweep`` argument names a workload-table file
+    rather than a registered suite."""
+    return (
+        name.endswith((".json", ".csv"))
+        or os.sep in name
+        or (os.altsep is not None and os.altsep in name)
+    )
+
+
 def build_suite(name: str, cap: int = DEFAULT_CAP, seed: int = DEFAULT_SEED) -> Suite:
+    """A registered suite by name, or a user workload table by path."""
+    if is_table_path(name):
+        return load_workload_table(name, cap=cap, seed=seed)
     try:
         builder = SUITES[name]
     except KeyError:
         raise KeyError(
-            f"unknown suite {name!r}; available: {', '.join(suite_names())}"
+            f"unknown suite {name!r}; available: {', '.join(suite_names())},"
+            " or a path to a workload table (.json/.csv)"
         ) from None
     return builder(cap=cap, seed=seed)
 

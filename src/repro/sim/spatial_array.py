@@ -89,6 +89,14 @@ class SpatialArraySim:
         bounds, sparsity, tensors)`` and the reference interpretation per
         ``(spec, bounds, tensors)``.  Sparse *results* are never memoized
         whole because cycle counts depend on the balancing axis.
+    vectorize:
+        When ``False``, skip-condition evaluation always takes the exact
+        point-at-a-time path instead of the batched numpy evaluator.
+        The two paths are required to agree bit-for-bit -- this knob
+        exists so the differential test suite can prove it on the same
+        workload.  Pass ``memo=None`` alongside, or the compression memo
+        (keyed on content, not on the evaluation strategy) will answer
+        for the other path.
     """
 
     def __init__(
@@ -96,10 +104,12 @@ class SpatialArraySim:
         design: CompiledDesign,
         fill_drain_overhead: int = 0,
         memo=None,
+        vectorize: bool = True,
     ):
         self.design = design
         self.fill_drain_overhead = fill_drain_overhead
         self.memo = memo
+        self.vectorize = vectorize
 
     # ------------------------------------------------------------------
 
@@ -353,6 +363,9 @@ class SpatialArraySim:
         numpy; any condition shape the batch evaluator does not recognize
         falls back to the exact point-at-a-time evaluation.
         """
+        if not self.vectorize:
+            return self._valid_points_scalar(tensors)
+
         spec = self.design.spec
         bounds = self.design.bounds
         skips = [s for s in self.design.sparsity if not s.optimistic]

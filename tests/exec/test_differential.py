@@ -1,0 +1,167 @@
+"""Differential tests: independent evaluation paths must agree exactly.
+
+Three pairings, each exercising a redundancy the engine relies on:
+
+* the vectorized skip-condition evaluator in
+  :class:`~repro.sim.spatial_array.SpatialArraySim` against its scalar
+  fallback (``vectorize=False``) -- byte-identical outputs and equal
+  performance counters on the same compiled design and workload;
+* serial (``jobs=1``) against process-pool (``jobs=2``) suite
+  evaluation and autotuning -- identical row ordering and digests, so
+  parallelism is pure speedup, never a result change;
+* cold against warm (disk-backed) autotune runs -- the persistent cache
+  may only change *where* answers come from, never which winners are
+  picked.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Bounds, compile_design, matmul_spec
+from repro.core.balancing import row_shift_scheme
+from repro.core.dataflow import (
+    hexagonal,
+    input_stationary,
+    output_stationary,
+    weight_stationary,
+)
+from repro.core.sparsity import csr_b_matrix
+from repro.exec.autotune import autotune_suite
+from repro.exec.cache import CompileCache
+from repro.exec.store import DiskStore
+from repro.exec.suite import build_suite, evaluate_suite
+from repro.sim.spatial_array import SpatialArraySim
+
+TRANSFORMS = {
+    "output-stationary": output_stationary,
+    "input-stationary": input_stationary,
+    "weight-stationary": weight_stationary,
+    "hexagonal": hexagonal,
+}
+
+
+def _masked(rng, shape, density):
+    values = rng.integers(-4, 5, shape)
+    if density < 1.0:
+        values = np.where(rng.random(shape) < density, values, 0)
+    return values
+
+
+def _run_both_paths(design, tensors):
+    """The same design and workload through the vectorized and scalar
+    evaluators; ``memo=None`` so neither path can answer for the other."""
+    fast = SpatialArraySim(design, memo=None, vectorize=True).run(tensors)
+    slow = SpatialArraySim(design, memo=None, vectorize=False).run(tensors)
+    return fast, slow
+
+
+class TestVectorizedVsScalarSim:
+    @pytest.mark.parametrize("transform_name", sorted(TRANSFORMS))
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_dense_random_shapes(self, transform_name, seed):
+        rng = np.random.default_rng([seed, 11])
+        i, j, k = (int(d) for d in rng.integers(2, 7, 3))
+        spec = matmul_spec()
+        design = compile_design(
+            spec, Bounds({"i": i, "j": j, "k": k}), TRANSFORMS[transform_name]()
+        )
+        tensors = {"A": rng.integers(-4, 5, (i, k)), "B": rng.integers(-4, 5, (k, j))}
+        fast, slow = _run_both_paths(design, tensors)
+        assert fast.outputs["C"].tobytes() == slow.outputs["C"].tobytes()
+        assert fast.cycles == slow.cycles
+        assert fast.utilization == slow.utilization
+        assert fast.outputs["C"].dtype == slow.outputs["C"].dtype
+
+    @pytest.mark.parametrize("transform_name", ["output-stationary", "input-stationary"])
+    @pytest.mark.parametrize("density", [0.0, 0.3, 0.8])
+    @pytest.mark.parametrize("balanced", [False, True])
+    def test_sparse_random_densities(self, transform_name, density, balanced):
+        rng = np.random.default_rng([int(density * 10), balanced, 5])
+        i, j, k = (int(d) for d in rng.integers(3, 7, 3))
+        spec = matmul_spec()
+        design = compile_design(
+            spec,
+            Bounds({"i": i, "j": j, "k": k}),
+            TRANSFORMS[transform_name](),
+            sparsity=csr_b_matrix(spec),
+            balancing=row_shift_scheme(max(i // 2, 1)) if balanced else None,
+        )
+        tensors = {
+            "A": rng.integers(-4, 5, (i, k)),
+            "B": _masked(rng, (k, j), density),
+        }
+        fast, slow = _run_both_paths(design, tensors)
+        assert fast.outputs["C"].tobytes() == slow.outputs["C"].tobytes()
+        assert fast.cycles == slow.cycles
+
+    def test_scalar_path_is_really_taken(self):
+        """Guard against the knob silently routing both runs through the
+        vectorized evaluator."""
+        spec = matmul_spec()
+        design = compile_design(
+            spec, Bounds({"i": 3, "j": 3, "k": 3}), output_stationary()
+        )
+        sim = SpatialArraySim(design, memo=None, vectorize=False)
+        assert sim.vectorize is False
+        tensors = {"A": np.eye(3, dtype=np.int64), "B": np.eye(3, dtype=np.int64)}
+        assert np.array_equal(sim.run(tensors).outputs["C"], np.eye(3))
+
+
+class TestSerialVsParallel:
+    def test_suite_rows_identical_across_jobs(self):
+        suite = build_suite("alexnet", cap=4, seed=3)
+        serial = evaluate_suite(suite, jobs=1, cache=CompileCache())
+        parallel = evaluate_suite(
+            build_suite("alexnet", cap=4, seed=3), jobs=2, cache=CompileCache()
+        )
+        assert serial.rows == parallel.rows
+        assert [r["name"] for r in serial.rows] == [c.name for c in suite.cases]
+
+    def test_autotune_rows_identical_across_jobs(self):
+        serial = autotune_suite(
+            build_suite("alexnet", cap=4, seed=3),
+            budget=6,
+            jobs=1,
+            cache=CompileCache(),
+        )
+        parallel = autotune_suite(
+            build_suite("alexnet", cap=4, seed=3),
+            budget=6,
+            jobs=2,
+            cache=CompileCache(),
+        )
+        assert serial.rows == parallel.rows
+        digests = [row["output_digest"] for row in serial.rows]
+        assert digests == [row["output_digest"] for row in parallel.rows]
+        assert all(digests)
+
+
+class TestColdVsWarmAutotune:
+    def test_disk_warmed_run_picks_identical_winners(self, tmp_path):
+        root = str(tmp_path / "store")
+
+        cold_cache = CompileCache(store=DiskStore(root))
+        cold = autotune_suite(
+            build_suite("alexnet", cap=4, seed=3),
+            budget=8,
+            jobs=1,
+            cache=cold_cache,
+        )
+        assert cold_cache.store.stats.writes > 0
+
+        warm_cache = CompileCache(store=DiskStore(root))
+        warm = autotune_suite(
+            build_suite("alexnet", cap=4, seed=3),
+            budget=8,
+            jobs=1,
+            cache=warm_cache,
+        )
+        assert warm_cache.stats.disk_hits > 0
+
+        assert cold.rows == warm.rows
+        assert cold.total_cycles == warm.total_cycles
+        assert cold.retuned_layers == warm.retuned_layers
+        for before, after in zip(cold.rows, warm.rows):
+            assert before["transform"] == after["transform"]
+            assert before["sparsity"] == after["sparsity"]
+            assert before["output_digest"] == after["output_digest"]

@@ -1,0 +1,233 @@
+"""Tests for the user workload-table loader (``repro sweep path/to/table``).
+
+Every malformed input -- bad JSON/CSV syntax, missing columns, illegal
+dimensions or densities, duplicate layers -- must surface as a single
+:class:`~repro.exec.suite.SuiteError` carrying the file path and the
+offending row, never a raw traceback from ``json``/``csv``/``int``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.exec.suite import (
+    SuiteError,
+    build_suite,
+    is_table_path,
+    load_workload_table,
+)
+
+
+def write_json(tmp_path, payload, name="table.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def write_csv(tmp_path, text, name="table.csv"):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+GOOD_LAYERS = [
+    {"name": "l0", "m": 6, "k": 6, "n": 6},
+    {"name": "l1", "m": 8, "k": 4, "n": 8, "b_density": 0.5},
+]
+
+
+class TestHappyPath:
+    def test_json_object_payload(self, tmp_path):
+        path = write_json(tmp_path, {"name": "mynet", "layers": GOOD_LAYERS})
+        suite = load_workload_table(path, cap=4, seed=3)
+        assert suite.name == "mynet"
+        assert [c.name for c in suite.cases] == ["l0", "l1"]
+        assert suite.sparsity_name == "b-csr"  # l1 has b_density < 1
+        for case in suite.cases:
+            i, j, k = (case.bounds.size(axis) for axis in ("i", "j", "k"))
+            assert case.tensors["A"].shape == (i, k)
+            assert case.tensors["B"].shape == (k, j)
+
+    def test_json_bare_list_payload(self, tmp_path):
+        path = write_json(tmp_path, [{"name": "only", "m": 4, "k": 4, "n": 4}])
+        suite = load_workload_table(path, cap=4)
+        assert suite.name == "table"  # file stem
+        assert suite.sparsity_name == "dense"
+
+    def test_csv_payload(self, tmp_path):
+        path = write_csv(
+            tmp_path,
+            "name,m,k,n,a_density,b_density\n"
+            "c0,6,6,6,,\n"
+            "c1,8,4,8,1.0,0.5\n",
+        )
+        suite = load_workload_table(path, cap=4, seed=3)
+        assert [c.name for c in suite.cases] == ["c0", "c1"]
+        assert suite.cases[0].info["b_density"] == 1.0
+        assert suite.cases[1].info["b_density"] == 0.5
+
+    def test_json_and_csv_agree(self, tmp_path):
+        """The same table through either format builds identical tensors."""
+        jpath = write_json(tmp_path, {"name": "t", "layers": GOOD_LAYERS})
+        cpath = write_csv(
+            tmp_path,
+            "name,m,k,n,b_density\nl0,6,6,6,\nl1,8,4,8,0.5\n",
+        )
+        a = load_workload_table(jpath, cap=4, seed=3)
+        b = load_workload_table(cpath, cap=4, seed=3)
+        for ca, cb in zip(a.cases, b.cases):
+            assert ca.name == cb.name
+            for t in ca.tensors:
+                np.testing.assert_array_equal(ca.tensors[t], cb.tensors[t])
+
+    def test_density_shapes_tensor_sparsity(self, tmp_path):
+        path = write_json(
+            tmp_path,
+            [{"name": "l", "m": 16, "k": 16, "n": 16, "b_density": 0.25}],
+        )
+        suite = load_workload_table(path, cap=16, seed=0)
+        b = suite.cases[0].tensors["B"]
+        occupancy = np.count_nonzero(b) / b.size
+        assert occupancy < 0.6  # clearly sparser than dense
+
+    def test_build_suite_dispatches_paths(self, tmp_path):
+        path = write_json(tmp_path, {"name": "t", "layers": GOOD_LAYERS})
+        suite = build_suite(path, cap=4, seed=3)
+        assert suite.name == "t"
+
+    def test_is_table_path(self):
+        assert is_table_path("foo/bar.json")
+        assert is_table_path("table.csv")
+        assert is_table_path("./resnet50")
+        assert not is_table_path("resnet50")
+
+
+class TestNegativePaths:
+    def test_missing_file(self):
+        with pytest.raises(SuiteError, match="no such workload table"):
+            load_workload_table("/nonexistent/table.json")
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SuiteError, match="malformed JSON"):
+            load_workload_table(str(path))
+
+    def test_json_without_layers_key(self, tmp_path):
+        path = write_json(tmp_path, {"name": "t"})
+        with pytest.raises(SuiteError, match="layers"):
+            load_workload_table(path)
+
+    def test_json_layers_not_a_list(self, tmp_path):
+        path = write_json(tmp_path, {"layers": {"name": "l"}})
+        with pytest.raises(SuiteError, match="layers"):
+            load_workload_table(path)
+
+    def test_empty_table(self, tmp_path):
+        path = write_json(tmp_path, {"layers": []})
+        with pytest.raises(SuiteError, match="no layers"):
+            load_workload_table(path)
+
+    def test_csv_missing_header_column(self, tmp_path):
+        path = write_csv(tmp_path, "name,m,k\nl0,4,4\n")
+        with pytest.raises(SuiteError, match="header is missing column"):
+            load_workload_table(path)
+
+    def test_row_missing_column(self, tmp_path):
+        path = write_json(tmp_path, [{"name": "l0", "m": 4, "k": 4}])
+        with pytest.raises(SuiteError, match=r"row 1 \('l0'\).*missing"):
+            load_workload_table(path)
+
+    @pytest.mark.parametrize("dim", [0, -3])
+    def test_non_positive_dimension(self, tmp_path, dim):
+        path = write_json(tmp_path, [{"name": "l0", "m": dim, "k": 4, "n": 4}])
+        with pytest.raises(SuiteError, match="must be positive"):
+            load_workload_table(path)
+
+    def test_fractional_dimension(self, tmp_path):
+        path = write_json(tmp_path, [{"name": "l0", "m": 4.5, "k": 4, "n": 4}])
+        with pytest.raises(SuiteError, match="integer"):
+            load_workload_table(path)
+
+    def test_non_numeric_dimension(self, tmp_path):
+        path = write_csv(tmp_path, "name,m,k,n\nl0,big,4,4\n")
+        with pytest.raises(SuiteError, match=r"row 1 \('l0'\)"):
+            load_workload_table(path)
+
+    @pytest.mark.parametrize("density", [-0.1, 1.5, "dense"])
+    def test_bad_density(self, tmp_path, density):
+        path = write_json(
+            tmp_path,
+            [{"name": "l0", "m": 4, "k": 4, "n": 4, "b_density": density}],
+        )
+        with pytest.raises(SuiteError, match="density"):
+            load_workload_table(path)
+
+    def test_duplicate_layer_names(self, tmp_path):
+        path = write_json(
+            tmp_path,
+            [
+                {"name": "l0", "m": 4, "k": 4, "n": 4},
+                {"name": "l0", "m": 6, "k": 6, "n": 6},
+            ],
+        )
+        with pytest.raises(SuiteError, match="duplicate layer name"):
+            load_workload_table(path)
+
+    def test_bad_sparsity_value(self, tmp_path):
+        path = write_json(
+            tmp_path,
+            {"sparsity": "a-csr", "layers": [{"name": "l", "m": 4, "k": 4, "n": 4}]},
+        )
+        with pytest.raises(SuiteError, match="sparsity"):
+            load_workload_table(path)
+
+    def test_bad_element_bits(self, tmp_path):
+        path = write_json(
+            tmp_path,
+            {"element_bits": 0, "layers": [{"name": "l", "m": 4, "k": 4, "n": 4}]},
+        )
+        with pytest.raises(SuiteError, match="element_bits"):
+            load_workload_table(path)
+
+    def test_non_csv_extension_parsed_as_json(self, tmp_path):
+        path = tmp_path / "table.yaml"
+        path.write_text("layers:\n  - name: l\n")
+        with pytest.raises(SuiteError, match="malformed JSON"):
+            load_workload_table(str(path))
+
+    def test_errors_carry_row_context(self, tmp_path):
+        path = write_json(
+            tmp_path,
+            [
+                {"name": "ok", "m": 4, "k": 4, "n": 4},
+                {"name": "broken", "m": 4, "k": 4, "n": 0},
+            ],
+        )
+        with pytest.raises(SuiteError) as err:
+            load_workload_table(path)
+        message = str(err.value)
+        assert "row 2" in message and "broken" in message
+        assert path in message or "table.json" in message
+
+
+class TestCLI:
+    def test_sweep_accepts_table_path(self, tmp_path, capsys):
+        path = write_json(tmp_path, {"name": "t", "layers": GOOD_LAYERS})
+        assert cli_main(
+            ["sweep", path, "--cap", "4", "--jobs", "1", "--no-disk-cache"]
+        ) == 0
+        assert "t: 2 cases" in capsys.readouterr().out
+
+    def test_sweep_bad_table_exits_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("[{}]")
+        assert cli_main(["sweep", str(path), "--no-disk-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "sweep:" in err and "Traceback" not in err
+
+    def test_unknown_suite_mentions_tables(self, capsys):
+        assert cli_main(["sweep", "vgg19", "--no-disk-cache"]) == 2
+        assert "workload table" in capsys.readouterr().err
