@@ -18,9 +18,17 @@ Wraps the Figure 1 flow for quick use without writing Python:
   ``STELLAR_CACHE_DIR`` control it); ``--autotune`` crosses each layer
   with the DSE design space and picks the Pareto-best design point per
   layer under ``--objective`` (cycles / energy / edp), within an
-  optional per-layer candidate ``--budget``;
+  optional per-layer candidate ``--budget``; ``--server`` routes the
+  whole request through a running ``repro serve`` daemon instead of
+  evaluating in-process;
+* ``serve`` -- run the resident evaluation daemon: newline-delimited
+  JSON requests over a unix socket (``--socket``) or TCP (``--port``),
+  a warm compile cache and worker pool shared across requests,
+  in-flight deduplication of identical requests, streamed per-layer
+  rows, and a live ``metrics`` endpoint;
 * ``cache`` -- inspect or maintain the persistent design cache
-  (``stats`` / ``gc`` / ``clear``);
+  (``stats`` / ``gc`` / ``clear``; ``gc --per-stage`` water-fills the
+  byte budget across stages);
 * ``bench`` -- time the reference sweep serial/cached/parallel and
   write the ``BENCH_dse.json`` speedup report;
 * ``trace`` -- run a design with tracing enabled and write a Chrome
@@ -319,10 +327,100 @@ def _cache_line(report, cache) -> str:
     return line
 
 
+def _sweep_via_server(args) -> int:
+    """Route ``repro sweep --server`` through the evaluation daemon.
+
+    Workload-table paths are read client-side and shipped inline, so
+    the daemon never needs access to the client's filesystem.  Rows
+    stream back per layer; the rebuilt result dict matches the batch
+    path's ``--json`` shape (plus a ``dedup`` flag).
+    """
+    from .exec.suite import (
+        SuiteError,
+        format_rows,
+        is_table_path,
+        read_workload_table,
+    )
+    from .serve.client import ServeClient, ServeError
+
+    suite_name: Optional[str] = args.suite
+    table = None
+    if is_table_path(args.suite):
+        try:
+            table = read_workload_table(args.suite)
+        except SuiteError as err:
+            print(f"sweep: {err}", file=sys.stderr)
+            return 2
+        suite_name = None
+
+    client = ServeClient(args.server)
+    try:
+        result = client.sweep(
+            suite=suite_name,
+            table=table,
+            cap=args.cap,
+            seed=args.seed,
+            autotune=args.autotune,
+            objective=args.objective,
+            budget=args.budget,
+        )
+    except ServeError as err:
+        print(f"sweep: server error [{err.code}]: {err}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(result, indent=2))
+        return 0
+    rows = result["rows"]
+    print(format_rows(rows))
+    aggregates = result.get("aggregates", {})
+    dedup = " (deduplicated against an identical in-flight request)" \
+        if result.get("dedup") else ""
+    print(
+        f"\n{result.get('suite', args.suite)}:"
+        f" {aggregates.get('cases', len(rows))} cases,"
+        f" {aggregates.get('total_cycles')} cycles,"
+        f" {aggregates.get('elapsed_s')} s"
+        f" via server {args.server}{dedup}"
+    )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .serve import EvalServer
+
+    if (args.socket is None) == (args.port is None):
+        print(
+            "serve: give exactly one of --socket PATH or --port N",
+            file=sys.stderr,
+        )
+        return 2
+    server = EvalServer(
+        jobs=args.jobs,
+        use_disk_cache=not args.no_disk_cache,
+        cache_dir=args.cache_dir,
+    )
+
+    def ready(address: str) -> None:
+        print(f"serve: listening on {address}", flush=True)
+
+    try:
+        if args.socket is not None:
+            server.run(socket_path=args.socket, ready=ready)
+        else:
+            server.run(host=args.host, port=args.port, ready=ready)
+    except KeyboardInterrupt:
+        print("serve: interrupted", file=sys.stderr)
+        return 130
+    return 0
+
+
 def cmd_sweep(args) -> int:
     from .exec.cache import CompileCache, persistent_compile_cache
     from .exec.suite import SuiteError, build_suite, evaluate_suite
 
+    if args.server:
+        return _sweep_via_server(args)
     try:
         suite = build_suite(args.suite, cap=args.cap, seed=args.seed)
     except KeyError as err:
@@ -424,13 +522,20 @@ def cmd_cache(args) -> int:
         return 0
 
     if args.action == "gc":
-        evicted = store.gc()
+        # Budgets describe what this collection enforces, so compute
+        # them from the pre-GC occupancy.
+        budgets = store.stage_budgets() if args.per_stage else None
+        report = store.gc_report(per_stage=args.per_stage or None)
+        evicted = sum(report.values())
         remaining = store.total_bytes()
         payload = {
             "evicted": evicted,
             "total_bytes": remaining,
             "max_bytes": store.max_bytes,
         }
+        if args.per_stage:
+            payload["per_stage"] = report
+            payload["budgets"] = budgets
         if args.json:
             print(json.dumps(payload, indent=2))
         else:
@@ -438,6 +543,13 @@ def cmd_cache(args) -> int:
                 f"cache: evicted {evicted} entries;"
                 f" {remaining} / {store.max_bytes} bytes in use"
             )
+            if args.per_stage:
+                width = max((len(stage) for stage in budgets), default=0)
+                for stage, budget in sorted(budgets.items()):
+                    print(
+                        f"  {stage.ljust(width)}  budget {budget:10d} B"
+                        f"  evicted {report.get(stage, 0)}"
+                    )
         return 0
 
     # clear
@@ -672,7 +784,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="disk store root (default STELLAR_CACHE_DIR or"
         " ~/.cache/stellar-repro)",
     )
+    sweep.add_argument(
+        "--server",
+        default=None,
+        metavar="ADDR",
+        help="route through a running 'repro serve' daemon instead of"
+        " evaluating in-process (unix socket path, host:port, or bare"
+        " port); --jobs and cache flags are the daemon's business and"
+        " are ignored",
+    )
     sweep.set_defaults(func=cmd_sweep)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the resident evaluation daemon (NDJSON over a unix"
+        " socket or TCP)",
+    )
+    serve_cmd.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="unix socket path to listen on",
+    )
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port to listen on (0 picks a free port, printed on"
+        " startup)",
+    )
+    serve_cmd.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="TCP bind address (default 127.0.0.1; only with --port)",
+    )
+    serve_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="resident worker processes (0 = one per CPU, 1 = serial;"
+        " default 0)",
+    )
+    serve_cmd.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="in-memory cache only; do not read or write the disk store",
+    )
+    serve_cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        help="disk store root (default STELLAR_CACHE_DIR or"
+        " ~/.cache/stellar-repro)",
+    )
+    serve_cmd.set_defaults(func=cmd_serve)
 
     bench = sub.add_parser(
         "bench", help="benchmark the DSE engine; write BENCH_dse.json"
@@ -756,6 +920,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the byte budget for this invocation (gc evicts"
         " down to it; default STELLAR_CACHE_MAX_BYTES)",
+    )
+    cache_cmd.add_argument(
+        "--per-stage",
+        action="store_true",
+        help="gc: water-fill the byte budget across stages"
+        " (STELLAR_CACHE_STAGE_WEIGHTS tunes the shares) so one bulky"
+        " stage cannot evict every compile entry; prints the per-stage"
+        " budgets and evictions",
     )
     cache_cmd.add_argument(
         "--json", action="store_true", help="machine-readable report"

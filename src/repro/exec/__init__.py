@@ -44,7 +44,7 @@ from .cache import (
     get_compile_cache,
     persistent_compile_cache,
 )
-from .engine import EngineReport, evaluate_sweep, resolve_jobs
+from .engine import EngineReport, ResidentPool, evaluate_sweep, resolve_jobs
 from .fingerprint import FINGERPRINT_VERSION, FingerprintError, fingerprint
 from .shm import SharedTensorPool, ShmUnavailable, shared_memory_available
 from .store import DiskStore, DiskStoreStats, default_cache_dir
@@ -54,7 +54,9 @@ from .suite import (
     SuiteError,
     SuiteResult,
     build_suite,
+    build_table_suite,
     evaluate_suite,
+    format_rows,
     load_workload_table,
     suite_names,
 )
@@ -69,6 +71,7 @@ __all__ = [
     "FINGERPRINT_VERSION",
     "FingerprintError",
     "OBJECTIVES",
+    "ResidentPool",
     "SharedTensorPool",
     "ShmUnavailable",
     "Suite",
@@ -77,10 +80,12 @@ __all__ = [
     "SuiteResult",
     "autotune_suite",
     "build_suite",
+    "build_table_suite",
     "default_cache_dir",
     "evaluate_suite",
     "evaluate_sweep",
     "fingerprint",
+    "format_rows",
     "get_compile_cache",
     "load_workload_table",
     "persistent_compile_cache",

@@ -302,14 +302,15 @@ def autotune_suite(
     jobs: Optional[int] = None,
     cache: Optional[CompileCache] = None,
     space: Optional[DesignSpace] = None,
+    pool=None,
 ) -> AutotuneResult:
     """Pick the Pareto-best design point per layer of ``suite``.
 
     ``space`` defaults to :func:`~repro.dse.space.suite_design_space`;
     ``budget`` caps candidates per layer (the fixed baseline design is
     always kept, so the aggregate can only improve on the fixed sweep);
-    ``jobs`` and ``cache`` thread straight into
-    :func:`~repro.exec.engine.evaluate_sweep`.
+    ``jobs``, ``cache``, and ``pool`` (a resident worker pool) thread
+    straight into :func:`~repro.exec.engine.evaluate_sweep`.
     """
     if objective not in OBJECTIVES:
         raise ValueError(
@@ -351,6 +352,7 @@ def autotune_suite(
         jobs=jobs,
         cache=cache,
         tensor_table=suite.tensor_table(),
+        pool=pool,
     )
     elapsed = time.perf_counter() - started
 

@@ -38,9 +38,13 @@ to inline arrays with identical results.
 
 from __future__ import annotations
 
+import itertools
 import os
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..area.energy import energy_from_counters
 from ..area.model import estimate_design_area
@@ -51,7 +55,7 @@ from ..obs.trace import Tracer, get_tracer, set_tracer
 from ..sim.spatial_array import SpatialArraySim
 from .cache import CacheStats, CompileCache
 from .fingerprint import fingerprint
-from .shm import SharedTensorPool, ShmUnavailable, shared_memory_available
+from .shm import SharedTensorPool, ShmUnavailable, adopt, shared_memory_available
 from .store import (
     DiskStore,
     merge_store_stats,
@@ -206,6 +210,10 @@ def _evaluate_point(
         outcome["energy_pj"] = float(energy.total_pj)
     if candidate.get("want_digest"):
         outcome["output_digest"] = fingerprint(result.outputs)
+    if candidate.get("want_outputs"):
+        outcome["outputs"] = {
+            name: np.asarray(array) for name, array in result.outputs.items()
+        }
     return outcome
 
 
@@ -304,9 +312,67 @@ def _apply_delta(cache: CompileCache, delta) -> None:
                 cache.registry.counter(f"exec.store.{name}").inc(amount)
 
 
-def _run_task(task) -> Dict[str, object]:
-    index, candidate = task
-    state = _WORKER_STATE
+#: Result arrays at or above this many total bytes ride home through a
+#: shared-memory segment instead of pickling through the pool pipe
+#: (override with ``STELLAR_SHM_RESULT_MIN_BYTES``).
+DEFAULT_RESULT_SHM_MIN_BYTES = 64 * 1024
+
+
+def _result_shm_threshold() -> int:
+    try:
+        return int(
+            os.environ.get(
+                "STELLAR_SHM_RESULT_MIN_BYTES", DEFAULT_RESULT_SHM_MIN_BYTES
+            )
+        )
+    except ValueError:
+        return DEFAULT_RESULT_SHM_MIN_BYTES
+
+
+def _pack_result_arrays(outcome: Dict[str, object]) -> Dict[str, object]:
+    """Worker side: wrap ``outcome["outputs"]`` for the trip home.
+
+    Bulky arrays (>= the threshold) are published into shared-memory
+    segments the worker immediately detaches from; the parent adopts
+    (copies and unlinks) them, so results are byte-identical to the
+    inline path while the pool pipe only ever carries tiny handles.
+    """
+    outputs = outcome.get("outputs")
+    if outputs is None:
+        return outcome
+    total = sum(array.nbytes for array in outputs.values())
+    if total >= _result_shm_threshold() and shared_memory_available():
+        pool = SharedTensorPool()
+        try:
+            handles = pool.publish(outputs)
+        except ShmUnavailable:  # pragma: no cover - sandboxed /dev/shm
+            pool.close()
+        else:
+            pool.detach()
+            outcome["outputs"] = ("shm-result", handles)
+            return outcome
+    outcome["outputs"] = ("inline", outputs)
+    return outcome
+
+
+def _unpack_result_arrays(outcome: Dict[str, object]) -> None:
+    """Parent side: materialize a packed ``outputs`` payload in place."""
+    packed = outcome.get("outputs")
+    if packed is None or not isinstance(packed, tuple):
+        return
+    transport, value = packed
+    if transport == "inline":
+        outcome["outputs"] = value
+    elif transport == "shm-result":
+        outcome["outputs"] = adopt(value)
+    else:  # pragma: no cover - protocol bug
+        raise ValueError(f"unknown result transport {transport!r}")
+
+
+def _run_point(
+    state: Mapping[str, object], index: int, candidate: Mapping[str, object]
+) -> Dict[str, object]:
+    """Evaluate one candidate against a decoded sweep state (worker side)."""
     cache = state["cache"]
     profiler = Profiler(enabled=True) if state["profile"] else None
     tracer = Tracer(enabled=True) if state["trace"] else None
@@ -329,6 +395,7 @@ def _run_task(task) -> Dict[str, object]:
             set_profiler(previous_profiler)
         if tracer is not None:
             set_tracer(previous_tracer)
+    _pack_result_arrays(outcome)
     outcome["index"] = index
     outcome["profile"] = profiler
     outcome["trace"] = tracer
@@ -336,19 +403,153 @@ def _run_task(task) -> Dict[str, object]:
     return outcome
 
 
-def _make_pool(workers: int, payload: Dict[str, object]) -> ProcessPoolExecutor:
-    import multiprocessing
+def _run_task(task) -> Dict[str, object]:
+    index, candidate = task
+    return _run_point(_WORKER_STATE, index, candidate)
 
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        context = multiprocessing.get_context()
+
+def _ensure_resource_tracker() -> None:
+    """Spawn the shared-memory resource tracker *before* forking workers.
+
+    Forked children then share the parent's tracker process, so the
+    worker-side ``register`` of a result segment and the parent-side
+    ``unlink`` after adoption land in the same cache and coalesce.
+    """
+    try:  # pragma: no cover - trivial plumbing
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:  # noqa: BLE001 - platforms without a tracker
+        pass
+
+
+def _make_pool(workers: int, payload: Dict[str, object]) -> ProcessPoolExecutor:
+    context = _fork_context()
+    _ensure_resource_tracker()
     return ProcessPoolExecutor(
         max_workers=workers,
         mp_context=context,
         initializer=_init_worker,
         initargs=(payload,),
     )
+
+
+def _fork_context():
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+# ---------------------------------------------------------------------------
+# Resident pools (the serve daemon's workers)
+# ---------------------------------------------------------------------------
+
+#: Per-process state for resident workers: one long-lived CompileCache
+#: plus a bounded memo of decoded sweep payloads keyed by sweep id.
+_RESIDENT_STATE: Dict[str, object] = {}
+
+_SWEEP_IDS = itertools.count()
+
+
+def _init_resident_worker(store_config, sweep_memo: int) -> None:
+    store = DiskStore(**store_config) if store_config else None
+    _RESIDENT_STATE.clear()
+    _RESIDENT_STATE.update(
+        {
+            "cache": CompileCache(store=store),
+            "sweeps": OrderedDict(),
+            "sweep_memo": sweep_memo,
+        }
+    )
+
+
+def _resident_sweep_state(sweep_id: str, payload: Dict[str, object]):
+    sweeps: "OrderedDict[str, Dict[str, object]]" = _RESIDENT_STATE["sweeps"]
+    state = sweeps.get(sweep_id)
+    if state is None:
+        state = dict(payload)
+        state["tensors"] = _decode_operands(payload["tensors"])
+        state["tensor_table"] = _decode_operands(payload["tensor_table"])
+        state["cache"] = (
+            _RESIDENT_STATE["cache"] if payload["use_cache"] else None
+        )
+        sweeps[sweep_id] = state
+        while len(sweeps) > _RESIDENT_STATE["sweep_memo"]:
+            sweeps.popitem(last=False)
+    else:
+        sweeps.move_to_end(sweep_id)
+    return state
+
+
+def _run_resident_task(task) -> Dict[str, object]:
+    sweep_id, payload, index, candidate = task
+    state = _resident_sweep_state(sweep_id, payload)
+    return _run_point(state, index, candidate)
+
+
+class ResidentPool:
+    """A worker pool that outlives a single :func:`evaluate_sweep` call.
+
+    Plain sweeps build a fresh ``ProcessPoolExecutor`` per call, paying
+    fork plus cold in-memory caches every time -- fine for a CLI batch,
+    wasteful for a long-running daemon answering many requests.  A
+    ``ResidentPool`` keeps the workers alive across sweeps: each worker
+    owns one persistent :class:`~repro.exec.cache.CompileCache` (with
+    its own handle on the shared disk store when ``store_config`` is
+    given), tasks carry a sweep id plus the packed sweep payload, and
+    the worker decodes and memoizes the payload once per sweep (bounded
+    by ``sweep_memo``).  When shared memory is available the per-task
+    payload is only descriptors, so the resend is cheap.
+
+    The pool is lazy: workers fork on first use, and :meth:`close`
+    (also the context-manager exit) retires them.  If the executor
+    cannot be created at all, :func:`evaluate_sweep` falls back to
+    serial inline evaluation exactly like the per-sweep pool path.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        store_config: Optional[Dict[str, object]] = None,
+        sweep_memo: int = 8,
+    ):
+        self.workers = resolve_jobs(jobs)
+        self.store_config = dict(store_config) if store_config else None
+        self.sweep_memo = sweep_memo
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            _ensure_resource_tracker()
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=_fork_context(),
+                initializer=_init_resident_worker,
+                initargs=(self.store_config, self.sweep_memo),
+            )
+        return self._executor
+
+    @property
+    def started(self) -> bool:
+        return self._executor is not None
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ResidentPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "live" if self.started else "idle"
+        return f"ResidentPool(workers={self.workers}, {state})"
 
 
 # ---------------------------------------------------------------------------
@@ -379,6 +580,8 @@ def evaluate_sweep(
     jobs: Optional[int] = None,
     cache: Optional[CompileCache] = None,
     tensor_table: Optional[Mapping[str, Mapping[str, object]]] = None,
+    on_outcome: Optional[Callable[[int, Dict[str, object]], None]] = None,
+    pool: Optional[ResidentPool] = None,
 ) -> Tuple[List[Dict[str, object]], EngineReport]:
     """Evaluate every candidate; outcomes come back in candidate order.
 
@@ -386,29 +589,44 @@ def evaluate_sweep(
     ``transform``, ``sparsity_name`` / ``sparsity`` and
     ``balancing_name`` / ``balancing``; suite candidates may add
     ``bounds``, ``tensors_key`` (an entry of ``tensor_table``), the
-    ``want_energy`` / ``want_digest`` flags, and a per-candidate
-    ``skip_illegal`` override.  Outcomes are plain dicts
+    ``want_energy`` / ``want_digest`` / ``want_outputs`` flags, and a
+    per-candidate ``skip_illegal`` override.  Outcomes are plain dicts
     with ``status`` either ``"ok"`` (plus the measured figures) or
     ``"illegal"`` (plus the compile error text).
 
+    ``on_outcome(index, outcome)`` -- when given -- is invoked once per
+    candidate *in candidate order* as each outcome is finalized (worker
+    observability merged, result payloads materialized), so callers can
+    stream results before the sweep completes; parallel sweeps release
+    outcome ``i`` once candidates ``0..i`` have all finished, which
+    keeps the stream order deterministic no matter how the pool
+    interleaves.
+
     ``jobs`` follows :func:`resolve_jobs`; with one worker the sweep
-    runs inline in this process.  If the pool cannot be created (no
-    process-spawning rights in a sandbox) or shared-memory segments
-    cannot be allocated, the sweep silently degrades -- to serial, or
-    to inline operand shipping -- with identical results by
-    construction.
+    runs inline in this process.  ``pool`` routes the fan-out through a
+    long-lived :class:`ResidentPool` instead of a per-sweep executor
+    (the serve daemon's configuration); ``jobs`` is ignored in that
+    case.  If a pool cannot be created (no process-spawning rights in a
+    sandbox) or shared-memory segments cannot be allocated, the sweep
+    silently degrades -- to serial, or to inline operand shipping --
+    with identical results by construction.
     """
-    workers = resolve_jobs(jobs)
-    workers = min(workers, max(1, len(candidates)))
+    if pool is not None:
+        workers = min(pool.workers, max(1, len(candidates)))
+    else:
+        workers = resolve_jobs(jobs)
+        workers = min(workers, max(1, len(candidates)))
 
     if workers <= 1:
-        outcomes = [
-            _evaluate_point(
+        outcomes = []
+        for index, candidate in enumerate(candidates):
+            outcome = _evaluate_point(
                 spec, bounds, tensors, element_bits, candidate, cache,
                 skip_illegal, tensor_table=tensor_table,
             )
-            for candidate in candidates
-        ]
+            outcomes.append(outcome)
+            if on_outcome is not None:
+                on_outcome(index, outcome)
         skipped = sum(1 for out in outcomes if out["status"] == "illegal")
         return outcomes, EngineReport(
             jobs=1,
@@ -447,8 +665,25 @@ def evaluate_sweep(
         "profile": get_profiler().enabled,
         "trace": get_tracer().enabled,
     }
+
     try:
-        pool = _make_pool(workers, payload)
+        if pool is not None:
+            executor = pool.executor()
+            sweep_id = f"{os.getpid()}-{next(_SWEEP_IDS)}"
+
+            def submit(index, candidate):
+                return executor.submit(
+                    _run_resident_task, (sweep_id, payload, index, candidate)
+                )
+
+            owns_executor = False
+        else:
+            executor = _make_pool(workers, payload)
+
+            def submit(index, candidate):
+                return executor.submit(_run_task, (index, candidate))
+
+            owns_executor = True
     except (OSError, PermissionError):  # pragma: no cover - sandboxed envs
         if shm_pool is not None:
             shm_pool.close()
@@ -456,39 +691,42 @@ def evaluate_sweep(
             spec, bounds, tensors, candidates,
             element_bits=element_bits, skip_illegal=skip_illegal,
             jobs=1, cache=cache, tensor_table=tensor_table,
+            on_outcome=on_outcome,
         )
 
     outcomes: List[Optional[Dict[str, object]]] = [None] * len(candidates)
-    try:
-        with pool:
-            futures = [
-                pool.submit(_run_task, (index, candidate))
-                for index, candidate in enumerate(candidates)
-            ]
-            # Collect in submission order: the first failing candidate (by
-            # sweep order, not completion order) raises, deterministically.
-            for future in futures:
-                outcome = future.result()
-                outcomes[outcome["index"]] = outcome
-    finally:
-        if shm_pool is not None:
-            shm_pool.close()
-
-    # Merge worker observability back into the parent, in sweep order so
-    # repeated runs aggregate identically.
     profiler = get_profiler()
     tracer = get_tracer()
-    for outcome in outcomes:
-        worker_profile = outcome.pop("profile", None)
-        worker_trace = outcome.pop("trace", None)
-        cache_delta = outcome.pop("cache_delta", None)
-        outcome.pop("index", None)
-        if worker_profile is not None and profiler.enabled:
-            profiler.merge(worker_profile)
-        if worker_trace is not None and tracer.enabled:
-            tracer.merge(worker_trace)
-        if cache is not None:
-            _apply_delta(cache, cache_delta)
+    try:
+        futures = [
+            submit(index, candidate)
+            for index, candidate in enumerate(candidates)
+        ]
+        # Collect in submission order: outcomes are finalized, merged
+        # back, and streamed in sweep order no matter how the pool
+        # interleaves, and the first failing candidate (by sweep order,
+        # not completion order) raises, deterministically.
+        for future in futures:
+            outcome = future.result()
+            index = outcome.pop("index")
+            worker_profile = outcome.pop("profile", None)
+            worker_trace = outcome.pop("trace", None)
+            cache_delta = outcome.pop("cache_delta", None)
+            if worker_profile is not None and profiler.enabled:
+                profiler.merge(worker_profile)
+            if worker_trace is not None and tracer.enabled:
+                tracer.merge(worker_trace)
+            if cache is not None:
+                _apply_delta(cache, cache_delta)
+            _unpack_result_arrays(outcome)
+            outcomes[index] = outcome
+            if on_outcome is not None:
+                on_outcome(index, outcome)
+    finally:
+        if owns_executor:
+            executor.shutdown(wait=True)
+        if shm_pool is not None:
+            shm_pool.close()
 
     skipped = sum(1 for out in outcomes if out["status"] == "illegal")
     return outcomes, EngineReport(

@@ -159,6 +159,25 @@ class SharedTensorPool:
     def nbytes(self) -> int:
         return sum(segment.size for segment in self._segments)
 
+    def detach(self) -> None:
+        """Close local mappings *without* unlinking the segments.
+
+        This is the worker half of the result-payload transport: the
+        worker publishes bulky result arrays, detaches, and ships only
+        the handles home; ownership (and the duty to unlink) passes to
+        whoever :func:`adopt`\\ s the handles -- the parent.  Idempotent,
+        and mutually exclusive with :meth:`close`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self._segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+
     def close(self) -> None:
         """Release and unlink every owned segment (idempotent)."""
         if self._closed:
@@ -186,6 +205,39 @@ class SharedTensorPool:
             self.close()
         except Exception:  # noqa: BLE001
             pass
+
+
+def adopt(handles: TensorSetHandle) -> Dict[str, np.ndarray]:
+    """Take ownership of published segments: copy out, close, unlink.
+
+    The parent half of the worker->parent result transport (see
+    :meth:`SharedTensorPool.detach`): each handle is materialized as an
+    *owned* copy -- byte-identical to the worker's array -- and its
+    segment is retired immediately, so adopted payloads have no
+    lingering mappings or names.  A handle whose segment has vanished
+    (worker crashed before the copy, external cleanup) raises the
+    underlying ``OSError``; silently returning partial results would
+    corrupt a sweep.
+    """
+    tensors: Dict[str, np.ndarray] = {}
+    for name, (segment_name, dtype, shape) in handles.items():
+        if not segment_name:
+            tensors[name] = np.empty(shape, dtype=np.dtype(dtype))
+            continue
+        segment = _attach_untracked(segment_name)
+        try:
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+            tensors[name] = view.copy()
+        finally:
+            try:
+                segment.close()
+            except (OSError, BufferError):  # pragma: no cover
+                pass
+            try:
+                segment.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+    return tensors
 
 
 def _attach_untracked(segment_name: str):

@@ -347,6 +347,25 @@ def _read_table_csv(path: str) -> Dict[str, object]:
     return {"layers": layers}
 
 
+def read_workload_table(path: str) -> Dict[str, object]:
+    """Read a workload table file into its parsed payload form.
+
+    Returns the ``{"layers": [...], ...}`` dict that
+    :func:`build_table_suite` accepts, with the file's basename folded
+    in as the default suite ``name``.  This is what ``repro sweep
+    --server`` ships inline in a request body -- the daemon never needs
+    filesystem access to the client's table.
+    """
+    if not os.path.exists(path):
+        raise SuiteError(f"{path}: no such workload table")
+    if path.endswith(".csv"):
+        payload = _read_table_csv(path)
+    else:
+        payload = _read_table_json(path)
+    payload.setdefault("name", os.path.splitext(os.path.basename(path))[0])
+    return payload
+
+
 def load_workload_table(
     path: str, cap: int = DEFAULT_CAP, seed: int = DEFAULT_SEED
 ) -> Suite:
@@ -365,33 +384,57 @@ def load_workload_table(
     columns, non-positive dims, out-of-range densities -- raises a
     single :class:`SuiteError` naming the file and row.
     """
-    if not os.path.exists(path):
-        raise SuiteError(f"{path}: no such workload table")
-    if path.endswith(".csv"):
-        payload = _read_table_csv(path)
-    else:
-        payload = _read_table_json(path)
+    payload = read_workload_table(path)
+    return build_table_suite(payload, cap=cap, seed=seed, source=path)
+
+
+def build_table_suite(
+    payload: object,
+    cap: int = DEFAULT_CAP,
+    seed: int = DEFAULT_SEED,
+    source: str = "workload table",
+    default_name: str = "table",
+) -> Suite:
+    """Build a :class:`Suite` from an already-parsed workload table.
+
+    ``payload`` follows the JSON table shape: a list of rows or an
+    object with a ``layers`` array plus optional ``name`` /
+    ``element_bits`` / ``sparsity``.  This is the declarative entry
+    the evaluation service uses for inline tables shipped in a request
+    body; :func:`load_workload_table` is the file-path wrapper.
+    ``source`` labels every :class:`SuiteError` so the caller's context
+    (file path, ``"request"``) survives into the message.
+    """
+    if isinstance(payload, list):
+        payload = {"layers": payload}
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("layers"), list
+    ):
+        raise SuiteError(
+            f"{source}: workload table must be an array of rows or an"
+            " object with a 'layers' array"
+        )
 
     rows = [
-        _parse_table_row(row, f"{path}: row {index + 1}")
+        _parse_table_row(row, f"{source}: row {index + 1}")
         for index, row in enumerate(payload["layers"])
     ]
     if not rows:
-        raise SuiteError(f"{path}: workload table has no layers")
+        raise SuiteError(f"{source}: workload table has no layers")
     seen: Dict[str, int] = {}
     for index, row in enumerate(rows):
         first = seen.setdefault(str(row["name"]), index)
         if first != index:
             raise SuiteError(
-                f"{path}: row {index + 1}: duplicate layer name"
+                f"{source}: row {index + 1}: duplicate layer name"
                 f" {row['name']!r} (first used in row {first + 1})"
             )
 
-    table_name = str(payload.get("name") or os.path.splitext(os.path.basename(path))[0])
+    table_name = str(payload.get("name") or default_name)
     element_bits = payload.get("element_bits", 8)
     if not isinstance(element_bits, int) or element_bits < 1:
         raise SuiteError(
-            f"{path}: element_bits must be a positive integer,"
+            f"{source}: element_bits must be a positive integer,"
             f" got {element_bits!r}"
         )
 
@@ -425,7 +468,7 @@ def load_workload_table(
         sparsity = csr_b_matrix(spec)
     else:
         raise SuiteError(
-            f"{path}: unknown sparsity {sparsity_name!r}"
+            f"{source}: unknown sparsity {sparsity_name!r}"
             " (choose 'dense' or 'b-csr')"
         )
     return Suite(
@@ -540,49 +583,80 @@ class SuiteResult:
         return payload
 
     def table(self) -> str:
-        headers = ("case", "bounds", "cycles", "util", "energy/pJ", "digest")
-        body = []
-        for row in self.rows:
-            bounds = row.get("bounds_str", "")
-            body.append(
-                (
-                    str(row["name"]),
-                    bounds,
-                    str(row["cycles"]),
-                    f"{float(row['utilization']):.3f}",
-                    f"{float(row.get('energy_pj', 0.0)):.1f}",
-                    str(row.get("output_digest", ""))[:12],
-                )
+        return format_rows(self.rows)
+
+
+def format_rows(rows: List[Dict[str, object]]) -> str:
+    """The per-layer text table for a list of suite result rows.
+
+    Shared by the in-process :class:`SuiteResult` view and the serve
+    client, which re-renders rows streamed over the wire.
+    """
+    headers = ("case", "bounds", "cycles", "util", "energy/pJ", "digest")
+    body = []
+    for row in rows:
+        bounds = row.get("bounds_str", "")
+        body.append(
+            (
+                str(row["name"]),
+                str(bounds),
+                str(row["cycles"]),
+                f"{float(row['utilization']):.3f}",
+                f"{float(row.get('energy_pj', 0.0)):.1f}",
+                str(row.get("output_digest", ""))[:12],
             )
-        widths = [
-            max(len(headers[col]), *(len(line[col]) for line in body)) if body
-            else len(headers[col])
-            for col in range(len(headers))
-        ]
-        lines = [
-            "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
-            "  ".join("-" * width for width in widths),
-        ]
-        for line in body:
-            lines.append(
-                "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
-            )
-        return "\n".join(lines)
+        )
+    widths = [
+        max(len(headers[col]), *(len(line[col]) for line in body)) if body
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for line in body:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        )
+    return "\n".join(lines)
 
 
 def evaluate_suite(
     suite: Suite,
     jobs: Optional[int] = None,
     cache: Optional[CompileCache] = None,
+    on_row: Optional[Callable[[int, Dict[str, object]], None]] = None,
+    pool=None,
 ) -> SuiteResult:
     """Run every case of ``suite`` through the sweep engine.
 
     ``skip_illegal`` is off: a suite layer that fails to compile is a
     configuration bug, not a design-space point to prune.
+
+    ``on_row(index, row)`` streams each finished per-layer row (case
+    info and bounds merged in, identical to the row in the returned
+    result) in case order before the call returns -- the serve daemon's
+    streaming hook.  ``pool`` routes the fan-out through a resident
+    :class:`~repro.exec.engine.ResidentPool` instead of a per-sweep
+    executor.
     """
     candidates = suite.candidates()
+    rows: List[Optional[Dict[str, object]]] = [None] * len(candidates)
+
+    def _finish_row(index: int, outcome: Dict[str, object]) -> None:
+        case = suite.cases[index]
+        row = dict(outcome)
+        row.update(case.info)
+        row["bounds_str"] = "x".join(
+            str(case.bounds.size(name)) for name in ("i", "j", "k")
+        )
+        rows[index] = row
+        if on_row is not None:
+            on_row(index, row)
+
     started = time.perf_counter()
-    outcomes, report = evaluate_sweep(
+    _outcomes, report = evaluate_sweep(
         suite.spec,
         None,
         None,
@@ -592,14 +666,8 @@ def evaluate_suite(
         jobs=jobs,
         cache=cache,
         tensor_table=suite.tensor_table(),
+        on_outcome=_finish_row,
+        pool=pool,
     )
     elapsed = time.perf_counter() - started
-    rows = []
-    for case, outcome in zip(suite.cases, outcomes):
-        row = dict(outcome)
-        row.update(case.info)
-        row["bounds_str"] = "x".join(
-            str(case.bounds.size(name)) for name in ("i", "j", "k")
-        )
-        rows.append(row)
-    return SuiteResult(suite, rows, report, elapsed, cache)
+    return SuiteResult(suite, list(rows), report, elapsed, cache)

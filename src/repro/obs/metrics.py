@@ -154,6 +154,30 @@ class Histogram(Metric):
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Linear interpolation inside the bucket holding the rank, with
+        the first bucket anchored at 0 and the overflow bucket clamped
+        to the last boundary -- the usual fixed-bucket estimate (what a
+        Prometheus ``histogram_quantile`` would report).  Returns 0.0
+        for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be within [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for boundary, bucket_count in zip(self.boundaries, self.bucket_counts):
+            if cumulative + bucket_count >= rank and bucket_count > 0:
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (boundary - lower) * max(0.0, fraction)
+            cumulative += bucket_count
+            lower = boundary
+        return self.boundaries[-1]
+
     def reset(self) -> None:
         self.bucket_counts = [0] * (len(self.boundaries) + 1)
         self.sum = 0.0
@@ -277,6 +301,20 @@ class MetricsRegistry:
         return {
             metric.full_name: metric.snapshot()
             for metric in sorted(self, key=lambda m: m.full_name)
+        }
+
+    def snapshot(self, prefix: Optional[str] = None) -> Dict[str, object]:
+        """Point-in-time ``full_name -> value`` view, optionally
+        filtered to series whose *name* starts with ``prefix``.
+
+        This is the live-endpoint API (``repro serve``'s ``metrics``
+        request): a plain dict decoupled from the metric objects, safe
+        to serialize while other threads keep incrementing.
+        """
+        return {
+            metric.full_name: metric.snapshot()
+            for metric in sorted(self, key=lambda m: m.full_name)
+            if prefix is None or metric.name.startswith(prefix)
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:

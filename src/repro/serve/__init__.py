@@ -1,0 +1,40 @@
+"""The design-evaluation service: daemon, wire protocol, and client.
+
+``repro serve`` keeps the expensive half of the Figure 1 flow resident
+-- compile caches stay warm, the worker process pool stays forked, and
+the disk store stays open -- so interactive design iteration pays
+milliseconds per request instead of a cold CLI start per sweep.  The
+pieces:
+
+* :mod:`repro.serve.protocol` -- the newline-delimited JSON request
+  schema, validation, and the canonical request fingerprint that keys
+  in-flight deduplication;
+* :mod:`repro.serve.server` -- the asyncio :class:`EvalServer`: one
+  evaluation at a time on a resident pool, concurrent identical
+  requests coalesced onto a single evaluation with every subscriber
+  receiving the same streamed rows, plus a live ``metrics`` endpoint;
+* :mod:`repro.serve.client` -- the thin blocking :class:`ServeClient`
+  that ``repro sweep --server`` uses.
+"""
+
+from .client import ServeClient, ServeError, parse_address
+from .protocol import (
+    PROTOCOL_VERSION,
+    RequestError,
+    parse_line,
+    request_key,
+    validate_request,
+)
+from .server import EvalServer
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "EvalServer",
+    "RequestError",
+    "ServeClient",
+    "ServeError",
+    "parse_address",
+    "parse_line",
+    "request_key",
+    "validate_request",
+]

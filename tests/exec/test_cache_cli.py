@@ -152,3 +152,45 @@ class TestParser:
     def test_unknown_action_rejected(self):
         with pytest.raises(SystemExit):
             cli_main(["cache", "prune"])
+
+
+class TestPerStageGc:
+    def test_per_stage_json_reports_budgets_and_evictions(
+        self, tmp_path, capsys
+    ):
+        _populate(tmp_path)
+        assert cli_main(
+            [
+                "cache", "gc", "--cache-dir", str(tmp_path),
+                "--max-bytes", "1", "--per-stage", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["evicted"] > 0
+        assert isinstance(payload["per_stage"], dict)
+        assert isinstance(payload["budgets"], dict)
+        assert payload["evicted"] == sum(payload["per_stage"].values())
+
+    def test_per_stage_text_lists_stage_budgets(self, tmp_path, capsys):
+        _populate(tmp_path)
+        assert cli_main(
+            [
+                "cache", "gc", "--cache-dir", str(tmp_path),
+                "--max-bytes", "1", "--per-stage",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "evicted" in out
+        assert "budget" in out
+
+    def test_default_gc_stays_global(self, tmp_path, capsys):
+        _populate(tmp_path)
+        assert cli_main(
+            [
+                "cache", "gc", "--cache-dir", str(tmp_path),
+                "--max-bytes", "1", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "per_stage" not in payload
+        assert payload["evicted"] > 0

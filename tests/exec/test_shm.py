@@ -95,3 +95,113 @@ class TestLifecycle:
 
         with pytest.raises(FileNotFoundError):
             shared_memory.SharedMemory(name=handles["A"][0])
+
+
+class TestDetachAdopt:
+    def test_adopt_copies_and_unlinks(self):
+        from multiprocessing import shared_memory
+
+        from repro.exec.shm import adopt
+
+        pool = SharedTensorPool()
+        tensors = {
+            "C": np.arange(64, dtype=np.int64).reshape(8, 8),
+            "empty": np.empty((0, 3), dtype=np.float32),
+        }
+        handles = pool.publish(tensors)
+        pool.detach()  # ownership passes to the adopter
+        adopted = adopt(handles)
+        for name in tensors:
+            np.testing.assert_array_equal(adopted[name], tensors[name])
+            assert adopted[name].dtype == tensors[name].dtype
+        # Adoption unlinked every segment: reattach must fail.
+        for segment_name, _dtype, _shape in handles.values():
+            if segment_name:
+                with pytest.raises(FileNotFoundError):
+                    shared_memory.SharedMemory(name=segment_name)
+
+    def test_adopted_arrays_outlive_the_segment(self):
+        from repro.exec.shm import adopt
+
+        pool = SharedTensorPool()
+        handles = pool.publish({"X": np.ones((16, 16))})
+        pool.detach()
+        adopted = adopt(handles)
+        adopted["X"][0, 0] = 42.0  # a private copy, safely writable
+        assert adopted["X"][0, 0] == 42.0
+
+    def test_detach_then_close_is_safe(self, pool):
+        pool.publish({"Y": np.arange(8)})
+        pool.detach()
+        pool.close()  # idempotent no-op after detach
+
+
+class TestResultTransport:
+    """Worker -> parent result payloads ride shared memory when bulky."""
+
+    def run_sweep(self, jobs):
+        from repro.core import Bounds, matmul_spec
+        from repro.core.balancing import LoadBalancingScheme
+        from repro.core.dataflow import output_stationary
+        from repro.core.sparsity import SparsityStructure
+        from repro.exec.engine import evaluate_sweep
+
+        rng = np.random.default_rng(3)
+        n = 4
+        spec = matmul_spec()
+        candidates = [
+            {
+                "name": f"p{i}",
+                "transform_name": "output-stationary",
+                "transform": output_stationary(),
+                "sparsity_name": "dense",
+                "sparsity": SparsityStructure(),
+                "balancing_name": "none",
+                "balancing": LoadBalancingScheme(),
+                "bounds": Bounds({"i": n, "j": n, "k": n}),
+                "want_outputs": True,
+                "want_digest": True,
+            }
+            for i in range(3)
+        ]
+        outcomes, _report = evaluate_sweep(
+            spec,
+            Bounds({"i": n, "j": n, "k": n}),
+            {"A": rng.integers(1, 5, (n, n)), "B": rng.integers(1, 5, (n, n))},
+            candidates,
+            jobs=jobs,
+        )
+        return outcomes
+
+    def test_outputs_ride_shm_byte_identically(self, monkeypatch):
+        serial = self.run_sweep(jobs=1)
+        # Force even tiny outputs through the shm path.
+        monkeypatch.setenv("STELLAR_SHM_RESULT_MIN_BYTES", "1")
+        parallel = self.run_sweep(jobs=2)
+        assert len(serial) == len(parallel) == 3
+        for s, p in zip(serial, parallel):
+            assert set(s["outputs"]) == set(p["outputs"])
+            for name in s["outputs"]:
+                np.testing.assert_array_equal(
+                    s["outputs"][name], p["outputs"][name]
+                )
+            assert s["output_digest"] == p["output_digest"]
+
+    def test_inline_path_below_threshold(self, monkeypatch):
+        monkeypatch.setenv("STELLAR_SHM_RESULT_MIN_BYTES", str(1 << 30))
+        parallel = self.run_sweep(jobs=2)
+        serial = self.run_sweep(jobs=1)
+        for s, p in zip(serial, parallel):
+            for name in s["outputs"]:
+                np.testing.assert_array_equal(
+                    s["outputs"][name], p["outputs"][name]
+                )
+
+    def test_no_leaked_segments(self, monkeypatch):
+        import glob
+
+        monkeypatch.setenv("STELLAR_SHM_RESULT_MIN_BYTES", "1")
+        before = set(glob.glob("/dev/shm/stellar_*"))
+        self.run_sweep(jobs=2)
+        after = set(glob.glob("/dev/shm/stellar_*"))
+        assert after <= before

@@ -127,3 +127,112 @@ class TestCli:
     def test_sweep_unknown_suite_exits_2(self, capsys):
         assert cli_main(["sweep", "nope"]) == 2
         assert "resnet50" in capsys.readouterr().err
+
+
+class TestStreaming:
+    def test_on_row_streams_every_row_in_case_order(self):
+        suite = build_suite("alexnet", cap=4)
+        streamed = []
+        result = evaluate_suite(
+            suite, jobs=1,
+            on_row=lambda index, row: streamed.append((index, row)),
+        )
+        assert [index for index, _row in streamed] == list(
+            range(len(suite.cases))
+        )
+        # The streamed rows ARE the result rows, info and all.
+        assert [row for _index, row in streamed] == result.rows
+
+    def test_parallel_stream_is_in_order_and_identical(self):
+        suite = build_suite("alexnet", cap=4)
+        streamed = []
+        result = evaluate_suite(
+            suite, jobs=2,
+            on_row=lambda index, row: streamed.append(index),
+        )
+        assert streamed == list(range(len(suite.cases)))
+        assert len(result.rows) == len(suite.cases)
+
+
+class TestResidentPool:
+    def test_pool_matches_per_sweep_executor_byte_identically(self):
+        from repro.exec.engine import ResidentPool
+
+        baseline = evaluate_suite(build_suite("alexnet", cap=4), jobs=2)
+        with ResidentPool(jobs=2) as pool:
+            first = evaluate_suite(build_suite("alexnet", cap=4), pool=pool)
+            # Reuse across sweeps: same workers, fresh request.
+            second = evaluate_suite(build_suite("alexnet", cap=4), pool=pool)
+            assert pool.started
+        digests = lambda result: [  # noqa: E731
+            r["output_digest"] for r in result.rows
+        ]
+        assert digests(first) == digests(baseline)
+        assert digests(second) == digests(baseline)
+
+    def test_pool_reuse_across_different_suites(self):
+        from repro.exec.engine import ResidentPool
+
+        with ResidentPool(jobs=2) as pool:
+            alexnet = evaluate_suite(build_suite("alexnet", cap=4), pool=pool)
+            sparse = evaluate_suite(
+                build_suite("suitesparse", cap=4), pool=pool
+            )
+        assert len(alexnet.rows) > 0 and len(sparse.rows) > 0
+        serial = evaluate_suite(build_suite("suitesparse", cap=4), jobs=1)
+        assert [r["output_digest"] for r in sparse.rows] == [
+            r["output_digest"] for r in serial.rows
+        ]
+
+    def test_close_is_idempotent_and_pool_restarts(self):
+        from repro.exec.engine import ResidentPool
+
+        pool = ResidentPool(jobs=2)
+        assert not pool.started
+        pool.close()
+        pool.close()
+        result = evaluate_suite(build_suite("alexnet", cap=4), pool=pool)
+        assert pool.started
+        pool.close()
+        assert not pool.started
+        assert len(result.rows) > 0
+
+
+class TestWorkloadTablePayloads:
+    def test_read_workload_table_defaults_name(self, tmp_path):
+        from repro.exec.suite import build_table_suite, read_workload_table
+
+        path = tmp_path / "mynet.json"
+        path.write_text(json.dumps([{"name": "l0", "m": 4, "k": 4, "n": 4}]))
+        payload = read_workload_table(str(path))
+        assert payload["name"] == "mynet"
+        assert build_table_suite(payload).name == "mynet"
+
+    def test_build_table_suite_labels_errors_with_source(self):
+        from repro.exec.suite import SuiteError, build_table_suite
+
+        with pytest.raises(SuiteError, match="request: row 1"):
+            build_table_suite(
+                [{"name": "l0", "m": -1, "k": 4, "n": 4}], source="request"
+            )
+
+    def test_build_table_suite_matches_file_loader(self, tmp_path):
+        from repro.exec.suite import (
+            build_table_suite,
+            load_workload_table,
+            read_workload_table,
+        )
+
+        rows = [
+            {"name": "l0", "m": 4, "k": 4, "n": 4},
+            {"name": "l1", "m": 6, "k": 4, "n": 5, "b_density": 0.5},
+        ]
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(rows))
+        via_file = evaluate_suite(load_workload_table(str(path)), jobs=1)
+        via_payload = evaluate_suite(
+            build_table_suite(read_workload_table(str(path))), jobs=1
+        )
+        assert [r["output_digest"] for r in via_file.rows] == [
+            r["output_digest"] for r in via_payload.rows
+        ]

@@ -129,3 +129,65 @@ class TestRegistry:
         registry.counter("two", k="v")
         assert len(registry) == 2
         assert registry.names() == ["one", "two{k=v}"]
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_is_zero(self):
+        hist = Histogram("h", boundaries=[1, 2, 4])
+        assert hist.quantile(0.5) == 0.0
+
+    def test_out_of_range_rejected(self):
+        hist = Histogram("h", boundaries=[1])
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+        with pytest.raises(ValueError):
+            hist.quantile(1.1)
+
+    def test_interpolates_within_bucket(self):
+        hist = Histogram("h", boundaries=[10, 20, 30])
+        for value in (5, 15, 25, 28):
+            hist.observe(value)
+        # rank 2 of 4 lands at the top of the (10, 20] bucket.
+        assert hist.quantile(0.5) == pytest.approx(20.0)
+        assert 0.0 < hist.quantile(0.25) <= 10.0
+        assert 20.0 < hist.quantile(0.9) <= 30.0
+
+    def test_overflow_clamps_to_last_boundary(self):
+        hist = Histogram("h", boundaries=[1, 2])
+        hist.observe(100)
+        assert hist.quantile(0.99) == 2.0
+
+    def test_monotone_in_q(self):
+        hist = Histogram("h", boundaries=[0.001, 0.01, 0.1, 1.0, 10.0])
+        for value in (0.005, 0.005, 0.02, 0.3, 0.3, 0.3, 2.0, 15.0):
+            hist.observe(value)
+        quantiles = [hist.quantile(q / 10) for q in range(11)]
+        assert quantiles == sorted(quantiles)
+
+
+class TestSnapshot:
+    def test_snapshot_decouples_from_live_metrics(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("serve.requests")
+        counter.inc(3)
+        view = registry.snapshot()
+        counter.inc(5)
+        assert view["serve.requests"] == 3
+        assert registry.snapshot()["serve.requests"] == 8
+
+    def test_prefix_filters_by_metric_name(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc()
+        registry.counter("exec.cache.hits").inc()
+        registry.gauge("serve.queue_depth", pool="a").set(2)
+        view = registry.snapshot(prefix="serve.")
+        assert sorted(view) == [
+            "serve.queue_depth{pool=a}", "serve.requests"
+        ]
+
+    def test_snapshot_includes_histogram_structure(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", boundaries=[1, 2]).observe(1.5)
+        view = registry.snapshot()
+        assert view["lat"]["count"] == 1
+        assert view["lat"]["buckets"]["le=2"] == 1

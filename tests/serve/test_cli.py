@@ -1,0 +1,95 @@
+"""``repro serve`` and ``repro sweep --server`` through the real CLI."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.serve import ServeClient
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    socket_path = str(tmp_path / "serve.sock")
+    thread = threading.Thread(
+        target=cli_main,
+        args=(
+            [
+                "serve", "--socket", socket_path, "--jobs", "1",
+                "--no-disk-cache",
+            ],
+        ),
+        daemon=True,
+    )
+    thread.start()
+    client = ServeClient(socket_path, timeout=60.0)
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        try:
+            client.ping()
+            break
+        except Exception:
+            time.sleep(0.05)
+    else:
+        raise AssertionError("daemon never came up")
+    yield socket_path
+    client.shutdown()
+    thread.join(timeout=15)
+    assert not thread.is_alive()
+
+
+class TestServeCommand:
+    def test_requires_exactly_one_bind(self, capsys):
+        assert cli_main(["serve"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert cli_main(["serve", "--socket", "/tmp/x", "--port", "1"]) == 2
+
+    def test_sweep_routes_through_the_daemon(self, daemon, tmp_path, capsys):
+        table = tmp_path / "net.json"
+        table.write_text(
+            json.dumps(
+                [
+                    {"name": "l0", "m": 4, "k": 4, "n": 4},
+                    {"name": "l1", "m": 6, "k": 4, "n": 5},
+                ]
+            )
+        )
+        assert cli_main(
+            ["sweep", str(table), "--server", daemon, "--json"]
+        ) == 0
+        served = json.loads(capsys.readouterr().out)
+        assert served["suite"] == "net"
+        assert len(served["rows"]) == 2
+        assert served["dedup"] is False
+
+        # The daemon's rows are byte-identical to the batch CLI's.
+        assert cli_main(
+            ["sweep", str(table), "--no-disk-cache", "--json"]
+        ) == 0
+        batch = json.loads(capsys.readouterr().out)
+        assert json.dumps(served["rows"]) == json.dumps(batch["rows"])
+
+    def test_sweep_human_output_names_the_server(self, daemon, capsys):
+        assert cli_main(
+            ["sweep", "alexnet", "--server", daemon, "--cap", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "via server" in out
+        assert "cases" in out
+
+    def test_server_error_exits_2(self, daemon, capsys):
+        assert cli_main(
+            ["sweep", "missing-table.json", "--server", daemon]
+        ) == 2
+        assert "no such workload table" in capsys.readouterr().err
+
+    def test_unreachable_server_exits_2(self, tmp_path, capsys):
+        assert cli_main(
+            [
+                "sweep", "alexnet",
+                "--server", str(tmp_path / "nowhere.sock"),
+            ]
+        ) == 2
+        assert "cannot reach" in capsys.readouterr().err

@@ -1,0 +1,186 @@
+"""Request-schema validation and the dedup fingerprint."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    RequestError,
+    encode,
+    error_message,
+    jsonable,
+    parse_line,
+    request_key,
+    validate_request,
+)
+
+
+def err(obj):
+    with pytest.raises(RequestError) as excinfo:
+        validate_request(obj)
+    return excinfo.value
+
+
+class TestParseLine:
+    def test_valid_json(self):
+        assert parse_line(b'{"type": "ping"}') == {"type": "ping"}
+
+    def test_malformed_json_is_bad_json(self):
+        with pytest.raises(RequestError) as excinfo:
+            parse_line(b"{nope")
+        assert excinfo.value.code == "bad-json"
+
+    def test_bad_utf8_is_bad_json(self):
+        with pytest.raises(RequestError) as excinfo:
+            parse_line(b'"\xff\xfe"')
+        assert excinfo.value.code == "bad-json"
+
+
+class TestValidate:
+    def test_non_object_rejected(self):
+        assert err([1, 2]).code == "bad-request"
+        assert err("ping").code == "bad-request"
+
+    def test_unknown_type_rejected(self):
+        assert err({"type": "frobnicate"}).code == "unknown-type"
+        assert err({}).code == "unknown-type"
+
+    def test_simple_types_normalize(self):
+        for rtype in ("ping", "metrics", "shutdown"):
+            assert validate_request({"type": rtype}) == {"type": rtype}
+
+    def test_simple_types_reject_extra_fields(self):
+        assert err({"type": "ping", "x": 1}).code == "unknown-field"
+
+    def test_sweep_defaults_resolved(self):
+        request = validate_request({"type": "sweep", "suite": "alexnet"})
+        assert request == {
+            "type": "sweep",
+            "suite": "alexnet",
+            "table": None,
+            "cap": 8,
+            "seed": 7,
+            "autotune": False,
+            "objective": "cycles",
+            "budget": None,
+        }
+
+    def test_sweep_needs_exactly_one_source(self):
+        assert err({"type": "sweep"}).code == "bad-request"
+        assert (
+            err(
+                {"type": "sweep", "suite": "alexnet", "table": []}
+            ).code
+            == "bad-request"
+        )
+
+    def test_unknown_suite(self):
+        error = err({"type": "sweep", "suite": "nope"})
+        assert error.code == "unknown-suite"
+        assert "alexnet" in str(error)  # names the alternatives
+
+    def test_non_string_suite(self):
+        assert err({"type": "sweep", "suite": 7}).code == "bad-request"
+
+    def test_table_must_be_structured(self):
+        assert err({"type": "sweep", "table": "rows"}).code == "bad-request"
+
+    def test_bad_bounds(self):
+        base = {"type": "sweep", "suite": "alexnet"}
+        assert err({**base, "cap": 0}).code == "bad-bounds"
+        assert err({**base, "cap": 10_000}).code == "bad-bounds"
+        assert err({**base, "cap": "8"}).code == "bad-bounds"
+        assert err({**base, "cap": True}).code == "bad-bounds"
+        assert err({**base, "seed": -1}).code == "bad-bounds"
+        assert err({**base, "budget": 0}).code == "bad-bounds"
+
+    def test_bad_objective_and_autotune(self):
+        base = {"type": "sweep", "suite": "alexnet"}
+        assert err({**base, "objective": "speed"}).code == "bad-objective"
+        assert err({**base, "autotune": 1}).code == "bad-request"
+
+    def test_unknown_field_rejected(self):
+        error = err({"type": "sweep", "suite": "alexnet", "jobs": 4})
+        assert error.code == "unknown-field"
+        assert "jobs" in str(error)
+
+    def test_explore_normalizes(self):
+        request = validate_request({"type": "explore"})
+        assert request == {
+            "type": "explore",
+            "spec": "matmul",
+            "size": 4,
+            "seed": 0,
+        }
+
+    def test_explore_bounds(self):
+        assert err({"type": "explore", "spec": "nope"}).code == "unknown-spec"
+        assert err({"type": "explore", "size": 0}).code == "bad-bounds"
+        assert err({"type": "explore", "size": 1000}).code == "bad-bounds"
+
+
+class TestRequestKey:
+    def test_defaults_collapse_onto_explicit_spelling(self):
+        implicit = validate_request({"type": "sweep", "suite": "alexnet"})
+        explicit = validate_request(
+            {"type": "sweep", "suite": "alexnet", "cap": 8, "seed": 7}
+        )
+        assert request_key(implicit) == request_key(explicit)
+
+    def test_result_determining_fields_change_the_key(self):
+        base = validate_request({"type": "sweep", "suite": "alexnet"})
+        for delta in (
+            {"suite": "resnet50"},
+            {"cap": 4},
+            {"seed": 11},
+            {"autotune": True},
+        ):
+            other = validate_request(
+                {"type": "sweep", "suite": "alexnet", **delta}
+            )
+            assert request_key(base) != request_key(other)
+
+    def test_inline_table_contents_keyed(self):
+        row = {"name": "l0", "m": 4, "k": 4, "n": 4}
+        one = validate_request({"type": "sweep", "table": [row]})
+        two = validate_request(
+            {"type": "sweep", "table": [{**row, "m": 8}]}
+        )
+        assert request_key(one) != request_key(two)
+
+    def test_sweep_and_explore_never_collide(self):
+        sweep = validate_request({"type": "sweep", "suite": "alexnet"})
+        explore = validate_request({"type": "explore"})
+        assert request_key(sweep) != request_key(explore)
+
+
+class TestEncoding:
+    def test_encode_is_one_json_line(self):
+        line = encode({"type": "row", "index": 0})
+        assert line.endswith(b"\n") and line.count(b"\n") == 1
+        assert json.loads(line) == {"type": "row", "index": 0}
+
+    def test_jsonable_strips_numpy(self):
+        np = pytest.importorskip("numpy")
+        out = jsonable(
+            {
+                "cycles": np.int64(7),
+                "util": np.float64(0.5),
+                "shape": (4, 4),
+                "grid": np.arange(2),
+            }
+        )
+        assert out == {
+            "cycles": 7, "util": 0.5, "shape": [4, 4], "grid": [0, 1]
+        }
+        json.dumps(out)  # round-trips
+
+    def test_error_message_shape(self):
+        message = error_message("bad-json", "nope")
+        assert message == {
+            "type": "error", "code": "bad-json", "message": "nope"
+        }
+
+    def test_protocol_version_is_an_int(self):
+        assert isinstance(PROTOCOL_VERSION, int)
