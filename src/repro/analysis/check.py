@@ -33,6 +33,11 @@ from .netlist import check_netlist
 from .program import check_program
 from .spec import check_spec
 
+#: Version of the JSON report layout emitted by ``repro check --json``
+#: and ``repro verify --json``.  Bump on any breaking change to the
+#: report dictionaries so CI consumers can pin what they parse.
+SCHEMA_VERSION = 2
+
 #: DRAM base addresses of the synthesized demo program are spaced this
 #: far apart so distinct transfers can never overlap.
 _WINDOW_STRIDE = 1 << 20
@@ -92,6 +97,7 @@ class CheckReport:
     def to_dict(self) -> Dict[str, object]:
         counts = self.counts()
         return {
+            "schema_version": SCHEMA_VERSION,
             "designs": [d.to_dict() for d in self.designs],
             "summary": {
                 "designs": len(self.designs),
@@ -506,6 +512,7 @@ def run_check(
 
 
 __all__ = [
+    "SCHEMA_VERSION",
     "CheckReport",
     "DesignReport",
     "ExampleTarget",

@@ -13,6 +13,9 @@ Code namespaces (documented in DESIGN.md):
 * ``STL-SP-*`` -- spec legality (level 1);
 * ``STL-NL-*`` -- netlist dataflow lint (level 2);
 * ``STL-PR-*`` -- ISA program verification (level 3);
+* ``STL-EQ-*`` -- netlist equivalence of optimization passes (level 4):
+  001 combinational cone refuted, 002 interface mismatch, 003
+  differential trace divergence (first divergent signal and cycle);
 * ``STL-CK-*`` -- checker-harness failures (an example failed to build).
 """
 

@@ -40,7 +40,10 @@ Wraps the Figure 1 flow for quick use without writing Python:
 * ``check`` -- run every example design through the three-level static
   checker (spec legality, netlist dataflow lint, ISA program
   verification); exits 0 when clean, 1 on diagnostics at or above
-  ``--fail-on``, 2 on usage errors.
+  ``--fail-on``, 2 on usage errors;
+* ``verify`` -- prove the :mod:`repro.rtl.passes` optimization pipeline
+  equivalence-preserving over every example (and ``--suite`` layers);
+  same 0/1/2 exit contract as ``check``.
 
 Specs, dataflows, sparsity structures, and balancing schemes are selected
 by name; the registries below are the same objects the library exposes.
@@ -657,6 +660,51 @@ def cmd_check(args) -> int:
     return 1 if worst is not None and worst >= threshold else 0
 
 
+def cmd_verify(args) -> int:
+    import os
+
+    from .analysis import Severity
+    from .analysis.verify import run_verify
+
+    paths = list(args.paths) or _default_example_paths()
+    if not paths and not args.suite:
+        print(
+            "verify: no example paths given and no examples/ directory found",
+            file=sys.stderr,
+        )
+        return 2
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"verify: no such file or directory: {path}", file=sys.stderr)
+            return 2
+    threshold = Severity.parse(args.fail_on)
+
+    from .exec.cache import CompileCache, persistent_compile_cache
+
+    if args.no_disk_cache:
+        cache = CompileCache()
+    else:
+        cache = persistent_compile_cache()
+    report = run_verify(
+        paths,
+        suites=args.suite,
+        opt_level=args.opt_level,
+        cycles=args.cycles,
+        seed=args.seed,
+        cap=args.cap,
+        max_layers=args.max_layers,
+        suppress=args.suppress,
+        cache=cache,
+    )
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.text())
+    worst = report.max_severity()
+    return 1 if worst is not None and worst >= threshold else 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -969,6 +1017,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="in-memory memo only; do not read or write the disk store",
     )
     check.set_defaults(func=cmd_check)
+
+    verify = sub.add_parser(
+        "verify",
+        help="prove optimized netlists equivalent to their unoptimized"
+        " sources (rtl.passes x analysis.equiv)",
+    )
+    verify.add_argument(
+        "paths",
+        nargs="*",
+        help="example files or directories (default: the repo's examples/)",
+    )
+    verify.add_argument(
+        "--suite",
+        action="append",
+        default=[],
+        metavar="NAME[:LAYER]",
+        help="also verify a workload suite's layers (repeatable;"
+        " e.g. resnet50 or suitesparse:poisson3Da)",
+    )
+    verify.add_argument(
+        "--opt-level",
+        type=int,
+        choices=[0, 1, 2],
+        default=2,
+        help="optimization rung to prove against the unoptimized netlist",
+    )
+    verify.add_argument(
+        "--cycles",
+        type=_positive_int,
+        default=16,
+        help="lockstep cycles per module in the differential backstop",
+    )
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument(
+        "--cap",
+        type=_positive_int,
+        default=4,
+        help="bound cap for suite layers (as in repro sweep --cap)",
+    )
+    verify.add_argument(
+        "--max-layers",
+        type=int,
+        default=0,
+        help="verify at most N layers per suite (0 = all)",
+    )
+    verify.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    verify.add_argument(
+        "--fail-on",
+        choices=["warning", "error"],
+        default="error",
+        help="lowest severity that makes the exit status 1",
+    )
+    verify.add_argument(
+        "--suppress",
+        action="append",
+        default=[],
+        metavar="CODE",
+        help="drop diagnostics with this exact code (repeatable)",
+    )
+    verify.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="in-memory memo only; do not read or write the disk store",
+    )
+    verify.set_defaults(func=cmd_verify)
     return parser
 
 

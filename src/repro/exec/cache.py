@@ -239,20 +239,36 @@ class CompileCache:
             ),
         )
 
-    def lower(self, design, max_inflight_dma: int = 1, check: bool = True):
+    def lower(
+        self,
+        design,
+        max_inflight_dma: int = 1,
+        check: bool = True,
+        opt_level: int = 0,
+    ):
         """Memoized :func:`repro.rtl.lowering.lower_design`.
 
         Keyed on the design axes rather than the compiled object's
-        identity, so recompiling an identical design still hits.
+        identity, so recompiling an identical design still hits.  The
+        optimization rung and the pass pipeline's semantic version are
+        both key axes: netlists optimized at different rungs -- or by a
+        different pipeline generation -- never answer for each other.
         """
         from ..rtl.lowering import lower_design
+        from ..rtl.passes import PASS_PIPELINE_VERSION
 
         return self.memo(
             "lower",
             (design.spec, design.bounds, design.transform, design.sparsity,
              design.balancing, design.membufs, design.element_bits,
-             max_inflight_dma, check),
-            lambda: lower_design(design, max_inflight_dma=max_inflight_dma, check=check),
+             max_inflight_dma, check, opt_level,
+             PASS_PIPELINE_VERSION if opt_level else 0),
+            lambda: lower_design(
+                design,
+                max_inflight_dma=max_inflight_dma,
+                check=check,
+                opt_level=opt_level,
+            ),
         )
 
     # -- maintenance ----------------------------------------------------

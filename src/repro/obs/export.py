@@ -259,6 +259,67 @@ def dump_rtl_vcd(
         return _dump_rtl_vcd(sim, handle, cycles, reset_cycles, signals)
 
 
+def capture_rtl_trace(
+    sim,
+    cycles: int = 16,
+    stimulus=None,
+    reset_cycles: int = 1,
+) -> Dict[str, List[int]]:
+    """Run the RTL interpreter and capture every signal's cycle series.
+
+    The in-memory twin of :func:`dump_rtl_vcd`: the same stepping
+    discipline (``rst`` held high for the first ``reset_cycles`` when the
+    design has one), but returning ``{signal_path: [v0, v1, ...]}`` --
+    one value per cycle, index 0 being the pre-step state -- instead of
+    writing a file.  ``stimulus`` is an optional ``(cycle, sim)``
+    callable invoked before each step to poke inputs; the equivalence
+    checker (:mod:`repro.analysis.equiv`) drives two simulators with one
+    shared stimulus and aligns the captures with
+    :func:`first_trace_divergence`.
+    """
+    has_reset = "rst" in sim.top.values
+    if has_reset and reset_cycles > 0:
+        sim.poke("rst", 1)
+    trace: Dict[str, List[int]] = {
+        path: [value] for path, (value, _) in sim.signal_values().items()
+    }
+    for cycle in range(1, cycles + 1):
+        if stimulus is not None:
+            stimulus(cycle, sim)
+        sim.step(1)
+        if has_reset and cycle == reset_cycles:
+            sim.poke("rst", 0)
+        for path, (value, _) in sim.signal_values().items():
+            trace[path].append(value)
+    return trace
+
+
+def first_trace_divergence(
+    before: Mapping[str, Sequence[int]],
+    after: Mapping[str, Sequence[int]],
+) -> Optional[Tuple[int, str]]:
+    """Align two signal traces and locate the first divergence.
+
+    Compares the signals present in *both* traces (optimization passes
+    legitimately delete internal nets, so the comparison is over the
+    shared -- observable -- set) cycle by cycle, and returns
+    ``(cycle, signal_path)`` for the earliest cycle at which any shared
+    signal differs, ties broken by signal path.  Returns ``None`` when
+    the traces agree everywhere they overlap.
+    """
+    shared = sorted(set(before) & set(after))
+    horizon = min(
+        [len(before[path]) for path in shared]
+        + [len(after[path]) for path in shared],
+        default=0,
+    )
+    for cycle in range(horizon):
+        for path in shared:
+            if before[path][cycle] != after[path][cycle]:
+                return cycle, path
+    return None
+
+
 def _dump_rtl_vcd(sim, handle, cycles, reset_cycles, signals) -> int:
     values = sim.signal_values()
     if signals is not None:

@@ -1,6 +1,9 @@
-"""Structural RTL backend: netlist IR, Verilog emitter, lint, lowering."""
+"""Structural RTL backend: netlist IR, Verilog emitter, passes, lowering.
 
-from .lint import lint_module, lint_netlist
+The legacy string-lint facade (:mod:`repro.rtl.lint`) is deprecated and
+no longer re-exported here; use :func:`repro.analysis.check_netlist`.
+"""
+
 from .lowering import lower_design
 from .netlist import (
     Assign,
@@ -13,24 +16,26 @@ from .netlist import (
     RTLError,
     SyncBlock,
 )
+from .passes import PASS_PIPELINE_VERSION, PassResult, run_passes
 from .sim import RTLSimulator, parse_expression, parse_statement
 from .verilog import emit_module, emit_netlist
 
 __all__ = [
-    "lint_module",
-    "lint_netlist",
     "lower_design",
     "Assign",
     "Instance",
     "Module",
     "Net",
     "Netlist",
+    "PASS_PIPELINE_VERSION",
+    "PassResult",
     "Port",
     "PortDir",
     "RTLError",
     "SyncBlock",
     "emit_module",
     "emit_netlist",
+    "run_passes",
     "RTLSimulator",
     "parse_expression",
     "parse_statement",

@@ -1,6 +1,6 @@
-"""Structural lint for generated netlists (legacy string API).
+"""DEPRECATED structural lint facade (legacy string API).
 
-This module is now a thin compatibility facade over the full netlist
+This module is a thin compatibility facade over the full netlist
 dataflow analyzer in :mod:`repro.analysis.netlist`, which absorbed and
 extended the original rules here (adding width inference,
 combinational-loop detection, multiple-driver and dead-net detection,
@@ -8,15 +8,30 @@ and reset-coverage checks).  ``lint_module``/``lint_netlist`` keep their
 original contract -- a list of human-readable problem strings, empty
 when the netlist is structurally sound -- by rendering the analyzer's
 *error*-severity diagnostics in the legacy ``module: message`` format.
-Callers who want severities, stable codes, and suggestions should use
-:func:`repro.analysis.check_netlist` directly.
+
+Both entry points now emit :class:`DeprecationWarning`; no in-repo
+caller uses them anymore.  Use :func:`repro.analysis.check_netlist` (or
+:func:`repro.analysis.netlist.check_module`) directly -- it returns
+:class:`~repro.analysis.diagnostics.Diagnostic` objects with severities,
+stable ``STL-NL-*`` codes, locations, and suggestions.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import List
 
 from .netlist import Module, Netlist
+
+
+def _warn(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.rtl.lint.{name} is deprecated; use {replacement} instead"
+        " (it returns Diagnostic objects with severities and stable"
+        " STL-NL-* codes)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def _legacy(diagnostics) -> List[str]:
@@ -30,14 +45,24 @@ def _legacy(diagnostics) -> List[str]:
 
 
 def lint_module(module: Module, netlist: Netlist) -> List[str]:
-    """Error-level problems of one module, as legacy strings."""
+    """Error-level problems of one module, as legacy strings.
+
+    .. deprecated:: PR 7
+       Use :func:`repro.analysis.netlist.check_module`.
+    """
+    _warn("lint_module", "repro.analysis.netlist.check_module")
     from ..analysis.netlist import check_module
 
     return _legacy(check_module(module, netlist))
 
 
 def lint_netlist(netlist: Netlist) -> List[str]:
-    """Error-level problems of the whole netlist, as legacy strings."""
+    """Error-level problems of the whole netlist, as legacy strings.
+
+    .. deprecated:: PR 7
+       Use :func:`repro.analysis.check_netlist`.
+    """
+    _warn("lint_netlist", "repro.analysis.check_netlist")
     from ..analysis.netlist import check_netlist
 
     return _legacy(check_netlist(netlist))

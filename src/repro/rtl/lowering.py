@@ -28,7 +28,10 @@ from .netlist import Module, Netlist, PortDir
 
 
 def lower_design(
-    design: CompiledDesign, max_inflight_dma: int = 1, check: bool = True
+    design: CompiledDesign,
+    max_inflight_dma: int = 1,
+    check: bool = True,
+    opt_level: int = 0,
 ) -> Netlist:
     """Lower a compiled design to a full accelerator netlist.
 
@@ -36,6 +39,12 @@ def lower_design(
     over the result and raises :class:`repro.analysis.AnalysisError` on
     error-severity findings; pass ``check=False`` to collect diagnostics
     yourself via :func:`repro.analysis.check_netlist`.
+
+    ``opt_level`` selects the :mod:`repro.rtl.passes` rung applied to the
+    lowered netlist (0 = none, 1 = fold + collapse, 2 = full pipeline);
+    the returned netlist carries ``opt_level`` and per-pass
+    ``pass_results``.  Every rung is equivalence-checked against rung 0
+    by :mod:`repro.analysis.equiv` (``repro verify``).
     """
     name = _sanitize(design.name)
     netlist = Netlist(f"{name}_top")
@@ -66,6 +75,11 @@ def lower_design(
         netlist.add(balancer)
 
     netlist.add(_lower_top(design, name, array, regfiles, membufs, dma, balancer))
+
+    if opt_level:
+        from .passes import run_passes
+
+        netlist, _ = run_passes(netlist, opt_level)
 
     if check:
         from ..analysis.diagnostics import AnalysisError, errors_only

@@ -5,8 +5,8 @@ lowers to Verilog (paper Figure 7).  Offline, with no JVM or EDA tools,
 this package plays the Chisel role: a small structural netlist IR --
 modules, ports, nets, registers, continuous assigns, synchronous blocks,
 and instances -- that the Verilog emitter (:mod:`repro.rtl.verilog`)
-renders as synthesizable-style text and the lint (:mod:`repro.rtl.lint`)
-checks structurally.
+renders as synthesizable-style text and the netlist dataflow analyzer
+(:mod:`repro.analysis.netlist`) checks structurally.
 
 The IR is deliberately flat and explicit: expressions inside assigns and
 always-blocks are plain strings over declared identifiers, which keeps the
@@ -38,7 +38,21 @@ _EXPR_KEYWORDS = frozenset(
         "begin",
         "end",
         "signed",
+        "case",
+        "endcase",
+        "default",
     }
+)
+
+# One scan, three token classes: based literals (sized ``8'd42``, unsized
+# ``'hFF``, signed ``16'sb01``, with x/z/? digits and underscores), plain
+# numbers (so ``1_000`` can never shed a ``_000`` identifier), and
+# identifiers.  Literals and numbers are consumed and discarded, so the
+# base/digit letters inside them can never leak out as identifiers.
+_EXPR_TOKEN = re.compile(
+    r"(?P<lit>(?:\d[\d_]*)?'\s*[sS]?[bBoOdDhH][0-9a-fA-FxzXZ?_]+)"
+    r"|(?P<num>\d[\d_]*)"
+    r"|(?P<id>[A-Za-z_][A-Za-z0-9_]*)"
 )
 
 
@@ -199,6 +213,26 @@ class Module:
     def has_port(self, name: str) -> bool:
         return any(p.name == name for p in self.ports)
 
+    def clone(self) -> "Module":
+        """A deep, independent copy (the optimization passes mutate it)."""
+        copy = Module(self.name)
+        for port in self.ports:
+            copy.add_port(port.name, port.direction, port.width)
+        for net in self.nets:
+            copy._declare(net.name)
+            copy.nets.append(Net(net.name, net.width, net.is_reg, net.depth))
+        for assign in self.assigns:
+            copy.assigns.append(Assign(assign.lhs, assign.rhs))
+        for block in self.sync_blocks:
+            copy.sync_blocks.append(
+                SyncBlock(block.statements, block.reset_statements)
+            )
+        for inst in self.instances:
+            copy.instances.append(
+                Instance(inst.module_name, inst.instance_name, inst.connections)
+            )
+        return copy
+
     def __repr__(self) -> str:
         return (
             f"Module({self.name!r}, ports={len(self.ports)},"
@@ -212,6 +246,11 @@ class Netlist:
     def __init__(self, top_name: str):
         self.modules: Dict[str, Module] = {}
         self.top_name = top_name
+        #: Optimization rung this netlist was produced at (0 = as lowered);
+        #: set by :func:`repro.rtl.passes.run_passes` together with
+        #: ``pass_results``, the per-pass rewrite statistics.
+        self.opt_level = 0
+        self.pass_results: List = []
 
     def add(self, module: Module) -> Module:
         if module.name in self.modules:
@@ -238,10 +277,27 @@ class Netlist:
 
         return emit_netlist(self)
 
-    def lint(self) -> List[str]:
-        from .lint import lint_netlist
+    def clone(self) -> "Netlist":
+        """A deep, independent copy of every module (for the passes)."""
+        copy = Netlist(self.top_name)
+        for module in self.modules.values():
+            copy.add(module.clone())
+        copy.opt_level = self.opt_level
+        copy.pass_results = list(self.pass_results)
+        return copy
 
-        return lint_netlist(self)
+    def lint(self) -> List[str]:
+        # Error-severity findings of the netlist dataflow analyzer in the
+        # legacy ``module: message`` string format (the deprecated
+        # ``repro.rtl.lint`` facade is no longer on this path).
+        from ..analysis.diagnostics import Severity
+        from ..analysis.netlist import check_netlist
+
+        return [
+            d.legacy_text()
+            for d in check_netlist(self)
+            if d.severity >= Severity.ERROR
+        ]
 
     def total_module_count(self) -> int:
         return len(self.modules)
@@ -254,10 +310,17 @@ class Netlist:
 
 
 def expression_identifiers(expression: str) -> Iterable[str]:
-    """Extract candidate identifiers from an expression string, skipping
-    Verilog keywords and based-literal markers (``8'd42``)."""
-    cleaned = re.sub(r"\d+'[bdh][0-9a-fA-FxzXZ_]+", " ", expression)
-    for match in _IDENT.finditer(cleaned):
-        name = match.group(0)
-        if name not in _EXPR_KEYWORDS:
+    """Extract candidate identifiers from an expression string.
+
+    Skips Verilog keywords, based literals in every spelling the IR (or a
+    hand-written expression) may contain -- sized ``8'd42``, unsized
+    ``'hFF``, uppercase bases ``16'HDEAD``, signed ``8'sb01``, octal,
+    x/z/? digits, embedded underscores -- and plain numeric literals, so
+    neither base letters (``d42``) nor underscore tails (``_000``) are
+    ever mistaken for identifiers.  The equivalence checker's
+    canonicalization relies on this being exact.
+    """
+    for match in _EXPR_TOKEN.finditer(expression):
+        name = match.group("id")
+        if name and name not in _EXPR_KEYWORDS:
             yield name

@@ -1,0 +1,104 @@
+"""`repro verify`: the equivalence gate and its CLI exit-code contract."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import SCHEMA_VERSION, run_verify
+from repro.cli import main
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "examples",
+)
+QUICKSTART = os.path.join(EXAMPLES_DIR, "quickstart.py")
+
+
+def test_run_verify_proves_quickstart():
+    report = run_verify([QUICKSTART], opt_level=2)
+    (target,) = report.targets
+    assert target.ok
+    assert not target.error
+    assert target.result.ok
+    assert sum(target.rewrites.values()) > 0
+    assert report.total_rewrites() > 0
+    assert report.diagnostics == []
+
+
+def test_run_verify_opt_level_zero_trivially_clean():
+    report = run_verify([QUICKSTART], opt_level=0)
+    (target,) = report.targets
+    assert target.ok
+    assert sum(target.rewrites.values()) == 0
+
+
+def test_run_verify_build_failure_becomes_diagnostic(tmp_path):
+    path = tmp_path / "crashy.py"
+    path.write_text("def build():\n    raise ValueError('nope')\n")
+    report = run_verify([str(path)], opt_level=2)
+    (target,) = report.targets
+    assert not target.ok
+    assert [d.code for d in target.diagnostics] == ["STL-CK-001"]
+    assert "nope" in target.diagnostics[0].message
+
+
+def test_report_serialization():
+    report = run_verify([QUICKSTART], opt_level=1, cycles=8, seed=3)
+    payload = report.to_dict()
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["opt_level"] == 1
+    assert payload["cycles"] == 8
+    assert payload["seed"] == 3
+    (target,) = payload["targets"]
+    assert target["ok"] is True
+    assert payload["summary"]["total_rewrites"] == report.total_rewrites()
+    text = report.text()
+    assert "quickstart" in text
+    assert "equivalent at opt_level 1" in text
+
+
+# --- CLI exit-code contract: 0 clean / 1 diagnostics / 2 usage error -----
+
+
+def test_cli_verify_clean_exits_zero(capsys):
+    assert main(["verify", "--no-disk-cache", QUICKSTART]) == 0
+    out = capsys.readouterr().out
+    assert "quickstart" in out
+    assert "verified" in out
+
+
+def test_cli_verify_json_contract(capsys):
+    assert main(
+        ["verify", "--no-disk-cache", "--json", "--opt-level", "2", QUICKSTART]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["opt_level"] == 2
+    assert payload["summary"]["total_rewrites"] > 0
+    assert all(t["ok"] for t in payload["targets"])
+
+
+def test_cli_verify_broken_build_exits_one(tmp_path, capsys):
+    path = tmp_path / "crashy.py"
+    path.write_text("def build():\n    raise ValueError('nope')\n")
+    assert main(["verify", "--no-disk-cache", str(path)]) == 1
+    assert "STL-CK-001" in capsys.readouterr().out
+
+
+def test_cli_verify_usage_error_exits_two(capsys):
+    assert main(["verify", "/no/such/path"]) == 2
+    assert "no such file" in capsys.readouterr().err
+    with pytest.raises(SystemExit) as excinfo:
+        main(["verify", "--opt-level", "9", QUICKSTART])
+    assert excinfo.value.code == 2
+
+
+# --- Satellite: `repro check --json` carries the schema version ----------
+
+
+def test_check_json_has_schema_version(capsys):
+    assert main(["check", "--json", QUICKSTART]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert isinstance(SCHEMA_VERSION, int) and SCHEMA_VERSION >= 2

@@ -147,6 +147,38 @@ class TestCompileFacade:
         second = cache.lower(design)
         assert first is second
 
+    def test_lower_opt_levels_never_share_entries(self, design_axes):
+        spec, bounds, transform = design_axes
+        cache = CompileCache()
+        design = cache.compile(spec, bounds, transform)
+        plain = cache.lower(design)
+        optimized = cache.lower(design, opt_level=2)
+        assert plain is not optimized
+        assert plain.opt_level == 0
+        assert optimized.opt_level == 2
+        # Each rung hits its own entry on repeat.
+        assert cache.lower(design) is plain
+        assert cache.lower(design, opt_level=2) is optimized
+
+    def test_lower_key_tracks_pass_pipeline_version(self, design_axes):
+        # The fingerprint axis exists only for optimized rungs: opt_level 0
+        # netlists never ran the pipeline, so its version must not churn
+        # their cache entries.
+        import repro.rtl.passes as passes_mod
+
+        spec, bounds, transform = design_axes
+        cache = CompileCache()
+        design = cache.compile(spec, bounds, transform)
+        plain = cache.lower(design)
+        optimized = cache.lower(design, opt_level=2)
+        original = passes_mod.PASS_PIPELINE_VERSION
+        passes_mod.PASS_PIPELINE_VERSION = original + 1
+        try:
+            assert cache.lower(design) is plain
+            assert cache.lower(design, opt_level=2) is not optimized
+        finally:
+            passes_mod.PASS_PIPELINE_VERSION = original
+
 
 class TestDiskTier:
     def test_fresh_cache_same_root_hits_disk(self, tmp_path):

@@ -1,0 +1,92 @@
+"""Error-path tests for the Verilog emitter and netlist IR constructors."""
+
+import pytest
+
+from repro.rtl.netlist import Instance, Module, Net, Netlist, Port, PortDir, RTLError
+from repro.rtl.verilog import emit_module, emit_netlist
+
+
+class TestEmitterErrors:
+    def test_portless_module_rejected(self):
+        m = Module("island")
+        with pytest.raises(RTLError, match="has no ports"):
+            emit_module(m)
+
+    def test_portless_module_rejected_via_netlist(self):
+        nl = Netlist("island")
+        nl.add(Module("island"))
+        with pytest.raises(RTLError, match="island"):
+            emit_netlist(nl)
+
+    def test_connection_to_missing_port_rejected(self):
+        child = Module("leaf")
+        child.input("clk")
+        top = Module("top")
+        top.input("clk")
+        top.instantiate(child, "c0", {"clk": "clk", "bogus": "clk"})
+        nl = Netlist("top")
+        nl.add(child)
+        nl.add(top)
+        with pytest.raises(RTLError) as excinfo:
+            emit_netlist(nl)
+        message = str(excinfo.value)
+        assert "'c0'" in message
+        assert "'bogus'" in message
+        assert "'leaf'" in message
+
+    def test_unknown_child_module_is_not_an_emitter_error(self):
+        # Unknown children are the lint's finding (STL-NL-*); emit_netlist
+        # must not crash on the connection check, only on module lookup.
+        top = Module("top")
+        top.input("clk")
+        top.instances.append(Instance("ghost", "g0", {"clk": "clk"}))
+        nl = Netlist("top")
+        nl.add(top)
+        with pytest.raises(RTLError, match="no module named 'ghost'"):
+            emit_netlist(nl)
+
+    def test_missing_top_module_rejected(self):
+        nl = Netlist("nothing")
+        with pytest.raises(RTLError, match="no module named 'nothing'"):
+            emit_netlist(nl)
+
+
+class TestConstructorValidation:
+    @pytest.mark.parametrize("width", [0, -1, -8])
+    def test_port_width_must_be_positive(self, width):
+        with pytest.raises(RTLError, match="at least 1 bit"):
+            Port("p", PortDir.INPUT, width)
+
+    @pytest.mark.parametrize("width", [0, -1])
+    def test_net_width_must_be_positive(self, width):
+        with pytest.raises(RTLError, match="at least 1 bit"):
+            Net("n", width)
+
+    @pytest.mark.parametrize("name", ["", "9lives", "a-b", "a b", "a.b"])
+    def test_invalid_module_name_rejected(self, name):
+        with pytest.raises(RTLError, match="invalid module name"):
+            Module(name)
+
+    @pytest.mark.parametrize("name", ["", "1x", "x!", "if?"])
+    def test_invalid_identifier_rejected(self, name):
+        m = Module("m")
+        with pytest.raises(RTLError, match="invalid identifier"):
+            m.wire(name)
+
+    def test_duplicate_declaration_rejected(self):
+        m = Module("m")
+        m.input("x", 8)
+        with pytest.raises(RTLError, match="duplicate declaration"):
+            m.wire("x", 8)
+
+    def test_duplicate_module_rejected(self):
+        nl = Netlist("m")
+        nl.add(Module("m"))
+        with pytest.raises(RTLError, match="duplicate module"):
+            nl.add(Module("m"))
+
+    def test_missing_port_lookup_rejected(self):
+        m = Module("m")
+        m.input("clk")
+        with pytest.raises(RTLError, match="has no port 'q'"):
+            m.port("q")

@@ -98,3 +98,89 @@ class TestExpressionIdentifiers:
 
     def test_subscripts(self):
         assert set(expression_identifiers("mem[addr[3:0]]")) == {"mem", "addr"}
+
+
+class TestExpressionIdentifierRobustness:
+    """Satellite hardening: literals in every spelling shed no identifiers."""
+
+    @pytest.mark.parametrize(
+        "literal",
+        [
+            "8'd42",
+            "8'D42",
+            "16'HDEAD",
+            "8'hff",
+            "'d42",
+            "'hBEEF",
+            "16'sb01",
+            "16'SB01",
+            "8'o17",
+            "4'b10x1",
+            "4'bz0?1",
+            "32'hdead_beef",
+            "1_000",
+            "42",
+            "12_3_4",
+        ],
+    )
+    def test_literal_alone_yields_nothing(self, literal):
+        assert list(expression_identifiers(literal)) == []
+
+    @pytest.mark.parametrize(
+        "expression, expected",
+        [
+            ("x + 16'HDEAD", {"x"}),
+            ("{a, 8'o17, b}", {"a", "b"}),
+            ("sel ? 8'hx : val", {"sel", "val"}),
+            ("count + 1_000", {"count"}),
+            ("d42 + 'd42", {"d42"}),
+            ("case (s) 2'b01: q <= x; default: q <= y; endcase",
+             {"s", "q", "x", "y"}),
+        ],
+    )
+    def test_mixed_expressions(self, expression, expected):
+        assert set(expression_identifiers(expression)) == expected
+
+    def test_property_random_literal_spellings(self):
+        """Property-style sweep: a generated literal next to a known
+        identifier never contributes tokens of its own."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        literal = st.builds(
+            lambda size, signed, base, digits: (
+                (str(size) if size else "") + "'" + signed + base + digits
+            ),
+            st.one_of(st.none(), st.integers(min_value=1, max_value=64)),
+            st.sampled_from(["", "s", "S"]),
+            st.sampled_from(list("bBoOdDhH")),
+            st.text(
+                alphabet="0123456789abcdefABCDEFxzXZ?_", min_size=1,
+                max_size=8,
+            ),
+        )
+
+        @given(literal=literal)
+        @settings(max_examples=200, deadline=None)
+        def check(literal):
+            found = set(expression_identifiers(f"alpha + {literal} + omega"))
+            assert found == {"alpha", "omega"}, (literal, found)
+
+        check()
+
+    def test_property_identifiers_always_survive(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        ident = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,10}", fullmatch=True)
+
+        @given(names=st.lists(ident, min_size=1, max_size=4, unique=True))
+        @settings(max_examples=100, deadline=None)
+        def check(names):
+            from repro.rtl.netlist import _EXPR_KEYWORDS
+
+            expression = " + ".join(names)
+            expected = {n for n in names if n not in _EXPR_KEYWORDS}
+            assert set(expression_identifiers(expression)) == expected
+
+        check()
