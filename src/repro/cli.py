@@ -906,7 +906,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--only",
         action="append",
-        choices=["dse", "membuf", "dma", "merger", "suite", "autotune"],
+        choices=["dse", "membuf", "dma", "merger", "kernel", "suite", "autotune"],
         default=None,
         metavar="BENCH",
         help="run only this benchmark family (repeatable; default all)",

@@ -287,6 +287,16 @@ class Expr:
         """Yield every tensor/variable access in this expression tree."""
         return iter(())
 
+    def children(self) -> Iterable["Expr"]:
+        """Yield this node's immediate child value expressions.
+
+        The generic tree walk behind :meth:`references`,
+        ``macs_per_point``, and the kernel tracer's structural checks;
+        leaves yield nothing, ``Access`` yields its value-typed
+        (data-dependent) subscripts.
+        """
+        return iter(())
+
     def evaluate(self, ctx: "EvalContext") -> Union[int, float]:
         raise NotImplementedError
 
@@ -398,6 +408,11 @@ class Access(Expr):
             if isinstance(sub, Expr):
                 yield from sub.references()
 
+    def children(self) -> Iterable["Expr"]:
+        for sub in self.subscripts:
+            if isinstance(sub, Expr):
+                yield sub
+
     def evaluate(self, ctx: "EvalContext") -> Union[int, float]:
         coords = []
         for sub in self.subscripts:
@@ -465,6 +480,10 @@ class BinOp(Expr):
         yield from self.lhs.references()
         yield from self.rhs.references()
 
+    def children(self) -> Iterable[Expr]:
+        yield self.lhs
+        yield self.rhs
+
     def evaluate(self, ctx: "EvalContext") -> Union[int, float]:
         return self._OPS[self.op](self.lhs.evaluate(ctx), self.rhs.evaluate(ctx))
 
@@ -502,6 +521,10 @@ class Comparison(Expr):
         yield from self.lhs.references()
         yield from self.rhs.references()
 
+    def children(self) -> Iterable[Expr]:
+        yield self.lhs
+        yield self.rhs
+
     def evaluate(self, ctx: "EvalContext") -> bool:
         return self._OPS[self.op](self.lhs.evaluate(ctx), self.rhs.evaluate(ctx))
 
@@ -533,6 +556,11 @@ class Select(Expr):
         yield from self.cond.references()
         yield from self.if_true.references()
         yield from self.if_false.references()
+
+    def children(self) -> Iterable[Expr]:
+        yield self.cond
+        yield self.if_true
+        yield self.if_false
 
     def evaluate(self, ctx: "EvalContext") -> Union[int, float]:
         if self.cond.evaluate(ctx):

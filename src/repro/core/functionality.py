@@ -259,16 +259,10 @@ class FunctionalSpec:
         """Number of multiply ops in interior compute rules (for FLOP counts)."""
 
         def count(expr: Expr) -> int:
-            if isinstance(expr, Access) or isinstance(expr, Const):
+            if isinstance(expr, (Access, Const)):
                 return 0
-            total = 0
-            for attr in ("lhs", "rhs", "cond", "if_true", "if_false"):
-                child = getattr(expr, attr, None)
-                if isinstance(child, Expr):
-                    total += count(child)
-            if getattr(expr, "op", None) == "*":
-                total += 1
-            return total
+            total = 1 if getattr(expr, "op", None) == "*" else 0
+            return total + sum(count(child) for child in expr.children())
 
         return sum(
             count(a.rhs)
@@ -284,6 +278,7 @@ class FunctionalSpec:
         self,
         bounds: Bounds,
         tensors: Mapping[str, np.ndarray],
+        kernel: bool = True,
     ) -> Dict[str, np.ndarray]:
         """Execute the spec directly over the iteration domain.
 
@@ -291,10 +286,23 @@ class FunctionalSpec:
         produce identical outputs for any valid dataflow.  Iteration is
         lexicographic-ascending, which is safe for specs whose difference
         vectors are lexicographically non-negative (all specs in the paper).
+
+        With ``kernel=True`` (the default) the trace-compiled batched
+        evaluator (:mod:`repro.sim.kernel`) answers when this spec is
+        traceable -- byte-identical results, no per-point dispatch --
+        and any untraceable shape falls through to the scalar walker
+        below.  ``kernel=False`` forces the scalar path; it stays the
+        ground truth the kernel is differentially tested against.
         """
         for name in self.index_names:
             if name not in bounds:
                 raise SpecError(f"bounds missing index {name!r}")
+        if kernel:
+            from ..sim.kernel import replay_interpret
+
+            result = replay_interpret(self, bounds, tensors)
+            if result is not None:
+                return result
         values: Dict[Tuple[str, Tuple[int, ...]], Union[int, float]] = {}
         outputs: Dict[str, Dict[Tuple[int, ...], Union[int, float]]] = {
             t.name: {} for t in self.output_tensors()

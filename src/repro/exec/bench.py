@@ -1,6 +1,6 @@
 """Multi-benchmark harness for the evaluation fast paths.
 
-Five benchmark families, each recording an entry in ``BENCH_dse.json``'s
+The benchmark families, each recording an entry in ``BENCH_dse.json``'s
 ``sweeps`` map and each gated by :func:`check_regression`:
 
 * **dse** (``reference``/``quick``) -- the original wall-clock sweep:
@@ -11,6 +11,10 @@ Five benchmark families, each recording an entry in ``BENCH_dse.json``'s
   row-partitioned vs flattened merging), fully deterministic and
   machine-independent, so the CI gate on them is exact rather than
   statistical;
+* **kernel_reference** -- scalar reference interpreter vs the
+  trace-compiled batched kernel (:mod:`repro.sim.kernel`) on the same
+  workload; byte-identical outputs required, gated both relatively and
+  by the absolute :data:`KERNEL_MIN_SPEEDUP` floor;
 * **suite_resnet50** -- cold vs warm ``repro sweep`` in two fresh
   subprocesses sharing one :class:`~repro.exec.store.DiskStore` root:
   the measured value is what the persistent tier buys a repeat
@@ -289,6 +293,74 @@ def run_merger_bench(max_rows: int = 48, seed: int = 7) -> Dict[str, object]:
 
 
 # ---------------------------------------------------------------------------
+# Kernel bench (trace-compiled batched reference vs the scalar walker)
+# ---------------------------------------------------------------------------
+
+#: Absolute floor for the kernel bench: the batched replay must beat the
+#: scalar interpreter by at least this factor, independent of any
+#: committed baseline.  The acceptance criterion for the kernel path.
+KERNEL_MIN_SPEEDUP = 2.0
+
+
+def run_kernel_bench(
+    size: int = 12, seed: int = 0, repeats: int = 3
+) -> Dict[str, object]:
+    """Scalar reference interpreter vs trace-compiled batched kernel.
+
+    Every sparse ``SpatialArraySim.run`` funnels its functional outputs
+    through the reference interpretation, so this ratio is what the
+    kernel path buys sparse suite sweeps.  Both backends must produce
+    byte-identical output arrays (``results_identical``), and the gate
+    is twofold: the relative :data:`REGRESSION_RATIO` check against the
+    committed baseline, plus the absolute :data:`KERNEL_MIN_SPEEDUP`
+    floor carried in the report as ``min_speedup``.
+    """
+    import numpy as np
+
+    from ..core.functionality import matmul_spec
+    from ..sim.kernel import compile_kernel
+
+    spec = matmul_spec()
+    bounds = Bounds({name: size for name in spec.index_names})
+    rng = np.random.default_rng(seed)
+    tensors = {
+        "A": rng.integers(-8, 8, (size, size)),
+        "B": rng.integers(-8, 8, (size, size)),
+    }
+    kernel = compile_kernel(spec)
+    if kernel is None:
+        raise RuntimeError("matmul spec must be kernel-traceable")
+
+    scalar = _time(
+        lambda: spec.interpret(bounds, tensors, kernel=False), repeats
+    )
+    kernel.replay(bounds, tensors)  # warm the ufunc/compile machinery
+    replay = _time(lambda: kernel.replay(bounds, tensors), repeats)
+
+    scalar_out, kernel_out = scalar["value"], replay["value"]
+    identical = set(scalar_out) == set(kernel_out) and all(
+        scalar_out[name].dtype == kernel_out[name].dtype
+        and scalar_out[name].shape == kernel_out[name].shape
+        and scalar_out[name].tobytes() == kernel_out[name].tobytes()
+        for name in scalar_out
+    )
+    scalar_s = scalar["best_s"]
+    replay_s = max(replay["best_s"], 1e-9)
+    return {
+        "sweep": "kernel_reference",
+        "size": size,
+        "seed": seed,
+        "repeats": repeats,
+        "points": bounds.point_count(spec.index_names),
+        "scalar_s": round(scalar_s, 6),
+        "kernel_s": round(replay_s, 6),
+        "speedup": round(scalar_s / replay_s, 4),
+        "min_speedup": KERNEL_MIN_SPEEDUP,
+        "results_identical": identical,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Autotune bench (what per-layer design selection buys over the fixed array)
 # ---------------------------------------------------------------------------
 
@@ -450,6 +522,12 @@ def check_regression(
     """
     if not report.get("results_identical", False):
         return "engine results diverged from the serial uncached sweep"
+    min_speedup = report.get("min_speedup")
+    if min_speedup is not None and report["speedup"] < min_speedup:
+        return (
+            f"sweep {report['sweep']!r} speedup {report['speedup']:.2f}x fell"
+            f" below the absolute floor {min_speedup:.2f}x"
+        )
     if report.get("beats_fixed") is False:
         return (
             f"sweep {report['sweep']!r}: autotuned aggregate cycles"
@@ -528,7 +606,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--only",
         action="append",
-        choices=["dse", "membuf", "dma", "merger", "suite", "autotune"],
+        choices=["dse", "membuf", "dma", "merger", "kernel", "suite", "autotune"],
         default=None,
         metavar="BENCH",
         help="run only this benchmark family (repeatable; default all)",
@@ -536,7 +614,8 @@ def main(argv=None) -> int:
     parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT)
     args = parser.parse_args(argv)
     selected = set(
-        args.only or ["dse", "membuf", "dma", "merger", "suite", "autotune"]
+        args.only
+        or ["dse", "membuf", "dma", "merger", "kernel", "suite", "autotune"]
     )
 
     baseline = load_baseline(args.output)
@@ -567,6 +646,8 @@ def main(argv=None) -> int:
         reports.append(run_dma_bench())
     if "merger" in selected:
         reports.append(run_merger_bench())
+    if "kernel" in selected:
+        reports.append(run_kernel_bench(seed=args.seed))
     if "suite" in selected:
         reports.append(run_suite_bench(seed=args.seed))
     if "autotune" in selected:

@@ -271,6 +271,24 @@ class CompileCache:
             ),
         )
 
+    def kernel(self, spec):
+        """Memoized :func:`repro.sim.kernel.compile_kernel`.
+
+        The tracer's semantic version is a key axis (mirroring
+        ``PASS_PIPELINE_VERSION`` on :meth:`lower`), so kernels traced
+        by different generations of ``repro.sim.kernel`` never answer
+        for each other across the persistent store.  A ``None`` value
+        -- the spec fell back to the scalar interpreter -- is cached
+        too: re-deciding the fallback is as wasteful as re-tracing.
+        """
+        from ..sim.kernel import KERNEL_VERSION, compile_kernel
+
+        return self.memo(
+            "sim.kernel",
+            (spec, KERNEL_VERSION),
+            lambda: compile_kernel(spec),
+        )
+
     # -- maintenance ----------------------------------------------------
 
     def entries_by_stage(self) -> Dict[str, int]:

@@ -21,6 +21,14 @@ SHA-256:
 Objects that carry behavior rather than data (functions, modules, open
 files) raise :class:`FingerprintError`; callers treat the value as
 uncacheable rather than guessing at equality.
+
+Content keys identify *inputs*; when a cached value also depends on the
+generation of the code that produced it, the producing stage folds a
+semantic version constant into its key parts --
+``PASS_PIPELINE_VERSION`` for ``lower`` products and
+:data:`repro.sim.kernel.KERNEL_VERSION` for ``sim.kernel`` traces --
+so persisted entries from an older generation become unreachable
+instead of answering with stale behavior.
 """
 
 from __future__ import annotations

@@ -9,11 +9,15 @@ from .balancer import (
 from .counters import PerfCounters
 from .dma import DMAResult, DMASim, TransferDescriptor, pointer_chase_transfers
 from .dram import DRAMModel
+from .kernel import CompiledKernel, KernelFallback, compile_kernel
 from .membuf import MemBufSim
 from .regfile import RegfileError, RegfileSim
 from .spatial_array import SimResult, SpatialArraySim
 
 __all__ = [
+    "CompiledKernel",
+    "KernelFallback",
+    "compile_kernel",
     "BalancedRunResult",
     "balanced_makespan",
     "speedup_from_balancing",

@@ -97,6 +97,14 @@ class SpatialArraySim:
         workload.  Pass ``memo=None`` alongside, or the compression memo
         (keyed on content, not on the evaluation strategy) will answer
         for the other path.
+    kernel:
+        When ``True`` (the default), reference outputs come from the
+        trace-compiled batched kernel (:mod:`repro.sim.kernel`) whenever
+        the spec is traceable, falling back to the scalar interpreter
+        otherwise.  ``kernel=False`` forces the scalar ground-truth
+        path; the differential suite proves the two byte-identical.
+        As with ``vectorize``, pass ``memo=None`` when comparing paths,
+        or the content-keyed reference memo will answer for both.
     """
 
     def __init__(
@@ -105,11 +113,13 @@ class SpatialArraySim:
         fill_drain_overhead: int = 0,
         memo=None,
         vectorize: bool = True,
+        kernel: bool = True,
     ):
         self.design = design
         self.fill_drain_overhead = fill_drain_overhead
         self.memo = memo
         self.vectorize = vectorize
+        self.kernel = kernel
 
     # ------------------------------------------------------------------
 
@@ -279,13 +289,16 @@ class SpatialArraySim:
             return SimResult(outputs, counters, 0)
 
         # Schedule the compressed points through the transform -- one
-        # matrix product for the whole workload; only the first space
-        # coordinate (the row) and the first time coordinate matter.
+        # matrix product for the whole workload; the first space
+        # coordinate (the row) drains a work queue, and *all* time
+        # coordinates linearize into one lexicographic cycle number
+        # (a transform folding e.g. a batch axis into a second time
+        # dimension schedules each batch after the previous one).
         packed = np.array(list(compressed.values()), dtype=np.int64)
         tmat = np.array(transform.matrix, dtype=np.int64)
         st = packed @ tmat.T
         rows = st[:, 0]
-        times = st[:, transform.space_dims]
+        times = _linearize_times(st[:, transform.space_dims:])
 
         schedule_length = int(times.max()) - int(times.min()) + 1
         pe_count = max(1, design.array.pe_count)
@@ -343,16 +356,39 @@ class SpatialArraySim:
         return SimResult(outputs, counters, schedule_length)
 
     def _reference_outputs(self, tensors: Mapping[str, np.ndarray]):
-        """Outputs from the reference interpreter, memoized per workload."""
+        """Outputs from the reference semantics, memoized per workload.
+
+        The trace-compiled batched kernel answers when the spec is
+        traceable (compiled kernels memoized under the ``sim.kernel``
+        stage when a cache is threaded through); any compile- or
+        replay-time fallback lands on the scalar interpreter.  The
+        output memo is keyed on content only -- both backends are
+        required to produce byte-identical arrays.
+        """
         spec = self.design.spec
         bounds = self.design.bounds
+
+        def build():
+            if self.kernel:
+                from . import kernel as _kernel
+                compiled = (
+                    self.memo.kernel(spec)
+                    if self.memo is not None
+                    else _kernel.cached_kernel(spec)
+                )
+                if compiled is not None:
+                    result = _kernel.replay_interpret(
+                        spec, bounds, tensors, kernel=compiled
+                    )
+                    if result is not None:
+                        return result
+            return spec.interpret(bounds, tensors, kernel=False)
+
         if self.memo is not None:
             return self.memo.memo(
-                "sim.reference",
-                (spec, bounds, tensors),
-                lambda: spec.interpret(bounds, tensors),
+                "sim.reference", (spec, bounds, tensors), build
             )
-        return spec.interpret(bounds, tensors)
+        return build()
 
     def _valid_points(
         self, tensors: Mapping[str, np.ndarray]
@@ -361,7 +397,9 @@ class SpatialArraySim:
 
         Skip conditions are evaluated over the whole domain at once with
         numpy; any condition shape the batch evaluator does not recognize
-        falls back to the exact point-at-a-time evaluation.
+        is evaluated point-at-a-time *on its own* and OR-ed into the
+        batched mask -- one unsupported condition never discards the
+        batched work of its supported siblings.
         """
         if not self.vectorize:
             return self._valid_points_scalar(tensors)
@@ -375,11 +413,15 @@ class SpatialArraySim:
             name: points[:, axis] for axis, name in enumerate(spec.index_names)
         }
         skipped = np.zeros(len(points), dtype=bool)
+        unsupported = []
         for skip in skips:
             mask = _batch_condition(skip.condition, env, bounds, tensors, len(points))
             if mask is None:
-                return self._valid_points_scalar(tensors)
-            skipped |= mask
+                unsupported.append(skip)
+            else:
+                skipped |= mask
+        if unsupported:
+            skipped |= self._scalar_skip_mask(unsupported, tensors)
         return [tuple(row) for row in points[~skipped].tolist()]
 
     def _valid_points_scalar(
@@ -389,25 +431,40 @@ class SpatialArraySim:
         spec = self.design.spec
         bounds = self.design.bounds
         skips = [s for s in self.design.sparsity if not s.optimistic]
+        points = _domain_grid(bounds, spec.index_names)
+        mask = self._scalar_skip_mask(skips, tensors)
+        return [tuple(row) for row in points[~mask].tolist()]
+
+    def _scalar_skip_mask(
+        self, skips, tensors: Mapping[str, np.ndarray]
+    ) -> np.ndarray:
+        """Exact per-point skip mask for ``skips``, aligned with the
+        lexicographic :func:`_domain_grid` row order."""
+        spec = self.design.spec
+        bounds = self.design.bounds
 
         def read(symbol, coords):
             array = tensors.get(symbol.name)
             if array is None:
                 raise SpecError(f"no data for tensor {symbol.name!r}")
-            return array[coords]
+            try:
+                return array[coords]
+            except IndexError as err:
+                raise SpecError(
+                    f"skip condition reads tensor {symbol.name!r} at"
+                    f" out-of-range coordinates {tuple(coords)}"
+                    f" (shape {np.asarray(array).shape})"
+                ) from err
 
-        valid: List[Tuple[int, ...]] = []
-        for point in bounds.domain(spec.index_names):
+        mask = np.zeros(bounds.point_count(spec.index_names), dtype=bool)
+        for index, point in enumerate(bounds.domain(spec.index_names)):
             env = dict(zip(spec.index_names, point))
             ctx = EvalContext(env, bounds, read)
-            skipped = False
             for skip in skips:
                 if _condition_holds(skip.condition, ctx, tensors):
-                    skipped = True
+                    mask[index] = True
                     break
-            if not skipped:
-                valid.append(tuple(point))
-        return valid
+        return mask
 
     def _compress_points(
         self, valid_points: Sequence[Tuple[int, ...]]
@@ -446,6 +503,25 @@ class SpatialArraySim:
                 packed[axis_of[s]] = rank_maps[s][context][point[axis_of[s]]]
             compressed[point] = tuple(packed)
         return compressed
+
+
+def _linearize_times(times_nd: np.ndarray) -> np.ndarray:
+    """Collapse multi-dimensional time coordinates into one lexicographic
+    cycle number.
+
+    Mixed-radix over the observed span of each time axis (outermost axis
+    most significant), so tuple order -- the dense path's ``sorted(by_time)``
+    -- is preserved and every (outer, inner) combination occupies its own
+    schedule slot.  A single time axis passes through unchanged.
+    """
+    if times_nd.shape[1] == 1:
+        return times_nd[:, 0]
+    mins = times_nd.min(axis=0)
+    spans = times_nd.max(axis=0) - mins + 1
+    strides = np.ones(len(spans), dtype=np.int64)
+    for axis in range(len(spans) - 2, -1, -1):
+        strides[axis] = strides[axis + 1] * spans[axis + 1]
+    return ((times_nd - mins) * strides).sum(axis=1)
 
 
 def _domain_grid(bounds, order: Sequence[str]) -> np.ndarray:
