@@ -18,8 +18,12 @@ Wraps the Figure 1 flow for quick use without writing Python:
   ``STELLAR_CACHE_DIR`` control it); ``--autotune`` crosses each layer
   with the DSE design space and picks the Pareto-best design point per
   layer under ``--objective`` (cycles / energy / edp), within an
-  optional per-layer candidate ``--budget``; ``--server`` routes the
-  whole request through a running ``repro serve`` daemon instead of
+  optional per-layer candidate ``--budget`` (a deterministic stratified
+  sample across the transform axis); ``--halving`` switches to the
+  multi-fidelity successive-halving autotuner over the widened design
+  space (membuf / DMA / regfile axes, ``--eta`` halving rate,
+  ``--constraint`` declarative frontier filters); ``--server`` routes
+  the whole request through a running ``repro serve`` daemon instead of
   evaluating in-process;
 * ``serve`` -- run the resident evaluation daemon: newline-delimited
   JSON requests over a unix socket (``--socket``) or TCP (``--port``),
@@ -357,6 +361,18 @@ def _sweep_via_server(args) -> int:
         suite_name = None
 
     client = ServeClient(args.server)
+
+    def on_trace(event: dict) -> None:
+        if args.json:
+            return
+        label = event.get("event", "trace")
+        detail = ", ".join(
+            f"{key}={event[key]}"
+            for key in ("rung", "fidelity", "candidates", "survivors")
+            if key in event
+        )
+        print(f"sweep: [{label}] {detail}", file=sys.stderr)
+
     try:
         result = client.sweep(
             suite=suite_name,
@@ -364,8 +380,12 @@ def _sweep_via_server(args) -> int:
             cap=args.cap,
             seed=args.seed,
             autotune=args.autotune,
+            halving=args.halving,
+            eta=args.eta,
+            constraint=args.constraint,
             objective=args.objective,
             budget=args.budget,
+            on_trace=on_trace,
         )
     except ServeError as err:
         print(f"sweep: server error [{err.code}]: {err}", file=sys.stderr)
@@ -436,6 +456,45 @@ def cmd_sweep(args) -> int:
         cache = CompileCache()
     else:
         cache = persistent_compile_cache(args.cache_dir)
+
+    if args.halving:
+        from .exec.halving import halving_autotune_suite
+
+        try:
+            result = halving_autotune_suite(
+                suite,
+                objective=args.objective,
+                eta=args.eta,
+                budget=args.budget,
+                jobs=args.jobs,
+                cache=cache,
+                constraints=args.constraint,
+            )
+        except (SuiteError, ValueError) as err:
+            print(f"sweep: {err}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2))
+            return 0
+        print(result.table())
+        aggregates = result.aggregates()
+        rung_trail = " -> ".join(
+            f"{stats.fidelity}:{stats.candidates}" for stats in result.rungs
+        )
+        print(
+            f"\n{suite.name} [halving/{args.objective} eta={args.eta}]:"
+            f" {aggregates['cases']} cases,"
+            f" {aggregates['total_cycles']} cycles"
+            f" (fixed design: {aggregates['fixed_total_cycles']}),"
+            f" {aggregates['retuned_layers']} layers re-tuned,"
+            f" {aggregates['candidates_per_layer']} candidates/layer,"
+            f" rungs {rung_trail},"
+            f" {aggregates['evaluations_saved']:.1f}x fewer full-fidelity"
+            f" evaluations,"
+            f" {aggregates['elapsed_s']:.3f} s"
+        )
+        print(_cache_line(result.report, cache))
+        return 0
 
     if args.autotune:
         from .exec.autotune import autotune_suite
@@ -792,6 +851,30 @@ def build_parser() -> argparse.ArgumentParser:
         " Pareto-best design point per layer",
     )
     sweep.add_argument(
+        "--halving",
+        action="store_true",
+        help="autotune with the multi-fidelity successive-halving"
+        " schedule over the widened design space (membuf / DMA /"
+        " regfile axes): cheap reduced-cap rungs prune candidates, only"
+        " survivors reach full-fidelity evaluation",
+    )
+    sweep.add_argument(
+        "--eta",
+        type=_positive_int,
+        default=2,
+        help="halving rate: keep the top 1/eta per rung and grow rung"
+        " caps by eta (default 2; 1 disables pruning and matches the"
+        " exhaustive autotuner)",
+    )
+    sweep.add_argument(
+        "--constraint",
+        default=None,
+        metavar="CLAUSES",
+        help="comma-separated frontier filters for --halving, e.g."
+        " 'area<=2e6,power<=0.5' (metrics: cycles, area, energy,"
+        " power); the winner is the best feasible frontier point",
+    )
+    sweep.add_argument(
         "--objective",
         choices=["cycles", "energy", "edp"],
         default="cycles",
@@ -802,8 +885,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--budget",
         type=_positive_int,
         default=None,
-        help="cap the candidate designs per layer (the fixed baseline"
-        " design is always kept)",
+        help="cap the candidate designs per layer via a deterministic"
+        " stratified sample across the transform axis (the fixed"
+        " baseline design is always kept); with --halving this is a"
+        " deprecated alias for rung-0 sizing",
     )
     sweep.add_argument(
         "--jobs",
@@ -906,7 +991,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--only",
         action="append",
-        choices=["dse", "membuf", "dma", "merger", "kernel", "suite", "autotune"],
+        choices=[
+            "dse", "membuf", "dma", "merger", "kernel", "suite",
+            "autotune", "halving",
+        ],
         default=None,
         metavar="BENCH",
         help="run only this benchmark family (repeatable; default all)",

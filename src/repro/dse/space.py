@@ -1,17 +1,20 @@
 """Deterministic enumeration of the candidate design space.
 
 The explorer and the suite autotuner both sweep the same axes --
-space-time transform, sparsity wiring, load balancing -- but they need
-the *enumeration* pinned down independently of how the points are
-evaluated: candidate order decides tie-breaks, budget truncation, and
-the shape of every golden-pinned winner table.  :class:`DesignSpace`
-owns that order (insertion order per axis, transform-major cross
-product) so a sweep enumerated today and a sweep enumerated in a worker
-process next week agree combo-for-combo.
+space-time transform, sparsity wiring, load balancing, plus the
+microarchitecture axes (membuf geometry, DMA in-flight depth, regfile
+variant) -- but they need the *enumeration* pinned down independently of
+how the points are evaluated: candidate order decides tie-breaks, budget
+sampling, and the shape of every golden-pinned winner table.
+:class:`DesignSpace` owns that order (insertion order per axis,
+transform-major cross product, microarchitecture axes innermost) so a
+sweep enumerated today and a sweep enumerated in a worker process next
+week agree combo-for-combo.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Mapping, NamedTuple, Optional, Tuple
 
 from ..core.balancing import LoadBalancingScheme, row_shift_scheme
@@ -24,9 +27,24 @@ from ..core.dataflow import (
 )
 from ..core.sparsity import SparsityStructure
 
+#: The neutral name every microarchitecture axis reserves for "exactly
+#: the design the compiler builds today" (variant value ``None``, zero
+#: overlay).  The suite's fixed baseline always uses it, which is what
+#: keeps autotuned aggregates comparable to the fixed sweep.
+DEFAULT_UARCH = "default"
+
 
 class DesignCombo(NamedTuple):
-    """One fully named point of the (transform, sparsity, balancing) space."""
+    """One fully named point of the candidate space.
+
+    The three architectural axes (transform, sparsity, balancing) decide
+    what gets compiled and simulated; the three microarchitecture axes
+    (membuf, dma, regfile) are analytic overlays applied to the
+    simulated outcome (see :mod:`repro.dse.uarch`), so combos differing
+    only in microarchitecture share one compile + simulation cache
+    entry.  All six default to the neutral configuration, keeping every
+    pre-widening call site byte-identical.
+    """
 
     transform_name: str
     transform: SpaceTimeTransform
@@ -34,14 +52,46 @@ class DesignCombo(NamedTuple):
     sparsity: SparsityStructure
     balancing_name: str
     balancing: LoadBalancingScheme
+    membuf_name: str = DEFAULT_UARCH
+    membuf: Optional[object] = None
+    dma_name: str = DEFAULT_UARCH
+    dma: Optional[object] = None
+    regfile_name: str = DEFAULT_UARCH
+    regfile: Optional[object] = None
 
     @property
     def names(self) -> Tuple[str, str, str]:
         return (self.transform_name, self.sparsity_name, self.balancing_name)
 
     @property
+    def uarch_names(self) -> Tuple[str, str, str]:
+        return (self.membuf_name, self.dma_name, self.regfile_name)
+
+    @property
+    def key(self) -> Tuple[str, str, str, str, str, str]:
+        """The full six-axis identity, for survivor sets and dedup."""
+        return self.names + self.uarch_names
+
+    @property
+    def is_default_uarch(self) -> bool:
+        return all(name == DEFAULT_UARCH for name in self.uarch_names)
+
+    @property
     def label(self) -> str:
-        return f"{self.transform_name} / {self.sparsity_name} / {self.balancing_name}"
+        base = (
+            f"{self.transform_name} / {self.sparsity_name}"
+            f" / {self.balancing_name}"
+        )
+        extras = [
+            f"{axis}={name}"
+            for axis, name in zip(
+                ("membuf", "dma", "regfile"), self.uarch_names
+            )
+            if name != DEFAULT_UARCH
+        ]
+        if extras:
+            return base + " / " + " ".join(extras)
+        return base
 
     def candidate(self, **extra: object) -> Dict[str, object]:
         """The evaluation-engine candidate dict for this combo.
@@ -49,6 +99,9 @@ class DesignCombo(NamedTuple):
         ``extra`` adds (or overrides) engine fields -- per-case
         ``bounds``/``tensors_key``, the ``want_*`` flags, a distinct
         ``name`` when one combo appears once per workload layer.
+        Microarchitecture fields are only added when non-default, so
+        neutral combos produce the exact candidate dicts they always
+        have.
         """
         fields: Dict[str, object] = {
             "name": self.label,
@@ -59,17 +112,41 @@ class DesignCombo(NamedTuple):
             "balancing_name": self.balancing_name,
             "balancing": self.balancing,
         }
+        if self.membuf is not None:
+            fields["membuf_name"] = self.membuf_name
+            fields["membuf"] = self.membuf
+        if self.dma is not None:
+            fields["dma_name"] = self.dma_name
+            fields["dma"] = self.dma
+        if self.regfile is not None:
+            fields["regfile_name"] = self.regfile_name
+            fields["regfile"] = self.regfile
         fields.update(extra)
         return fields
+
+
+def _uarch_axis(
+    axis: str, values: Optional[Mapping[str, object]]
+) -> Dict[str, object]:
+    mapping: Dict[str, object] = dict(values or {DEFAULT_UARCH: None})
+    if mapping.get(DEFAULT_UARCH, "missing") is not None:
+        raise ValueError(
+            f"the {axis!r} axis must map {DEFAULT_UARCH!r} to None (the"
+            " unmodified design) so the suite baseline stays in the space"
+        )
+    return mapping
 
 
 class DesignSpace:
     """Named per-axis candidate lists with a deterministic cross product.
 
     Axis values keep their mapping insertion order; :meth:`combos`
-    enumerates transform-major, then sparsity, then balancing -- the
-    same order :func:`repro.dse.explore` has always swept, now shared
-    with the suite autotuner.
+    enumerates transform-major, then sparsity, then balancing, then the
+    microarchitecture axes (membuf, dma, regfile) innermost -- the same
+    order :func:`repro.dse.explore` has always swept, now shared with
+    the suite autotuner.  Every microarchitecture axis must contain the
+    ``default -> None`` entry (the unmodified design), so degenerate
+    axes reproduce the historical three-axis enumeration exactly.
     """
 
     def __init__(
@@ -77,22 +154,41 @@ class DesignSpace:
         transforms: Mapping[str, SpaceTimeTransform],
         sparsities: Optional[Mapping[str, SparsityStructure]] = None,
         balancings: Optional[Mapping[str, LoadBalancingScheme]] = None,
+        membufs: Optional[Mapping[str, object]] = None,
+        dmas: Optional[Mapping[str, object]] = None,
+        regfiles: Optional[Mapping[str, object]] = None,
     ):
         self.transforms = dict(transforms)
         self.sparsities = dict(sparsities or {"dense": SparsityStructure()})
         self.balancings = dict(balancings or {"none": LoadBalancingScheme()})
+        self.membufs = _uarch_axis("membufs", membufs)
+        self.dmas = _uarch_axis("dmas", dmas)
+        self.regfiles = _uarch_axis("regfiles", regfiles)
         if not self.transforms:
             raise ValueError("a design space needs at least one transform")
 
     def __len__(self) -> int:
-        return len(self.transforms) * len(self.sparsities) * len(self.balancings)
+        return (
+            len(self.transforms)
+            * len(self.sparsities)
+            * len(self.balancings)
+            * len(self.membufs)
+            * len(self.dmas)
+            * len(self.regfiles)
+        )
 
     def combos(self) -> List[DesignCombo]:
         return [
-            DesignCombo(t_name, transform, s_name, sparsity, b_name, balancing)
+            DesignCombo(
+                t_name, transform, s_name, sparsity, b_name, balancing,
+                m_name, membuf, d_name, dma, r_name, regfile,
+            )
             for t_name, transform in self.transforms.items()
             for s_name, sparsity in self.sparsities.items()
             for b_name, balancing in self.balancings.items()
+            for m_name, membuf in self.membufs.items()
+            for d_name, dma in self.dmas.items()
+            for r_name, regfile in self.regfiles.items()
         ]
 
     def axes(self) -> Dict[str, List[str]]:
@@ -101,13 +197,17 @@ class DesignSpace:
             "transforms": list(self.transforms),
             "sparsities": list(self.sparsities),
             "balancings": list(self.balancings),
+            "membufs": list(self.membufs),
+            "dmas": list(self.dmas),
+            "regfiles": list(self.regfiles),
         }
 
     def __repr__(self) -> str:
         return (
             f"DesignSpace({len(self.transforms)} transforms x"
             f" {len(self.sparsities)} sparsities x"
-            f" {len(self.balancings)} balancings)"
+            f" {len(self.balancings)} balancings x"
+            f" {len(self.membufs)}x{len(self.dmas)}x{len(self.regfiles)} uarch)"
         )
 
 
@@ -121,7 +221,7 @@ def standard_transforms() -> Dict[str, SpaceTimeTransform]:
     }
 
 
-def suite_design_space(suite) -> DesignSpace:
+def suite_design_space(suite, wide: bool = False) -> DesignSpace:
     """The autotuning space for one workload suite.
 
     Transforms are the full Figure 2 menu.  Sparsity candidates are
@@ -131,6 +231,12 @@ def suite_design_space(suite) -> DesignSpace:
     balancing axis adds the Listing 3 row-shift scheme sized to the
     suite's widest tile; dense tiles have nothing to rebalance, so the
     axis stays degenerate and the cross product stays small.
+
+    ``wide=True`` additionally opens the microarchitecture axes the
+    bench harness used to sweep by hand -- membuf geometry, DMA
+    in-flight depth, regfile variant (:func:`repro.dse.uarch.
+    standard_uarch_axes`) -- which is what the successive-halving
+    autotuner prunes through.
     """
     sparsities: Dict[str, SparsityStructure] = {"dense": SparsityStructure()}
     if suite.sparsity_name != "dense" and not suite.sparsity.is_dense():
@@ -144,28 +250,75 @@ def suite_design_space(suite) -> DesignSpace:
         if max_rows >= 2:
             balancings["row-shift"] = row_shift_scheme(max_rows // 2)
 
-    return DesignSpace(standard_transforms(), sparsities, balancings)
+    uarch: Dict[str, Mapping[str, object]] = {}
+    if wide:
+        from .uarch import standard_uarch_axes
+
+        membufs, dmas, regfiles = standard_uarch_axes()
+        uarch = {"membufs": membufs, "dmas": dmas, "regfiles": regfiles}
+
+    return DesignSpace(standard_transforms(), sparsities, balancings, **uarch)
+
+
+def _stratum_rank(seed: int, combo: DesignCombo) -> str:
+    digest = hashlib.sha256(
+        f"{seed}|{'|'.join(combo.key)}".encode("utf-8")
+    ).hexdigest()
+    return digest
 
 
 def budgeted_combos(
     combos: List[DesignCombo],
     budget: Optional[int],
     require: Optional[Tuple[str, str, str]] = None,
+    seed: int = 0,
 ) -> List[DesignCombo]:
-    """The first ``budget`` combos, never dropping the ``require`` d one.
+    """A deterministic ``budget``-sized stratified sample of ``combos``.
+
+    The sample is stratified across the transform axis: combos are
+    grouped by ``transform_name`` (preserving enumeration order of the
+    strata), ordered within each stratum by a seeded content hash of
+    their full six-axis identity, and drawn round-robin across strata --
+    so even tiny budgets touch *every* transform instead of silently
+    keeping a transform-major prefix that never samples late transforms.
+    The draw depends only on ``(seed, combo identities)``: two fresh
+    processes, or the same process a week apart, produce byte-identical
+    samples.
 
     ``require`` names the fixed baseline design (the suite's own
-    configuration): autotuning under any budget must still evaluate it,
-    so the chosen winner is never worse than the fixed sweep.  When the
-    budget would truncate it away, it replaces the last kept combo.
+    configuration, always with the neutral microarchitecture):
+    autotuning under any budget must still evaluate it, so the chosen
+    winner is never worse than the fixed sweep.  When the sample misses
+    it, it replaces the last drawn combo.
     """
     if budget is None:
         return list(combos)
     if budget < 1:
         raise ValueError(f"budget must be at least 1, got {budget}")
-    kept = list(combos[:budget])
-    if require is not None and not any(c.names == require for c in kept):
-        required = [c for c in combos if c.names == require]
+
+    strata: Dict[str, List[DesignCombo]] = {}
+    for combo in combos:
+        strata.setdefault(combo.transform_name, []).append(combo)
+    for members in strata.values():
+        members.sort(key=lambda c: _stratum_rank(seed, c))
+
+    kept: List[DesignCombo] = []
+    queues = list(strata.values())
+    depth = 0
+    while len(kept) < budget and any(depth < len(q) for q in queues):
+        for queue in queues:
+            if depth < len(queue):
+                kept.append(queue[depth])
+                if len(kept) == budget:
+                    break
+        depth += 1
+
+    if require is not None and not any(
+        c.names == require and c.is_default_uarch for c in kept
+    ):
+        required = [
+            c for c in combos if c.names == require and c.is_default_uarch
+        ]
         if required:
             kept[-1] = required[0]
     return kept

@@ -22,7 +22,14 @@ The benchmark families, each recording an entry in ``BENCH_dse.json``'s
 * **autotune_resnet50** -- fixed-design sweep vs warm-cache per-layer
   autotuning; the speedup is the deterministic aggregate-cycle ratio,
   gated at >= 1.0 (the fixed design is always a candidate, so losing to
-  it is a selection bug) plus run-to-run identical winner rows.
+  it is a selection bug) plus run-to-run identical winner rows;
+* **autotune_halving** -- successive-halving vs exhaustive (``eta=1``)
+  autotuning over the *widened* design space on three suites; the
+  speedup is the worst-suite full-fidelity evaluations-saved ratio,
+  gated by the absolute :data:`HALVING_MIN_SPEEDUP` floor, plus
+  never-worse-than-exhaustive aggregate cycles on every suite and
+  byte-identical winner rows + rung tallies across two fresh
+  subprocesses sharing one disk-store root.
 
 Speedups, not absolute times, are the regression currency: absolute
 wall-clock shifts with the machine, but "the cache makes the sweep N x
@@ -416,6 +423,124 @@ def run_autotune_bench(
 
 
 # ---------------------------------------------------------------------------
+# Halving bench (multi-fidelity pruning vs exhaustive full-fidelity search)
+# ---------------------------------------------------------------------------
+
+#: Absolute floor for the halving bench: on its worst suite, successive
+#: halving must need at least this many times fewer full-fidelity
+#: evaluations than the exhaustive (``eta=1``) autotuner over the same
+#: widened space.  The acceptance criterion for the halving path.
+HALVING_MIN_SPEEDUP = 3.0
+
+#: Suites the halving gate runs on -- the dense CNN pair plus the
+#: sparse SuiteSparse sweep, the three acceptance workloads.
+HALVING_SUITES = ("resnet50", "alexnet", "suitesparse")
+
+
+def run_halving_bench(
+    suites=HALVING_SUITES, cap: int = 8, seed: int = DEFAULT_AUTOTUNE_SEED
+) -> Dict[str, object]:
+    """Successive-halving vs exhaustive autotuning over the widened space.
+
+    Three gates, all deterministic:
+
+    * **never worse** -- on every suite, the halving aggregate cycles
+      must not exceed the ``eta=1`` run's (a single exact rung over the
+      identical combo list, i.e. the exhaustive autotuner).  The fixed
+      baseline survives every rung unconditionally, so a loss here is a
+      pruning bug, not noise;
+    * **evaluations saved** -- the worst-suite ratio of exhaustive to
+      final-rung full-fidelity evaluations is the recorded speedup,
+      gated by the absolute :data:`HALVING_MIN_SPEEDUP` floor;
+    * **determinism** -- two fresh subprocesses running
+      ``repro sweep resnet50 --halving --json`` against one shared
+      disk-store root must produce byte-identical winner rows *and*
+      rung tallies (in-process fallback: two cold-cache runs).
+    """
+    import tempfile
+
+    from .halving import halving_autotune_suite
+    from .suite import build_suite
+
+    per_suite: Dict[str, Dict[str, object]] = {}
+    halved_total = 0
+    exhaustive_total = 0
+    never_worse = True
+    worst_saved = None
+    for suite in suites:
+        cache = CompileCache()
+        halved = halving_autotune_suite(
+            build_suite(suite, cap=cap, seed=seed), objective="cycles",
+            eta=2, jobs=1, cache=cache,
+        )
+        exhaustive = halving_autotune_suite(
+            build_suite(suite, cap=cap, seed=seed), objective="cycles",
+            eta=1, jobs=1, cache=cache,
+        )
+        saved = halved.evaluations_saved
+        worst_saved = saved if worst_saved is None else min(worst_saved, saved)
+        halved_total += halved.total_cycles
+        exhaustive_total += exhaustive.total_cycles
+        if halved.total_cycles > exhaustive.total_cycles:
+            never_worse = False
+        per_suite[suite] = {
+            "cases": len(halved.decisions),
+            "combos": len(halved.combos),
+            "halving_cycles": int(halved.total_cycles),
+            "exhaustive_cycles": int(exhaustive.total_cycles),
+            "full_fidelity_evaluations": halved.full_fidelity_evaluations,
+            "exhaustive_evaluations": halved.exhaustive_evaluations,
+            "evaluations_saved": round(saved, 4),
+            "rungs": [stats.as_dict() for stats in halved.rungs],
+            "never_worse": halved.total_cycles <= exhaustive.total_cycles,
+        }
+
+    determinism_suite = suites[0]
+    mode = "subprocess"
+    with tempfile.TemporaryDirectory(prefix="stellar-bench-") as cache_dir:
+        first = _sweep_subprocess(
+            determinism_suite, cap, seed, cache_dir, extra_args=("--halving",)
+        )
+        second = (
+            _sweep_subprocess(
+                determinism_suite, cap, seed, cache_dir,
+                extra_args=("--halving",),
+            )
+            if first is not None
+            else None
+        )
+    if first is None or second is None:
+        mode = "in-process"
+        first = halving_autotune_suite(
+            build_suite(determinism_suite, cap=cap, seed=seed),
+            objective="cycles", eta=2, jobs=1, cache=CompileCache(),
+        ).to_dict()
+        second = halving_autotune_suite(
+            build_suite(determinism_suite, cap=cap, seed=seed),
+            objective="cycles", eta=2, jobs=1, cache=CompileCache(),
+        ).to_dict()
+    identical = (
+        first["rows"] == second["rows"] and first["rungs"] == second["rungs"]
+    )
+
+    return {
+        "sweep": "autotune_halving",
+        "suites": per_suite,
+        "cap": cap,
+        "seed": seed,
+        "eta": 2,
+        "determinism_suite": determinism_suite,
+        "mode": mode,
+        "autotuned_cycles": int(halved_total),
+        "fixed_cycles": int(exhaustive_total),
+        "beats_fixed": never_worse,
+        "speedup": round(worst_saved or 0.0, 4),
+        "min_speedup": HALVING_MIN_SPEEDUP,
+        "results_identical": identical,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Suite warm-start bench (the persistent tier's payoff)
 # ---------------------------------------------------------------------------
 
@@ -424,7 +549,9 @@ def _suite_rows(payload: Dict[str, object]) -> List[dict]:
     return list(payload.get("rows", []))
 
 
-def _sweep_subprocess(suite: str, cap: int, seed: int, cache_dir: str):
+def _sweep_subprocess(
+    suite: str, cap: int, seed: int, cache_dir: str, extra_args=()
+):
     """One ``repro sweep --json`` run in a fresh interpreter; returns the
     parsed payload, or None when subprocesses are unavailable."""
     import os
@@ -444,6 +571,7 @@ def _sweep_subprocess(suite: str, cap: int, seed: int, cache_dir: str):
             [
                 sys.executable, "-m", "repro", "sweep", suite,
                 "--cap", str(cap), "--seed", str(seed), "--json",
+                *extra_args,
             ],
             capture_output=True,
             text=True,
@@ -606,7 +734,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--only",
         action="append",
-        choices=["dse", "membuf", "dma", "merger", "kernel", "suite", "autotune"],
+        choices=[
+            "dse", "membuf", "dma", "merger", "kernel", "suite",
+            "autotune", "halving",
+        ],
         default=None,
         metavar="BENCH",
         help="run only this benchmark family (repeatable; default all)",
@@ -615,7 +746,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     selected = set(
         args.only
-        or ["dse", "membuf", "dma", "merger", "kernel", "suite", "autotune"]
+        or [
+            "dse", "membuf", "dma", "merger", "kernel", "suite",
+            "autotune", "halving",
+        ]
     )
 
     baseline = load_baseline(args.output)
@@ -652,6 +786,8 @@ def main(argv=None) -> int:
         reports.append(run_suite_bench(seed=args.seed))
     if "autotune" in selected:
         reports.append(run_autotune_bench())
+    if "halving" in selected:
+        reports.append(run_halving_bench())
 
     for report in reports:
         if report["sweep"] in ("quick", "reference"):

@@ -147,6 +147,15 @@ def _evaluate_point(
     transform is a pruned point) while pinning ``skip_illegal: False``
     on each layer's fixed baseline design, whose failure to compile is
     a configuration bug and must raise.
+
+    Two more optional candidate knobs serve the successive-halving
+    autotuner: ``fidelity`` (a low-fidelity tag folded into the
+    simulator's memo key so reduced-rung results never poison
+    full-fidelity cache entries) and the microarchitecture overlay
+    fields ``membuf``/``dma``/``regfile`` (:mod:`repro.dse.uarch`
+    variants applied as deterministic cycle/area adjustments *after*
+    the cached simulation, so overlay combos share one compile +
+    simulate entry).
     """
     profiler = get_profiler()
     tracer = get_tracer()
@@ -187,22 +196,43 @@ def _evaluate_point(
                 return {"status": "illegal", "name": name, "error": str(err)}
             raise
         with profiler.scope("dse.simulate"):
-            result = SpatialArraySim(design.compiled, memo=cache).run(tensors)
+            result = SpatialArraySim(
+                design.compiled, memo=cache,
+                fidelity=candidate.get("fidelity"),
+            ).run(tensors)
         with profiler.scope("dse.area"):
             area = estimate_design_area(design.compiled)
+    cycles = int(result.cycles)
+    area_um2 = float(area.total)
     outcome = {
         "status": "ok",
         "name": name,
         "transform_name": candidate["transform_name"],
         "sparsity_name": candidate["sparsity_name"],
         "balancing_name": candidate["balancing_name"],
-        "cycles": int(result.cycles),
+        "cycles": cycles,
         "utilization": float(result.utilization),
-        "area_um2": float(area.total),
+        "area_um2": area_um2,
         "pe_count": int(design.pe_count),
         "conn_count": len(design.compiled.array.conns),
         "pruned_variables": list(design.compiled.pruned_variables()),
     }
+    membuf = candidate.get("membuf")
+    dma = candidate.get("dma")
+    regfile = candidate.get("regfile")
+    if membuf is not None or dma is not None or regfile is not None:
+        from ..dse.uarch import uarch_overlay
+
+        extra_cycles, area_delta = uarch_overlay(
+            membuf, dma, regfile, bounds, element_bits
+        )
+        outcome["cycles"] = cycles + extra_cycles
+        outcome["area_um2"] = area_um2 + area_delta
+        outcome["membuf_name"] = candidate.get("membuf_name", "default")
+        outcome["dma_name"] = candidate.get("dma_name", "default")
+        outcome["regfile_name"] = candidate.get("regfile_name", "default")
+        outcome["uarch_extra_cycles"] = extra_cycles
+        outcome["uarch_area_delta_um2"] = round(area_delta, 3)
     if candidate.get("want_energy"):
         energy = energy_from_counters(
             result.counters, element_bytes=max(1, element_bits // 8)

@@ -97,7 +97,7 @@ class ServeClient:
                         "bad-reply", f"unparseable reply line: {err}"
                     ) from None
                 yield message
-                if message.get("type") != "row":
+                if message.get("type") not in ("row", "trace"):
                     return
         except socket.timeout:
             raise ServeError(
@@ -111,10 +111,13 @@ class ServeClient:
         self,
         payload: Dict[str, object],
         on_row: Optional[Callable[[int, Dict[str, object]], None]] = None,
+        on_trace: Optional[Callable[[Dict[str, object]], None]] = None,
     ) -> Dict[str, object]:
         """Run a streaming request; return the batch-shaped result dict
         (terminal payload with the streamed ``rows`` folded back in,
-        plus the ``dedup`` flag)."""
+        plus the ``dedup`` flag).  ``trace`` messages (autotuner rung
+        progress) are forwarded to ``on_trace`` and otherwise dropped --
+        they are advisory, never part of the result."""
         rows: List[Dict[str, object]] = []
         terminal: Optional[Dict[str, object]] = None
         for message in self.request(payload):
@@ -123,6 +126,9 @@ class ServeClient:
                 rows.append(message["row"])
                 if on_row is not None:
                     on_row(message["index"], message["row"])
+            elif mtype == "trace":
+                if on_trace is not None:
+                    on_trace(message.get("event", {}))
             elif mtype == "error":
                 raise ServeError(
                     message.get("code", "error"),
@@ -155,7 +161,11 @@ class ServeClient:
         autotune: bool = False,
         objective: str = "cycles",
         budget: Optional[int] = None,
+        halving: bool = False,
+        eta: int = 2,
+        constraint: Optional[str] = None,
         on_row: Optional[Callable[[int, Dict[str, object]], None]] = None,
+        on_trace: Optional[Callable[[Dict[str, object]], None]] = None,
     ) -> Dict[str, object]:
         payload: Dict[str, object] = {"type": "sweep"}
         if suite is not None:
@@ -166,12 +176,18 @@ class ServeClient:
             payload["cap"] = cap
         if seed is not None:
             payload["seed"] = seed
-        if autotune:
-            payload["autotune"] = True
+        if autotune or halving:
             payload["objective"] = objective
             if budget is not None:
                 payload["budget"] = budget
-        return self._collect(payload, on_row=on_row)
+        if halving:
+            payload["halving"] = True
+            payload["eta"] = eta
+            if constraint is not None:
+                payload["constraint"] = constraint
+        elif autotune:
+            payload["autotune"] = True
+        return self._collect(payload, on_row=on_row, on_trace=on_trace)
 
     def explore(
         self,

@@ -2,9 +2,10 @@
 
 One request per line, newline-delimited JSON, over a unix socket or a
 TCP connection.  Every request is a JSON object with a ``type`` field;
-the server answers with zero or more ``row`` messages followed by
-exactly one terminal message (``result``, ``error``, ``pong``,
-``metrics``, or ``shutting-down``).  A malformed line never kills the
+the server answers with zero or more non-terminal ``row`` and ``trace``
+messages (rows carry per-layer results; traces carry autotuner rung
+progress) followed by exactly one terminal message (``result``,
+``error``, ``pong``, ``metrics``, or ``shutting-down``).  A malformed line never kills the
 connection: the server replies with a structured ``error`` and keeps
 reading.
 
@@ -25,8 +26,12 @@ from typing import Dict, Iterable, Optional, Tuple
 from ..exec.fingerprint import fingerprint
 
 #: Protocol revision, echoed in ``pong`` replies.  Bump on any change
-#: that an old client would misread.
-PROTOCOL_VERSION = 1
+#: that an old client would misread.  Version 2 added the successive-
+#: halving sweep fields (``halving``/``eta``/``constraint``) and the
+#: non-terminal ``trace`` message streaming rung progress; only clients
+#: that opt into halving ever receive traces, so version-1 clients are
+#: unaffected.
+PROTOCOL_VERSION = 2
 
 #: Request types the server accepts.
 REQUEST_TYPES = ("sweep", "explore", "metrics", "ping", "shutdown")
@@ -123,7 +128,10 @@ def _validate_sweep(request: Dict[str, object]) -> Dict[str, object]:
 
     _require_fields(
         request,
-        ("suite", "table", "cap", "seed", "autotune", "objective", "budget"),
+        (
+            "suite", "table", "cap", "seed", "autotune", "objective",
+            "budget", "halving", "eta", "constraint",
+        ),
         "sweep",
     )
     suite = request.get("suite")
@@ -158,6 +166,21 @@ def _validate_sweep(request: Dict[str, object]) -> Dict[str, object]:
             f"unknown objective {objective!r};"
             f" available: {', '.join(OBJECTIVES)}",
         )
+    constraint = request.get("constraint")
+    if constraint is not None:
+        if not isinstance(constraint, str):
+            raise RequestError(
+                "bad-constraint",
+                f"'constraint' must be a string, got {constraint!r}",
+            )
+        from ..exec.halving import parse_constraints
+
+        try:
+            parsed = parse_constraints(constraint)
+        except ValueError as err:
+            raise RequestError("bad-constraint", str(err)) from None
+        # Canonicalize so equivalent spellings share one request key.
+        constraint = ",".join(str(clause) for clause in parsed) or None
     return {
         "type": "sweep",
         "suite": suite,
@@ -165,6 +188,9 @@ def _validate_sweep(request: Dict[str, object]) -> Dict[str, object]:
         "cap": _int_field(request, "cap", DEFAULT_CAP, 1, MAX_SWEEP_CAP),
         "seed": _int_field(request, "seed", DEFAULT_SEED, 0),
         "autotune": _bool_field(request, "autotune", False),
+        "halving": _bool_field(request, "halving", False),
+        "eta": _int_field(request, "eta", 2, 1),
+        "constraint": constraint,
         "objective": objective,
         "budget": _int_field(request, "budget", None, 1),
     }
@@ -229,7 +255,7 @@ def request_key(request: Dict[str, object]) -> str:
             request[name]
             for name in (
                 "suite", "table", "cap", "seed", "autotune", "objective",
-                "budget",
+                "budget", "halving", "eta", "constraint",
             )
         )
     elif rtype == "explore":

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import inspect
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -64,18 +65,19 @@ TERMINAL_TYPES = ("result", "error", "pong", "metrics", "shutting-down")
 
 
 class _InFlight:
-    """One admitted evaluation: its buffered rows plus subscribers.
+    """One admitted evaluation: its buffered stream plus subscribers.
 
-    ``rows`` replays the stream to late-joining dedup subscribers;
+    ``messages`` replays the non-terminal stream (``row`` and ``trace``
+    messages, in emission order) to late-joining dedup subscribers;
     ``queues`` holds one ``asyncio.Queue`` per connection currently
     riding this evaluation.  All mutation happens on the event loop.
     """
 
-    __slots__ = ("key", "rows", "queues", "task", "terminal")
+    __slots__ = ("key", "messages", "queues", "task", "terminal")
 
     def __init__(self, key: str):
         self.key = key
-        self.rows: List[object] = []
+        self.messages: List[Dict[str, object]] = []
         self.queues: List[asyncio.Queue] = []
         self.task: Optional[asyncio.Task] = None
         self.terminal: Optional[Dict[str, object]] = None
@@ -85,10 +87,14 @@ class EvalServer:
     """The resident design-evaluation service.
 
     ``evaluator`` is an injection point for tests: a callable
-    ``(request, emit_row) -> payload`` run on the evaluator thread,
-    where ``emit_row(index, row)`` streams one row and the returned
-    payload becomes the terminal ``result`` body.  Production leaves it
-    ``None`` and gets the suite/DSE evaluators below.
+    ``(request, emit_row) -> payload`` or
+    ``(request, emit_row, emit_trace) -> payload`` run on the evaluator
+    thread, where ``emit_row(index, row)`` streams one row,
+    ``emit_trace(event)`` streams one ``trace`` message, and the
+    returned payload becomes the terminal ``result`` body.  Two-argument
+    evaluators (the pre-v2 shape) are still accepted and simply never
+    emit traces.  Production leaves it ``None`` and gets the suite/DSE
+    evaluators below.
     """
 
     def __init__(
@@ -134,6 +140,7 @@ class EvalServer:
         self._errors = self.registry.counter("serve.errors")
         self._dedup_hits = self.registry.counter("serve.dedup_hits")
         self._rows_streamed = self.registry.counter("serve.rows_streamed")
+        self._traces_streamed = self.registry.counter("serve.traces_streamed")
         self._evaluations = self.registry.counter("serve.evaluations")
         self._active = self.registry.gauge("serve.active_requests")
         self._queue_depth = self.registry.gauge("serve.queue_depth")
@@ -287,9 +294,10 @@ class EvalServer:
             entry.task = asyncio.ensure_future(self._run_entry(entry, request))
 
         queue: asyncio.Queue = asyncio.Queue()
-        # Late joiner: replay what already streamed, then go live.
-        for index, row in enumerate(entry.rows):
-            queue.put_nowait({"type": "row", "index": index, "row": row})
+        # Late joiner: replay what already streamed (rows and traces,
+        # interleaved in emission order), then go live.
+        for message in entry.messages:
+            queue.put_nowait(message)
         if entry.terminal is not None:
             queue.put_nowait(entry.terminal)
         else:
@@ -329,18 +337,37 @@ class EvalServer:
                 self._broadcast_row, entry, index, jsonable(row)
             )
 
+        def emit_trace(event) -> None:
+            # Same ordering argument as emit_row: traces interleave
+            # with rows exactly as the evaluator emitted them.
+            loop.call_soon_threadsafe(
+                self._broadcast_trace, entry, jsonable(event)
+            )
+
         def work() -> Dict[str, object]:
             loop.call_soon_threadsafe(self._queue_depth.add, -1)
-            return self._run_evaluator(request, emit_row)
+            return self._run_evaluator(request, emit_row, emit_trace)
 
         message = await loop.run_in_executor(self._work, work)
         self._finish_entry(entry, message)
 
-    def _run_evaluator(self, request, emit_row) -> Dict[str, object]:
+    def _run_evaluator(self, request, emit_row, emit_trace) -> Dict[str, object]:
         """Evaluator-thread body: translate every failure into a
-        structured terminal so the stream always ends cleanly."""
+        structured terminal so the stream always ends cleanly.
+
+        Injected test evaluators may take the historical two-argument
+        form ``(request, emit_row)``; the trace channel is only passed
+        to evaluators that declare a third parameter.
+        """
         try:
-            payload = self._evaluator(request, emit_row)
+            try:
+                arity = len(inspect.signature(self._evaluator).parameters)
+            except (TypeError, ValueError):
+                arity = 3
+            if arity >= 3:
+                payload = self._evaluator(request, emit_row, emit_trace)
+            else:
+                payload = self._evaluator(request, emit_row)
             message = {"type": "result"}
             message.update(jsonable(payload))
             return message
@@ -354,9 +381,16 @@ class EvalServer:
             )
 
     def _broadcast_row(self, entry: _InFlight, index: int, row) -> None:
-        entry.rows.append(row)
         self._rows_streamed.inc()
         message = {"type": "row", "index": index, "row": row}
+        entry.messages.append(message)
+        for queue in entry.queues:
+            queue.put_nowait(message)
+
+    def _broadcast_trace(self, entry: _InFlight, event) -> None:
+        self._traces_streamed.inc()
+        message = {"type": "trace", "event": event}
+        entry.messages.append(message)
         for queue in entry.queues:
             queue.put_nowait(message)
 
@@ -370,10 +404,10 @@ class EvalServer:
 
     # -- evaluators ------------------------------------------------------
 
-    def _evaluate(self, request, emit_row) -> Dict[str, object]:
+    def _evaluate(self, request, emit_row, emit_trace) -> Dict[str, object]:
         if request["type"] == "explore":
             return self._evaluate_explore(request, emit_row)
-        return self._evaluate_sweep(request, emit_row)
+        return self._evaluate_sweep(request, emit_row, emit_trace)
 
     def _build_suite(self, request):
         if request.get("table") is not None:
@@ -387,8 +421,27 @@ class EvalServer:
             request["suite"], cap=request["cap"], seed=request["seed"]
         )
 
-    def _evaluate_sweep(self, request, emit_row) -> Dict[str, object]:
+    def _evaluate_sweep(self, request, emit_row, emit_trace) -> Dict[str, object]:
         suite = self._build_suite(request)
+        if request.get("halving"):
+            from ..exec.halving import halving_autotune_suite
+
+            result = halving_autotune_suite(
+                suite,
+                objective=request["objective"],
+                eta=request["eta"],
+                budget=request["budget"],
+                jobs=self.jobs,
+                cache=self.cache,
+                pool=self.pool,
+                constraints=request["constraint"],
+                on_rung=emit_trace,
+            )
+            payload = result.to_dict()
+            rows = payload.pop("rows")
+            for index, row in enumerate(rows):
+                emit_row(index, row)
+            return payload
         if request["autotune"]:
             from ..exec.autotune import autotune_suite
 
@@ -489,6 +542,7 @@ class EvalServer:
             "evaluations": self._evaluations.value,
             "dedup_hits": self._dedup_hits.value,
             "rows_streamed": self._rows_streamed.value,
+            "traces_streamed": self._traces_streamed.value,
             "active_requests": self._active.value,
             "queue_depth": self._queue_depth.value,
             "in_flight_keys": len(self._inflight),

@@ -105,6 +105,13 @@ class SpatialArraySim:
         path; the differential suite proves the two byte-identical.
         As with ``vectorize``, pass ``memo=None`` when comparing paths,
         or the content-keyed reference memo will answer for both.
+    fidelity:
+        An optional low-fidelity tag (the successive-halving autotuner
+        labels reduced-``cap`` rungs).  When set, it is folded into the
+        dense-run memo key so rung results can never answer for -- or be
+        answered by -- a full-fidelity entry; ``None`` (the default)
+        keeps every key byte-identical to the untagged scheme, so full
+        runs keep hitting the store entries they always have.
     """
 
     def __init__(
@@ -114,12 +121,14 @@ class SpatialArraySim:
         memo=None,
         vectorize: bool = True,
         kernel: bool = True,
+        fidelity: Optional[str] = None,
     ):
         self.design = design
         self.fill_drain_overhead = fill_drain_overhead
         self.memo = memo
         self.vectorize = vectorize
         self.kernel = kernel
+        self.fidelity = fidelity
 
     # ------------------------------------------------------------------
 
@@ -129,11 +138,12 @@ class SpatialArraySim:
             return self._run_sparse(tensors)
         if self.memo is not None:
             design = self.design
+            parts = (design.spec, design.bounds, design.transform,
+                     design.array.pe_count, tensors, self.fill_drain_overhead)
+            if self.fidelity is not None:
+                parts = parts + (self.fidelity,)
             return self.memo.memo(
-                "sim.dense",
-                (design.spec, design.bounds, design.transform,
-                 design.array.pe_count, tensors, self.fill_drain_overhead),
-                lambda: self._run_dense(tensors),
+                "sim.dense", parts, lambda: self._run_dense(tensors),
             )
         return self._run_dense(tensors)
 

@@ -128,6 +128,45 @@ class TestCli:
         assert cli_main(["sweep", "nope"]) == 2
         assert "resnet50" in capsys.readouterr().err
 
+    def test_sweep_halving_json(self, capsys):
+        status = cli_main(
+            [
+                "sweep", "alexnet", "--cap", "4", "--jobs", "1",
+                "--halving", "--json", "--no-disk-cache",
+            ]
+        )
+        assert status == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "halving"
+        assert payload["ladder"] == [2, "full"]
+        assert [r["fidelity"] for r in payload["rungs"]] == ["cap2", "full"]
+        aggregates = payload["aggregates"]
+        assert aggregates["total_cycles"] <= aggregates["fixed_total_cycles"]
+        assert aggregates["evaluations_saved"] > 1.0
+
+    def test_sweep_halving_table_shows_rung_trail(self, capsys):
+        status = cli_main(
+            [
+                "sweep", "alexnet", "--cap", "4", "--jobs", "1",
+                "--halving", "--no-disk-cache",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "rungs cap2:" in out
+        assert "fewer full-fidelity" in out
+
+    def test_sweep_halving_bad_constraint_exits_2(self, capsys):
+        status = cli_main(
+            [
+                "sweep", "alexnet", "--cap", "4", "--jobs", "1",
+                "--halving", "--constraint", "latency<=3",
+                "--no-disk-cache",
+            ]
+        )
+        assert status == 2
+        assert "metric" in capsys.readouterr().err
+
 
 class TestStreaming:
     def test_on_row_streams_every_row_in_case_order(self):

@@ -62,6 +62,9 @@ class TestValidate:
             "cap": 8,
             "seed": 7,
             "autotune": False,
+            "halving": False,
+            "eta": 2,
+            "constraint": None,
             "objective": "cycles",
             "budget": None,
         }
@@ -100,6 +103,37 @@ class TestValidate:
         assert err({**base, "objective": "speed"}).code == "bad-objective"
         assert err({**base, "autotune": 1}).code == "bad-request"
 
+    def test_halving_fields_validate(self):
+        base = {"type": "sweep", "suite": "alexnet"}
+        assert err({**base, "halving": 1}).code == "bad-request"
+        assert err({**base, "eta": 0}).code == "bad-bounds"
+        assert err({**base, "eta": "two"}).code == "bad-bounds"
+
+    def test_bad_constraint_rejected(self):
+        base = {"type": "sweep", "suite": "alexnet"}
+        assert err({**base, "constraint": 7}).code == "bad-constraint"
+        assert err({**base, "constraint": "latency<=3"}).code == (
+            "bad-constraint"
+        )
+        assert err({**base, "constraint": "cycles=3"}).code == (
+            "bad-constraint"
+        )
+
+    def test_constraint_is_canonicalized(self):
+        request = validate_request(
+            {
+                "type": "sweep",
+                "suite": "alexnet",
+                "constraint": " area<=120000.0 , power>=0.5 ",
+            }
+        )
+        assert request["constraint"] == "area<=120000,power>=0.5"
+        # An all-whitespace clause list collapses to no constraint.
+        empty = validate_request(
+            {"type": "sweep", "suite": "alexnet", "constraint": " , "}
+        )
+        assert empty["constraint"] is None
+
     def test_unknown_field_rejected(self):
         error = err({"type": "sweep", "suite": "alexnet", "jobs": 4})
         assert error.code == "unknown-field"
@@ -135,6 +169,9 @@ class TestRequestKey:
             {"cap": 4},
             {"seed": 11},
             {"autotune": True},
+            {"halving": True},
+            {"eta": 3},
+            {"constraint": "area<=120000"},
         ):
             other = validate_request(
                 {"type": "sweep", "suite": "alexnet", **delta}

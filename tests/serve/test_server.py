@@ -207,6 +207,111 @@ class TestStreaming:
         }
 
 
+class TestTraces:
+    def test_traces_interleave_with_rows_in_emission_order(self, harness):
+        def evaluator(request, emit_row, emit_trace):
+            emit_trace({"event": "rung_start", "rung": 0})
+            emit_row(0, {"name": "l0", "cycles": 1})
+            emit_trace({"event": "rung_finish", "rung": 0})
+            return {"aggregates": {"cases": 1}}
+
+        h = harness(evaluator=evaluator)
+        messages = list(h.client.request({"type": "sweep", "suite": "alexnet"}))
+        kinds = [message["type"] for message in messages]
+        assert kinds == ["trace", "row", "trace", "result"]
+        assert messages[0]["event"] == {"event": "rung_start", "rung": 0}
+        assert h.client.metrics()["server"]["traces_streamed"] == 2
+
+    def test_on_trace_callback_sees_events_and_result_omits_them(
+        self, harness
+    ):
+        def evaluator(request, emit_row, emit_trace):
+            emit_trace({"event": "rung_start", "rung": 0})
+            emit_row(0, {"name": "l0", "cycles": 1})
+            return {"aggregates": {"cases": 1}}
+
+        h = harness(evaluator=evaluator)
+        traces = []
+        result = h.client.sweep(suite="alexnet", on_trace=traces.append)
+        assert traces == [{"event": "rung_start", "rung": 0}]
+        assert [row["name"] for row in result["rows"]] == ["l0"]
+        assert "trace" not in result
+
+    def test_legacy_two_argument_evaluator_still_works(self, harness):
+        def evaluator(request, emit_row):
+            emit_row(0, {"name": "l0", "cycles": 1})
+            return {"aggregates": {"cases": 1}}
+
+        h = harness(evaluator=evaluator)
+        result = h.client.sweep(suite="alexnet")
+        assert [row["name"] for row in result["rows"]] == ["l0"]
+        assert h.client.metrics()["server"]["traces_streamed"] == 0
+
+    def test_dedup_replay_preserves_the_trace_row_interleaving(
+        self, harness
+    ):
+        release = threading.Event()
+
+        def evaluator(request, emit_row, emit_trace):
+            emit_trace({"event": "rung_start", "rung": 0})
+            emit_row(0, {"name": "l0", "cycles": 1})
+            assert release.wait(30)
+            emit_trace({"event": "rung_finish", "rung": 0})
+            return {"aggregates": {"cases": 1}}
+
+        h = harness(evaluator=evaluator)
+        streams = [None, None]
+
+        def run(slot):
+            client = ServeClient(h.socket_path, timeout=60.0)
+            streams[slot] = [
+                (m["type"], m.get("event"), m.get("row"))
+                for m in client.request({"type": "sweep", "suite": "alexnet"})
+                if m["type"] != "result"
+            ]
+
+        first = threading.Thread(target=run, args=(0,))
+        first.start()
+        h.wait_active(1)
+        # The joiner arrives after a trace and a row are already out;
+        # the buffered prefix must replay in original order.
+        second = threading.Thread(target=run, args=(1,))
+        second.start()
+        h.wait_active(2)
+        release.set()
+        for thread in (first, second):
+            thread.join(timeout=30)
+
+        assert streams[0] == streams[1]
+        assert [kind for kind, _e, _r in streams[0]] == [
+            "trace", "row", "trace"
+        ]
+
+    def test_real_halving_sweep_streams_rung_traces(self, harness):
+        h = harness()
+        traces = []
+        result = h.client.sweep(
+            table=TABLE, cap=8, seed=7, halving=True, on_trace=traces.append
+        )
+        from repro.exec.halving import halving_autotune_suite
+        from repro.exec.suite import build_table_suite
+
+        expected = halving_autotune_suite(
+            build_table_suite(TABLE, cap=8, seed=7),
+            jobs=1, cache=CompileCache(),
+        )
+        assert json.dumps(result["rows"]) == json.dumps(
+            jsonable(expected.rows)
+        )
+        assert result["mode"] == "halving"
+        assert [r["fidelity"] for r in result["rungs"]] == [
+            s.fidelity for s in expected.rungs
+        ]
+        events = [t["event"] for t in traces]
+        assert events.count("rung_start") == len(expected.rungs)
+        assert events.count("rung_finish") == len(expected.rungs)
+
+
 class TestDedup:
     def test_concurrent_identical_requests_share_one_evaluation(
         self, harness

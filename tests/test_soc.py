@@ -142,3 +142,45 @@ class TestStellarSoC:
         a = rng.integers(0, 2, (6, 6))
         with pytest.raises(ValueError):
             soc.run_tiled_matmul(a, a, tile=4)
+
+    def test_rectangular_operands_rejected(self, design, rng):
+        soc = StellarSoC(design)
+        a = rng.integers(0, 2, (8, 4))
+        b = rng.integers(0, 2, (4, 8))
+        with pytest.raises(ValueError, match="square"):
+            soc.run_tiled_matmul(a, b, tile=4)
+
+    def test_uncached_soc_reports_zero_hit_rate(self, design, rng):
+        soc = StellarSoC(design, l2=None)
+        assert soc.l2 is None
+        a = rng.integers(-3, 4, (8, 8))
+        report = soc.run_tiled_matmul(a, a, tile=4)
+        assert report["l2_hit_rate"] == 0.0
+        assert np.array_equal(report["output"], a @ a)
+
+    def test_wider_elements_cost_more_memory_cycles(self, design, rng):
+        """Tile transfers are sized in bytes: 4-byte elements move four
+        times the traffic of 1-byte elements over the same DRAM."""
+        a = rng.integers(-3, 4, (8, 8))
+        narrow = StellarSoC(design, element_bytes=1)
+        wide = StellarSoC(design, element_bytes=4)
+        r_narrow = narrow.run_tiled_matmul(a, a, tile=4)
+        r_wide = wide.run_tiled_matmul(a, a, tile=4)
+        assert r_wide["memory_cycles"] > r_narrow["memory_cycles"]
+        assert r_wide["compute_cycles"] == r_narrow["compute_cycles"]
+
+    def test_host_cycles_count_issue_instructions(self, design, rng):
+        """Every tile invocation issues two DMA configure sequences
+        (A tile + B tile) at the Table II instruction cost."""
+        from repro.soc.soc import (
+            HOST_CYCLES_PER_INSTRUCTION,
+            INSTRUCTIONS_PER_TRANSFER,
+        )
+
+        soc = StellarSoC(design)
+        a = rng.integers(-3, 4, (8, 8))
+        report = soc.run_tiled_matmul(a, a, tile=4)
+        transfers = 2 * len(report["tiles"])
+        assert report["host_cycles"] == (
+            transfers * INSTRUCTIONS_PER_TRANSFER * HOST_CYCLES_PER_INSTRUCTION
+        )
