@@ -16,7 +16,13 @@ Code namespaces (documented in DESIGN.md):
 * ``STL-EQ-*`` -- netlist equivalence of optimization passes (level 4):
   001 combinational cone refuted, 002 interface mismatch, 003
   differential trace divergence (first divergent signal and cycle);
-* ``STL-CK-*`` -- checker-harness failures (an example failed to build).
+* ``STL-CK-*`` -- checker-harness failures (an example failed to build);
+* ``STL-FZ-*`` -- differential fuzzing mismatches (:mod:`repro.fuzz`):
+  000 harness error (an oracle crashed outside the compared paths), then
+  one code per oracle -- 001 ``sim.scalar_vs_vectorized``, 002
+  ``sim.interpreter_vs_kernel``, 003 ``exec.serial_vs_parallel``, 004
+  ``exec.cold_vs_warm``, 005 ``rtl.opt0_vs_opt2``, 006
+  ``exec.halving_eta1_vs_exhaustive``.
 """
 
 from __future__ import annotations

@@ -47,6 +47,13 @@ Wraps the Figure 1 flow for quick use without writing Python:
   ``--fail-on``, 2 on usage errors;
 * ``verify`` -- prove the :mod:`repro.rtl.passes` optimization pipeline
   equivalence-preserving over every example (and ``--suite`` layers);
+  same 0/1/2 exit contract as ``check``;
+* ``fuzz`` -- run the property-based differential fuzzing campaign:
+  seeded random design points through six cross-backend oracles
+  (scalar vs vectorized simulation, interpreter vs kernel, serial vs
+  parallel sweep, cold vs warm cache, RTL opt0 vs opt2, halving vs
+  exhaustive autotuning); mismatches are shrunk to minimal replayable
+  artifacts in the corpus directory (``--replay`` re-runs one);
   same 0/1/2 exit contract as ``check``.
 
 Specs, dataflows, sparsity structures, and balancing schemes are selected
@@ -764,6 +771,54 @@ def cmd_verify(args) -> int:
     return 1 if worst is not None and worst >= threshold else 0
 
 
+def cmd_fuzz(args) -> int:
+    import os
+
+    from .analysis.diagnostics import Severity, max_severity
+    from .fuzz import load_case, replay_case, run_campaign
+
+    threshold = Severity.parse(args.fail_on)
+
+    if args.replay is not None:
+        if not os.path.exists(args.replay):
+            print(f"fuzz: no such artifact: {args.replay}", file=sys.stderr)
+            return 2
+        try:
+            case = load_case(args.replay)
+        except ValueError as err:
+            print(f"fuzz: {err}", file=sys.stderr)
+            return 2
+        verdict = replay_case(case)
+        if args.json:
+            print(json.dumps(verdict.to_dict(), indent=2))
+        else:
+            detail = f": {verdict.detail}" if verdict.detail else ""
+            print(
+                f"fuzz: replay {case.oracle} case {case.case_id[:12]}"
+                f" -> {verdict.status}{detail}"
+            )
+        worst = max_severity(verdict.diagnostics)
+        return 1 if worst is not None and worst >= threshold else 0
+
+    try:
+        report = run_campaign(
+            seed=args.seed,
+            cases=args.cases,
+            oracles=args.oracle or None,
+            corpus_dir=args.corpus,
+            shrink=not args.no_shrink,
+        )
+    except ValueError as err:
+        print(f"fuzz: {err}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    worst = max_severity(report.diagnostics)
+    return 1 if worst is not None and worst >= threshold else 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -1172,6 +1227,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="in-memory memo only; do not read or write the disk store",
     )
     verify.set_defaults(func=cmd_verify)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random design points through"
+        " cross-backend oracles, with a minimizing reducer",
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz.add_argument(
+        "--cases",
+        type=_positive_int,
+        default=200,
+        help="number of generated cases (default 200)",
+    )
+    fuzz.add_argument(
+        "--oracle",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="restrict to this oracle (repeatable; default all six --"
+        " see 'repro fuzz --oracle help' in the docs)",
+    )
+    fuzz.add_argument(
+        "--replay",
+        default=None,
+        metavar="PATH",
+        help="re-run one corpus artifact (or bare-case JSON) through its"
+        " oracle instead of running a campaign",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="write shrunk counterexample artifacts here (default: no"
+        " artifacts; the committed corpus lives in"
+        " tests/data/fuzz_corpus)",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="save failing cases as-is without minimizing them first",
+    )
+    fuzz.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    fuzz.add_argument(
+        "--fail-on",
+        choices=["warning", "error"],
+        default="error",
+        help="lowest severity that makes the exit status 1",
+    )
+    fuzz.set_defaults(func=cmd_fuzz)
     return parser
 
 

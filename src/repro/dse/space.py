@@ -191,6 +191,25 @@ class DesignSpace:
             for r_name, regfile in self.regfiles.items()
         ]
 
+    def sample(
+        self,
+        count: int,
+        seed: int = 0,
+        require: Optional[Tuple[str, str, str]] = None,
+    ) -> List[DesignCombo]:
+        """A seeded, transform-stratified draw of ``count`` combos.
+
+        The public sampling hook for callers that want "some legal
+        combos" without enumerating the whole cross product -- the fuzz
+        generator draws its per-case designs here.  Delegates to
+        :func:`budgeted_combos`, so the draw is content-hash stable:
+        the same ``(seed, space)`` yields the same sample in any
+        process.
+        """
+        return budgeted_combos(
+            self.combos(), count, require=require, seed=seed
+        )
+
     def axes(self) -> Dict[str, List[str]]:
         """The axis names, for reports (``repro sweep --autotune --json``)."""
         return {

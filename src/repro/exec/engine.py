@@ -247,6 +247,32 @@ def _evaluate_point(
     return outcome
 
 
+def evaluate_point(
+    spec,
+    bounds,
+    tensors,
+    candidate: Mapping[str, object],
+    element_bits: int = 32,
+    cache: Optional[CompileCache] = None,
+    skip_illegal: bool = False,
+    tensor_table: Optional[Mapping[str, Mapping[str, object]]] = None,
+) -> Dict[str, object]:
+    """Evaluate one candidate inline -- the single-point sweep.
+
+    The public deterministic entry point for callers (the differential
+    fuzz oracles, notebooks) that want exactly what a one-candidate
+    :func:`evaluate_sweep` would produce without building the sweep
+    scaffolding: same candidate dict contract, same outcome dict, same
+    error discipline.  Defaults to ``skip_illegal=False`` because a
+    single named point that fails to compile is the caller's bug, not a
+    pruned sweep entry.
+    """
+    return _evaluate_point(
+        spec, bounds, tensors, element_bits, candidate, cache,
+        skip_illegal, tensor_table=tensor_table,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Worker-process plumbing
 # ---------------------------------------------------------------------------

@@ -1,0 +1,197 @@
+"""repro.fuzz: property-based differential fuzzing of the whole stack.
+
+The harness generates deterministic random cases over the design space
+(:mod:`~repro.fuzz.generate`), runs each through one of six
+differential oracles pairing redundant evaluation paths
+(:mod:`~repro.fuzz.oracles`), greedily minimizes any failure
+(:mod:`~repro.fuzz.shrink`), and stores the shrunk counterexample as a
+replayable JSON artifact (:mod:`~repro.fuzz.corpus`).  The CLI surface
+is ``python -m repro fuzz``.
+
+:func:`run_campaign` is the programmatic entry: a seeded campaign over
+``cases`` cases, returning a :class:`FuzzReport` whose ``fingerprint``
+is a content hash of every ``(case_id, status)`` pair -- two fresh
+processes given the same seed produce identical fingerprints, which is
+what the CI smoke job (and the determinism test) assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.diagnostics import Diagnostic
+from ..obs.metrics import MetricsRegistry
+from .corpus import corpus_paths, load_case, save_artifact
+from .generate import FuzzCase, generate_cases
+from .oracles import (
+    ORACLE_CODES,
+    OracleContext,
+    OracleVerdict,
+    oracle_names,
+    run_oracle,
+)
+from .shrink import shrink_case
+
+
+class FuzzReport:
+    """The outcome of one fuzzing campaign."""
+
+    def __init__(
+        self,
+        seed: int,
+        oracles: List[str],
+        entries: List[Dict[str, object]],
+        diagnostics: List[Diagnostic],
+        metrics: Dict[str, object],
+    ):
+        self.seed = seed
+        self.oracles = oracles
+        self.entries = entries
+        self.diagnostics = diagnostics
+        self.metrics = metrics
+
+    @property
+    def mismatches(self) -> List[Dict[str, object]]:
+        return [e for e in self.entries if e["status"] not in ("ok", "illegal")]
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of every (case_id, status) pair, in case order."""
+        hasher = hashlib.sha256()
+        for entry in self.entries:
+            hasher.update(f"{entry['case_id']}={entry['status']}\n".encode())
+        return hasher.hexdigest()
+
+    def tally(self) -> Dict[str, Dict[str, int]]:
+        """Per-oracle status counts."""
+        out: Dict[str, Dict[str, int]] = {name: {} for name in self.oracles}
+        for entry in self.entries:
+            counts = out.setdefault(entry["oracle"], {})
+            counts[entry["status"]] = counts.get(entry["status"], 0) + 1
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "oracles": list(self.oracles),
+            "cases": len(self.entries),
+            "fingerprint": self.fingerprint,
+            "tally": self.tally(),
+            "entries": list(self.entries),
+            "mismatches": self.mismatches,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "metrics": dict(self.metrics),
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"fuzz campaign: seed={self.seed} cases={len(self.entries)}"
+            f" fingerprint={self.fingerprint[:16]}"
+        ]
+        for oracle, counts in sorted(self.tally().items()):
+            summary = " ".join(
+                f"{status}={count}" for status, count in sorted(counts.items())
+            )
+            lines.append(f"  {oracle}: {summary or 'no cases'}")
+        for entry in self.mismatches:
+            artifact = entry.get("artifact")
+            suffix = f" -> {artifact}" if artifact else ""
+            lines.append(
+                f"  FAIL {entry['oracle']} case {entry['case_id'][:12]}:"
+                f" {entry['detail']}{suffix}"
+            )
+        if not self.mismatches:
+            lines.append("  all oracles agreed")
+        return "\n".join(lines)
+
+
+def run_campaign(
+    seed: int = 0,
+    cases: int = 200,
+    oracles: Optional[Sequence[str]] = None,
+    corpus_dir: Optional[str] = None,
+    shrink: bool = True,
+    registry: Optional[MetricsRegistry] = None,
+    pool_jobs: int = 2,
+) -> FuzzReport:
+    """Run a seeded differential fuzzing campaign.
+
+    ``oracles`` restricts the registry (default: all six, assigned
+    round-robin across cases).  When ``corpus_dir`` is given, every
+    mismatch is shrunk (if ``shrink``) and saved there as a replayable
+    artifact.  ``registry`` receives the ``fuzz.cases`` /
+    ``fuzz.mismatches`` / ``fuzz.shrink_steps`` counters; campaigns own
+    their registry by default so concurrent campaigns never share
+    counts.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    names = list(oracles) if oracles else oracle_names()
+    unknown = [name for name in names if name not in oracle_names()]
+    if unknown:
+        raise ValueError(
+            f"unknown oracle(s) {', '.join(unknown)}; available:"
+            f" {', '.join(oracle_names())}"
+        )
+    generated = generate_cases(seed, cases, names)
+    entries: List[Dict[str, object]] = []
+    diagnostics: List[Diagnostic] = []
+    with OracleContext(pool_jobs=pool_jobs) as ctx:
+        for case in generated:
+            registry.counter("fuzz.cases").inc()
+            verdict = run_oracle(case, ctx)
+            entry: Dict[str, object] = {
+                "case_id": verdict.case_id,
+                "oracle": case.oracle,
+                "status": verdict.status,
+                "detail": verdict.detail,
+                "points": case.points,
+            }
+            if not verdict.agreed:
+                registry.counter("fuzz.mismatches").inc()
+                diagnostics.extend(verdict.diagnostics)
+                minimized = case
+                if shrink:
+                    minimized, steps = shrink_case(case, ctx)
+                    registry.counter("fuzz.shrink_steps").inc(steps)
+                    entry["shrunk_points"] = minimized.points
+                if corpus_dir:
+                    entry["artifact"] = save_artifact(
+                        minimized,
+                        corpus_dir,
+                        status=verdict.status,
+                        detail=verdict.detail,
+                    )
+            entries.append(entry)
+    return FuzzReport(
+        seed=seed,
+        oracles=names,
+        entries=entries,
+        diagnostics=diagnostics,
+        metrics=registry.snapshot("fuzz."),
+    )
+
+
+def replay_case(
+    case: FuzzCase, pool_jobs: int = 2
+) -> OracleVerdict:
+    """Run one (typically corpus-loaded) case through its oracle."""
+    with OracleContext(pool_jobs=pool_jobs) as ctx:
+        return run_oracle(case, ctx)
+
+
+__all__ = [
+    "FuzzCase",
+    "FuzzReport",
+    "ORACLE_CODES",
+    "OracleContext",
+    "OracleVerdict",
+    "corpus_paths",
+    "load_case",
+    "oracle_names",
+    "replay_case",
+    "run_campaign",
+    "run_oracle",
+    "save_artifact",
+    "shrink_case",
+]

@@ -1,0 +1,93 @@
+"""The replayable corpus of minimized counterexamples.
+
+Every mismatch the fuzzer shrinks is written here as one JSON artifact:
+the minimized :class:`~repro.fuzz.generate.FuzzCase` (names and
+numbers only -- replay rebuilds the live objects from the same
+registries the generator used) plus the verdict that condemned it.
+``tests/fuzz/test_corpus.py`` auto-parametrizes over the committed
+corpus, so a counterexample found once is re-proven fixed on every CI
+run thereafter, and ``python -m repro fuzz --replay <path>`` re-runs
+one artifact interactively.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import re
+from typing import Dict, List, Optional
+
+from .generate import FuzzCase
+
+ARTIFACT_VERSION = 1
+
+#: The committed corpus location, relative to the repository root.
+DEFAULT_CORPUS_DIR = os.path.join("tests", "data", "fuzz_corpus")
+
+
+def _slug(name: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-")
+
+
+def artifact_name(case: FuzzCase) -> str:
+    return f"{_slug(case.oracle)}-{case.case_id[:12]}.json"
+
+
+def save_artifact(
+    case: FuzzCase,
+    corpus_dir: str,
+    status: str = "mismatch",
+    detail: str = "",
+) -> str:
+    """Write one minimized case; returns the artifact path.
+
+    The payload is canonical JSON (sorted keys, two-space indent,
+    trailing newline) so re-saving an identical case is a no-op diff.
+    """
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir, artifact_name(case))
+    payload = {
+        "artifact_version": ARTIFACT_VERSION,
+        "case": case.to_dict(),
+        "verdict": {"status": status, "detail": detail},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    return path
+
+
+def load_artifact(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: corpus artifact must be a JSON object")
+    return payload
+
+
+def load_case(path: str) -> FuzzCase:
+    """The :class:`FuzzCase` of one artifact (or bare-case) JSON file."""
+    payload = load_artifact(path)
+    case_payload = payload.get("case", payload)
+    try:
+        return FuzzCase.from_dict(case_payload)
+    except (KeyError, TypeError, ValueError) as err:
+        raise ValueError(f"{path}: malformed fuzz case: {err}") from err
+
+
+def corpus_paths(corpus_dir: Optional[str] = None) -> List[str]:
+    """Sorted artifact paths of a corpus directory (empty if absent)."""
+    root = corpus_dir or DEFAULT_CORPUS_DIR
+    return sorted(glob.glob(os.path.join(root, "*.json")))
+
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "DEFAULT_CORPUS_DIR",
+    "artifact_name",
+    "corpus_paths",
+    "load_artifact",
+    "load_case",
+    "save_artifact",
+]

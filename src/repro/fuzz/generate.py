@@ -1,0 +1,388 @@
+"""Seed-driven generation of differential fuzz cases.
+
+A :class:`FuzzCase` is a *description*, not a bag of live objects: spec,
+transform, sparsity, and balancing are named (the names come from the
+same registries the CLI exposes), bounds and densities are plain
+numbers, and tensors are regenerated from a recorded seed.  That keeps
+every case JSON-serializable and replayable byte-for-byte -- the corpus
+format of :mod:`repro.fuzz.corpus` is exactly ``FuzzCase.to_dict()``.
+
+Generation is deterministic in ``(campaign seed, case index)``: the
+per-case RNG is ``np.random.default_rng([seed, index])``, design combos
+are drawn through :meth:`repro.dse.space.DesignSpace.sample` (a seeded
+content-hash ranking, stable across processes), and nothing consults
+the clock or the PID.  Two fresh processes given the same seed produce
+identical case fingerprints, which is what lets the CI smoke job assert
+campaign-level determinism.
+
+Adversarial *near-illegal* mutations ride on top of the legal draws:
+
+* ``singular-transform`` -- the named transform's last matrix row is
+  overwritten with its first, producing a non-invertible mapping that
+  must fail identically on every evaluation path (``SpecError``, never
+  a crash or a silent wrong answer);
+* ``unit-bounds`` -- every index collapses to extent 1 (the smallest
+  legal iteration space, where off-by-one scheduling bugs live);
+* ``skewed-bounds`` -- one index stretched while the rest collapse,
+  exercising extreme aspect ratios the suite tables never produce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.balancing import LoadBalancingScheme, row_shift_scheme
+from ..core.dataflow import SpaceTimeTransform
+from ..core.functionality import batched_matmul_spec, conv1d_spec, matmul_spec
+from ..core.sparsity import SparsityStructure, csr_b_matrix
+from ..dse.space import DesignSpace, standard_transforms
+
+CASE_VERSION = 1
+
+#: Specs the generator draws from, with their per-index extent ceiling.
+SPEC_BUILDERS: Dict[str, Callable] = {
+    "matmul": matmul_spec,
+    "conv1d": conv1d_spec,
+    "bmm": batched_matmul_spec,
+}
+
+_BOUND_CAPS: Dict[str, int] = {"matmul": 6, "conv1d": 5, "bmm": 4}
+
+#: Mutation menu; ``None`` entries weight the legal majority.
+MUTATIONS: Tuple[Optional[str], ...] = (
+    None, None, None, None, None,
+    "singular-transform", "unit-bounds", "skewed-bounds",
+)
+
+#: Densities are quantized to one decimal so the JSON round-trip is
+#: exact and the fingerprint never depends on float formatting.
+_DENSITY_STEPS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+class FuzzCase:
+    """One replayable differential test case."""
+
+    __slots__ = (
+        "seed", "index", "oracle", "spec_name", "bounds",
+        "transform_name", "sparsity_name", "balancing_name",
+        "densities", "tensor_seed", "mutation",
+    )
+
+    def __init__(
+        self,
+        seed: int,
+        index: int,
+        oracle: str,
+        spec_name: str,
+        bounds: Dict[str, int],
+        transform_name: str,
+        sparsity_name: str,
+        balancing_name: str,
+        densities: Dict[str, float],
+        tensor_seed: int,
+        mutation: Optional[str] = None,
+    ):
+        self.seed = int(seed)
+        self.index = int(index)
+        self.oracle = oracle
+        self.spec_name = spec_name
+        self.bounds = {name: int(v) for name, v in bounds.items()}
+        self.transform_name = transform_name
+        self.sparsity_name = sparsity_name
+        self.balancing_name = balancing_name
+        self.densities = {name: float(d) for name, d in densities.items()}
+        self.tensor_seed = int(tensor_seed)
+        self.mutation = mutation
+
+    # -- identity --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": CASE_VERSION,
+            "seed": self.seed,
+            "index": self.index,
+            "oracle": self.oracle,
+            "spec": self.spec_name,
+            "bounds": dict(self.bounds),
+            "transform": self.transform_name,
+            "sparsity": self.sparsity_name,
+            "balancing": self.balancing_name,
+            "densities": dict(self.densities),
+            "tensor_seed": self.tensor_seed,
+            "mutation": self.mutation,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FuzzCase":
+        version = payload.get("version")
+        if version != CASE_VERSION:
+            raise ValueError(
+                f"unsupported fuzz-case version {version!r}"
+                f" (this build reads version {CASE_VERSION})"
+            )
+        return cls(
+            seed=payload["seed"],
+            index=payload["index"],
+            oracle=payload["oracle"],
+            spec_name=payload["spec"],
+            bounds=dict(payload["bounds"]),
+            transform_name=payload["transform"],
+            sparsity_name=payload["sparsity"],
+            balancing_name=payload["balancing"],
+            densities=dict(payload["densities"]),
+            tensor_seed=payload["tensor_seed"],
+            mutation=payload.get("mutation"),
+        )
+
+    @property
+    def case_id(self) -> str:
+        """Content fingerprint: sha256 over the canonical JSON form."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @property
+    def points(self) -> int:
+        """Iteration-space size -- the shrinker's primary cost metric."""
+        product = 1
+        for size in self.bounds.values():
+            product *= size
+        return product
+
+    def replace(self, **changes: object) -> "FuzzCase":
+        fields = {
+            "seed": self.seed,
+            "index": self.index,
+            "oracle": self.oracle,
+            "spec_name": self.spec_name,
+            "bounds": dict(self.bounds),
+            "transform_name": self.transform_name,
+            "sparsity_name": self.sparsity_name,
+            "balancing_name": self.balancing_name,
+            "densities": dict(self.densities),
+            "tensor_seed": self.tensor_seed,
+            "mutation": self.mutation,
+        }
+        fields.update(changes)
+        return FuzzCase(**fields)
+
+    def __repr__(self) -> str:
+        shape = "x".join(str(v) for v in self.bounds.values())
+        extras = f", mutation={self.mutation}" if self.mutation else ""
+        return (
+            f"FuzzCase({self.oracle}: {self.spec_name} {shape}"
+            f" {self.transform_name}/{self.sparsity_name}"
+            f"/{self.balancing_name}{extras})"
+        )
+
+    # -- materialization -------------------------------------------------
+
+    def build_spec(self):
+        return SPEC_BUILDERS[self.spec_name]()
+
+    def build_bounds(self):
+        from ..core.expr import Bounds
+
+        return Bounds(dict(self.bounds))
+
+    def build_transform(self) -> SpaceTimeTransform:
+        """The live transform; raises :class:`SpecError` for the
+        ``singular-transform`` mutation (by design -- every evaluation
+        path must refuse it the same way).
+
+        The standard transforms are rank 3 over ``(i, j, k)``; for the
+        batched-matmul spec they are lifted to rank 4 by giving the
+        leading batch index its own time dimension (the multi-time
+        idiom), so the batch folds into the schedule while the spatial
+        projection is unchanged.
+        """
+        base = standard_transforms()[self.transform_name]
+        if self.spec_name != "bmm" and self.mutation != "singular-transform":
+            return base
+        matrix = [list(row) for row in base.matrix]
+        if self.spec_name == "bmm":
+            matrix = [[0] + row for row in matrix]
+            matrix.insert(base.space_dims, [1, 0, 0, 0])
+        if self.mutation == "singular-transform":
+            matrix[-1] = list(matrix[0])
+        return SpaceTimeTransform(matrix, space_dims=base.space_dims)
+
+    def build_sparsity(self, spec) -> SparsityStructure:
+        if self.sparsity_name == "dense":
+            return SparsityStructure()
+        if self.sparsity_name == "b-csr":
+            return csr_b_matrix(spec)
+        raise ValueError(f"unknown sparsity {self.sparsity_name!r}")
+
+    def build_balancing(self) -> LoadBalancingScheme:
+        if self.balancing_name == "none":
+            return LoadBalancingScheme()
+        if self.balancing_name == "row-shift":
+            rows = self.bounds.get("i", 2)
+            return row_shift_scheme(max(rows // 2, 1))
+        raise ValueError(f"unknown balancing {self.balancing_name!r}")
+
+    def build_tensors(self) -> Dict[str, np.ndarray]:
+        """Regenerate the workload from the recorded tensor seed.
+
+        Shapes follow the spec's own accesses (affine subscripts such as
+        ``I[ox + f]`` widen the axis), mirroring the CLI's random
+        workloads; each tensor is then thinned to its recorded density.
+        """
+        spec = self.build_spec()
+        bounds = self.build_bounds()
+        max_env = {name: self.bounds[name] - 1 for name in self.bounds}
+        extents: Dict[str, List[int]] = {}
+        from ..core.expr import IndexExpr
+        from ..core.functionality import AssignmentKind
+
+        input_names = {t.name for t in spec.input_tensors()}
+        for assignment in spec.assignments:
+            if assignment.kind is AssignmentKind.OUTPUT:
+                continue
+            for access in assignment.rhs.references():
+                if access.target.name not in input_names:
+                    continue
+                sizes = extents.setdefault(
+                    access.target.name, [1] * access.target.rank
+                )
+                for axis, sub in enumerate(access.subscripts):
+                    if isinstance(sub, IndexExpr):
+                        sizes[axis] = max(
+                            sizes[axis], sub.evaluate(max_env, bounds) + 1
+                        )
+
+        rng = np.random.default_rng([self.tensor_seed, self.index])
+        tensors: Dict[str, np.ndarray] = {}
+        for tensor in spec.input_tensors():
+            shape = tuple(extents.get(tensor.name, [1] * tensor.rank))
+            values = rng.integers(-4, 5, shape)
+            density = self.densities.get(tensor.name, 1.0)
+            if density < 1.0:
+                values = np.where(rng.random(shape) < density, values, 0)
+            tensors[tensor.name] = values
+        return tensors
+
+
+# ---------------------------------------------------------------------------
+# The generator
+# ---------------------------------------------------------------------------
+
+
+def design_space_for(spec_name: str) -> DesignSpace:
+    """The legal combo space the generator samples for ``spec_name``.
+
+    Non-dense sparsity and load balancing are matmul idioms (they name
+    the ``B`` operand and the ``i`` rows); the other specs keep those
+    axes degenerate, exactly like the workload suites do.
+    """
+    sparsities: Dict[str, SparsityStructure] = {"dense": SparsityStructure()}
+    balancings: Dict[str, LoadBalancingScheme] = {"none": LoadBalancingScheme()}
+    if spec_name == "matmul":
+        sparsities["b-csr"] = csr_b_matrix(matmul_spec())
+        balancings["row-shift"] = row_shift_scheme(2)
+    return DesignSpace(standard_transforms(), sparsities, balancings)
+
+
+def _clamp_for_oracle(case: FuzzCase) -> FuzzCase:
+    """Per-oracle budget clamps, applied deterministically.
+
+    The RTL equivalence oracle lowers, canonicalizes, and lockstep-
+    simulates whole netlists, and the autotuner oracles evaluate a
+    combo cross product per case -- both need smaller iteration spaces
+    than the sim oracles to keep a 200-case campaign in smoke-test
+    territory.
+    """
+    if case.oracle == "rtl.opt0_vs_opt2":
+        return case.replace(
+            bounds={name: min(size, 3) for name, size in case.bounds.items()}
+        )
+    if case.oracle == "exec.halving_eta1_vs_exhaustive":
+        return case.replace(
+            bounds={name: min(size, 4) for name, size in case.bounds.items()}
+        )
+    return case
+
+
+def generate_case(
+    seed: int, index: int, oracle_names: Sequence[str]
+) -> FuzzCase:
+    """Case ``index`` of the campaign seeded with ``seed``.
+
+    Oracles are assigned round-robin so every campaign exercises the
+    whole registry; all other draws come from one per-case RNG.
+    """
+    if not oracle_names:
+        raise ValueError("generate_case needs at least one oracle name")
+    oracle = oracle_names[index % len(oracle_names)]
+    rng = np.random.default_rng([int(seed), int(index)])
+
+    # The suite-driven oracles evaluate workload tables, which are
+    # matmul-shaped; everything else draws across the spec library.
+    if oracle == "exec.halving_eta1_vs_exhaustive":
+        spec_name = "matmul"
+    else:
+        spec_name = list(SPEC_BUILDERS)[int(rng.integers(0, len(SPEC_BUILDERS)))]
+    spec = SPEC_BUILDERS[spec_name]()
+    cap = _BOUND_CAPS[spec_name]
+    bounds = {
+        name: int(rng.integers(1, cap + 1)) for name in spec.index_names
+    }
+
+    space = design_space_for(spec_name)
+    sampled = space.sample(4, seed=int(rng.integers(0, 2**31)))
+    combo = sampled[int(rng.integers(0, len(sampled)))]
+
+    densities = {
+        tensor.name: float(
+            _DENSITY_STEPS[int(rng.integers(0, len(_DENSITY_STEPS)))]
+        )
+        for tensor in spec.input_tensors()
+    }
+    mutation = MUTATIONS[int(rng.integers(0, len(MUTATIONS)))]
+    case = FuzzCase(
+        seed=seed,
+        index=index,
+        oracle=oracle,
+        spec_name=spec_name,
+        bounds=bounds,
+        transform_name=combo.transform_name,
+        sparsity_name=combo.sparsity_name,
+        balancing_name=combo.balancing_name,
+        densities=densities,
+        tensor_seed=int(rng.integers(0, 2**31)),
+        mutation=mutation,
+    )
+    case = _apply_bounds_mutation(case)
+    return _clamp_for_oracle(case)
+
+
+def _apply_bounds_mutation(case: FuzzCase) -> FuzzCase:
+    if case.mutation == "unit-bounds":
+        return case.replace(bounds={name: 1 for name in case.bounds})
+    if case.mutation == "skewed-bounds":
+        names = sorted(case.bounds)
+        skewed = {name: 1 for name in names}
+        skewed[names[0]] = _BOUND_CAPS[case.spec_name] + 1
+        return case.replace(bounds=skewed)
+    return case
+
+
+def generate_cases(
+    seed: int, count: int, oracle_names: Sequence[str]
+) -> List[FuzzCase]:
+    return [generate_case(seed, index, oracle_names) for index in range(count)]
+
+
+__all__ = [
+    "CASE_VERSION",
+    "FuzzCase",
+    "SPEC_BUILDERS",
+    "MUTATIONS",
+    "design_space_for",
+    "generate_case",
+    "generate_cases",
+]

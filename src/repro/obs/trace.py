@@ -86,19 +86,25 @@ class Tracer:
 
     DEFAULT_CAPACITY = 65536
 
-    __slots__ = ("enabled", "capacity", "dropped", "_events", "_clock")
+    __slots__ = ("enabled", "capacity", "dropped", "sink", "_events", "_clock")
 
     def __init__(
         self,
         capacity: int = DEFAULT_CAPACITY,
         enabled: bool = False,
         clock: Callable[[], float] = time.perf_counter,
+        sink: Optional[Callable[[TraceEvent], None]] = None,
     ):
         if capacity < 1:
             raise ValueError(f"tracer capacity must be positive, got {capacity}")
         self.enabled = enabled
         self.capacity = capacity
         self.dropped = 0
+        #: Optional live-forwarding callback, invoked with every emitted
+        #: event *in addition to* buffering it (e.g. the serve daemon
+        #: streaming DSE progress to a connected client).  Exceptions
+        #: propagate to the emitting site, so sinks must not raise.
+        self.sink = sink
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._clock = clock
 
@@ -122,6 +128,8 @@ class Tracer:
         if len(self._events) == self.capacity:
             self.dropped += 1
         self._events.append(event)
+        if self.sink is not None:
+            self.sink(event)
 
     def instant(
         self,

@@ -97,6 +97,47 @@ def _sanitize(name: str) -> str:
     return "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
 
 
+def _pe_acc_name(design: CompiledDesign) -> str:
+    """The PE-internal MAC accumulator name for this design.
+
+    Every spec variable ``v`` contributes fixed-suffix declarations to
+    the PE module (``v_in``/``v_out``/``v_hold``/``v_pipe_N``/...), so a
+    spec whose local is literally named ``acc`` (the conv1d spec) would
+    collide with the hard-coded accumulator's ``acc_out`` port.  Pick
+    the first of ``acc``, ``acc_0``, ``acc_1``, ... whose register and
+    ``_out`` port are both free; designs without the clash keep the
+    historical names byte-for-byte.
+    """
+    conn_vars = {c.variable for c in design.array.conns}
+    roles = design.dataflow_roles
+    taken = {"clk", "rst", "en", "x_coord", "y_coord", "t_counter"}
+    for variable in design.spec.difference_vectors():
+        role = roles.get(variable, "moving")
+        if variable in conn_vars and role == "stationary":
+            taken.update(
+                (f"{variable}_hold", f"{variable}_load", f"{variable}_in")
+            )
+        elif variable in conn_vars:
+            depth = max(
+                1, design.pipelining.registers_per_variable.get(variable, 0)
+            )
+            taken.update((f"{variable}_in", f"{variable}_out"))
+            taken.update(f"{variable}_pipe_{s}" for s in range(depth))
+        else:
+            taken.update(
+                f"{variable}_{suffix}"
+                for suffix in (
+                    "rf_rd_data", "rf_rd_req", "rf_wr_data", "rf_wr_req",
+                    "val",
+                )
+            )
+    name, counter = "acc", 0
+    while name in taken or f"{name}_out" in taken:
+        name = f"acc_{counter}"
+        counter += 1
+    return name
+
+
 # ---------------------------------------------------------------------------
 # PE (Figure 11)
 # ---------------------------------------------------------------------------
@@ -167,16 +208,17 @@ def _lower_pe(design: CompiledDesign, name: str) -> Module:
     # User-defined logic: a representative MAC datapath over the connected
     # operands (the exact expression tree lives in the functional spec; the
     # hardware instantiates one multiplier and one adder per compute rule).
-    module.reg("acc", bits)
+    acc = _pe_acc_name(design)
+    module.reg(acc, bits)
     if len(compute_terms) >= 2:
         product = f"{compute_terms[0]} * {compute_terms[1]}"
     elif compute_terms:
         product = compute_terms[0]
     else:
         product = f"{bits}'d0"
-    module.sync([f"if (en) acc <= acc + {product};"], [f"acc <= {bits}'d0;"])
-    module.output("acc_out", bits)
-    module.assign("acc_out", "acc")
+    module.sync([f"if (en) {acc} <= {acc} + {product};"], [f"{acc} <= {bits}'d0;"])
+    module.output(f"{acc}_out", bits)
+    module.assign(f"{acc}_out", acc)
     return module
 
 
@@ -250,7 +292,8 @@ def _lower_array(design: CompiledDesign, name: str, pe: Module) -> Module:
         rf_rd_bus[variable] = bus(variable, "rf_rd_data", len(positions), bits, PortDir.INPUT)
         rf_wr_bus[variable] = bus(variable, "rf_wr_data", len(positions), bits, PortDir.OUTPUT)
 
-    acc_bus = bus("array", "acc_out", len(positions), bits, PortDir.OUTPUT)
+    acc = _pe_acc_name(design)
+    acc_bus = bus("array", f"{acc}_out", len(positions), bits, PortDir.OUTPUT)
 
     def slice_of(bus_name: str, index: int) -> str:
         width = bus_slices[bus_name]
@@ -288,7 +331,7 @@ def _lower_array(design: CompiledDesign, name: str, pe: Module) -> Module:
         for variable in sorted(pruned):
             conns[f"{variable}_rf_rd_data"] = slice_of(rf_rd_bus[variable], idx)
             conns[f"{variable}_rf_wr_data"] = slice_of(rf_wr_bus[variable], idx)
-        conns["acc_out"] = slice_of(acc_bus, idx)
+        conns[f"{acc}_out"] = slice_of(acc_bus, idx)
         module.instantiate(pe, pe_of[pos], conns)
 
     return module

@@ -422,6 +422,39 @@ class EvalServer:
         )
 
     def _evaluate_sweep(self, request, emit_row, emit_trace) -> Dict[str, object]:
+        from ..obs.trace import Tracer, set_tracer
+
+        # Forward the DSE layer's obs tracer events (per-point spans,
+        # illegal-point instants) to the client as live ``trace``
+        # messages.  The sink tracer is installed for the duration of
+        # this evaluation only; that is safe because evaluations are
+        # serialized on the single-worker evaluator thread.  Worker
+        # processes fold their buffers back through ``Tracer.merge``,
+        # which also feeds the sink.
+        def forward(event) -> None:
+            if event.component != "dse":
+                return
+            emit_trace(
+                {
+                    "event": event.name,
+                    "component": event.component,
+                    "kind": event.kind,
+                    "domain": event.domain,
+                    "ts": event.ts,
+                    "dur": event.dur,
+                    "payload": event.payload,
+                }
+            )
+
+        previous = set_tracer(Tracer(enabled=True, sink=forward))
+        try:
+            return self._evaluate_sweep_inner(request, emit_row, emit_trace)
+        finally:
+            set_tracer(previous)
+
+    def _evaluate_sweep_inner(
+        self, request, emit_row, emit_trace
+    ) -> Dict[str, object]:
         suite = self._build_suite(request)
         if request.get("halving"):
             from ..exec.halving import halving_autotune_suite

@@ -723,3 +723,25 @@ def _cells_to_array(cells: Dict[Tuple[int, ...], object]) -> np.ndarray:
     for coords, value in cells.items():
         out[coords] = value
     return out
+
+
+def differential_run(
+    design: CompiledDesign,
+    tensors: Mapping[str, np.ndarray],
+    vectorize: bool = True,
+    kernel: bool = True,
+) -> SimResult:
+    """Run ``design`` with memoization disabled -- the oracle entry point.
+
+    Differential comparisons of the simulator's redundant evaluation
+    strategies (scalar vs vectorized skip evaluation, kernel vs scalar
+    reference) are only meaningful when each invocation actually
+    exercises its own path; the content-keyed memos would otherwise
+    answer for both sides.  This helper pins ``memo=None`` so callers
+    (the ``repro.fuzz`` oracles, the differential test suite) cannot get
+    that wrong.
+    """
+    sim = SpatialArraySim(
+        design, memo=None, vectorize=vectorize, kernel=kernel
+    )
+    return sim.run(tensors)

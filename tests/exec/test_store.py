@@ -128,6 +128,71 @@ class TestFailureModes:
         assert store.put("stage", KEY, 1) is False
         assert store.stats.write_failures == 1
 
+    def test_torn_npz_with_consistent_header_is_a_miss(self, store):
+        """A truncated ``.npz`` payload whose header still checks out.
+
+        The checksum guards the bytes on disk, not their decodability:
+        a torn write that lands a *self-consistent* header over a
+        truncated archive (header rewritten during GC-era compaction,
+        payload cut mid-copy) passes every ``_validate`` check and only
+        fails inside ``np.load``.  That decode failure must be a plain
+        corrupt-miss, never an exception out of ``get``.
+        """
+        import hashlib
+
+        tensors = {"A": np.arange(64, dtype=np.int64).reshape(8, 8)}
+        store.put("sim", KEY, tensors)
+        path = store.entry_path("sim", KEY)
+        raw = open(path, "rb").read()
+        rest = raw[len(MAGIC):]
+        newline = rest.find(b"\n")
+        header = json.loads(rest[:newline].decode())
+        torn = rest[newline + 1:][: header["size"] // 2]
+        # Re-seal the header over the truncated payload so size and
+        # sha256 both validate -- only the npz decode can now fail.
+        header["size"] = len(torn)
+        header["sha256"] = hashlib.sha256(torn).hexdigest()
+        blob = MAGIC + json.dumps(header, sort_keys=True).encode() + b"\n" + torn
+        open(path, "wb").write(blob)
+
+        assert store.get("sim", KEY) == (False, None)
+        assert store.stats.corrupt == 1
+        assert store.stats.misses == 1
+        assert store.stats.hits == 0
+        assert not os.path.exists(path)  # bad entry deleted
+
+        # The store stays fully usable: rewrite, read back, and GC.
+        assert store.put("sim", KEY, tensors)
+        hit, value = store.get("sim", KEY)
+        assert hit
+        np.testing.assert_array_equal(value["A"], tensors["A"])
+        assert store.gc() == 0
+
+    def test_torn_npz_mid_gc_stays_collectable(self, store):
+        """A torn entry left on disk never wedges the byte-budget GC."""
+        import hashlib
+
+        tensors = {"A": np.ones((16, 16))}
+        store.put("sim", KEY, tensors)
+        path = store.entry_path("sim", KEY)
+        raw = open(path, "rb").read()
+        rest = raw[len(MAGIC):]
+        newline = rest.find(b"\n")
+        header = json.loads(rest[:newline].decode())
+        torn = rest[newline + 1:][:16]
+        header["size"] = len(torn)
+        header["sha256"] = hashlib.sha256(torn).hexdigest()
+        open(path, "wb").write(
+            MAGIC + json.dumps(header, sort_keys=True).encode() + b"\n" + torn
+        )
+
+        # GC sees the torn file as one more LRU entry and evicts it
+        # under a budget squeeze instead of choking on its contents.
+        store.max_bytes = 1
+        assert store.gc() >= 1
+        assert not os.path.exists(path)
+        assert store.get("sim", KEY) == (False, None)
+
 
 class TestVersioningAndGC:
     def test_entries_live_under_version_tag(self, store):

@@ -1,0 +1,65 @@
+"""Regression replay of the committed fuzz corpus.
+
+Every artifact under ``tests/data/fuzz_corpus/`` is a counterexample
+the fuzzer once found (and shrank): the harness bug, simulator bug, or
+lowering bug it condemned has since been fixed, so replaying the case
+through its original oracle must now *agree* (``ok`` or ``illegal``).
+A regression that resurrects one of these bugs fails here with the
+artifact's name and original verdict in the assertion message.
+
+The parametrization is automatic: dropping a new ``.json`` artifact
+into the corpus directory adds a test case, no code change needed.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz import replay_case
+from repro.fuzz.corpus import corpus_paths, load_artifact, load_case
+
+CORPUS_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "data", "fuzz_corpus"
+)
+
+ARTIFACTS = corpus_paths(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    # The corpus carries the bugs this harness has already caught; an
+    # empty directory means the artifacts were lost, not that the code
+    # is clean.
+    assert ARTIFACTS, f"no fuzz corpus artifacts under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", ARTIFACTS, ids=[os.path.basename(p) for p in ARTIFACTS]
+)
+def test_artifact_replays_green(path):
+    artifact = load_artifact(path)
+    case = load_case(path)
+    verdict = replay_case(case)
+    original = artifact.get("verdict", {})
+    assert verdict.agreed, (
+        f"{os.path.basename(path)} regressed: oracle {case.oracle} now"
+        f" reports {verdict.status!r} ({verdict.detail}); the originally"
+        f" fixed failure was {original.get('status')!r}"
+        f" ({original.get('detail')})"
+    )
+
+
+@pytest.mark.parametrize(
+    "path", ARTIFACTS, ids=[os.path.basename(p) for p in ARTIFACTS]
+)
+def test_artifact_is_canonical(path):
+    """Artifacts are canonical JSON and name themselves consistently."""
+    import json
+
+    from repro.fuzz.corpus import ARTIFACT_VERSION, artifact_name
+
+    artifact = load_artifact(path)
+    assert artifact["artifact_version"] == ARTIFACT_VERSION
+    case = load_case(path)
+    assert os.path.basename(path) == artifact_name(case)
+    raw = open(path, "r", encoding="utf-8").read()
+    assert raw == json.dumps(artifact, sort_keys=True, indent=2) + "\n"

@@ -1,0 +1,261 @@
+"""Tests of the differential fuzzing harness itself.
+
+Three layers:
+
+* the *generator* -- deterministic in ``(seed, index)``, legal by
+  construction, adversarial mutations materialize as ``SpecError``;
+* the *campaign* -- same seed, same fingerprint, across runs; the CLI
+  honours the check/verify 0/1/2 exit contract;
+* the *reducer* -- an intentionally-injected simulator bug (the
+  vectorized sparse path silently dropping an iteration point) is
+  caught by the scalar-vs-vectorized oracle and shrunk to a corpus
+  artifact of a handful of iteration-space points.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz import (
+    ORACLE_CODES,
+    OracleContext,
+    load_case,
+    oracle_names,
+    replay_case,
+    run_campaign,
+    run_oracle,
+    shrink_case,
+)
+from repro.fuzz.generate import FuzzCase, generate_case, generate_cases
+from repro.fuzz.shrink import case_cost
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.spatial_array import SpatialArraySim
+
+
+class TestGenerator:
+    def test_same_seed_same_cases(self):
+        first = generate_cases(11, 8, oracle_names())
+        second = generate_cases(11, 8, oracle_names())
+        assert [c.case_id for c in first] == [c.case_id for c in second]
+
+    def test_different_seeds_differ(self):
+        a = generate_cases(0, 8, oracle_names())
+        b = generate_cases(1, 8, oracle_names())
+        assert [c.case_id for c in a] != [c.case_id for c in b]
+
+    def test_oracles_assigned_round_robin(self):
+        cases = generate_cases(0, 12, oracle_names())
+        assert [c.oracle for c in cases[:6]] == oracle_names()
+        assert [c.oracle for c in cases[6:]] == oracle_names()
+
+    def test_case_roundtrips_through_json(self):
+        case = generate_case(3, 5, oracle_names())
+        clone = FuzzCase.from_dict(json.loads(json.dumps(case.to_dict())))
+        assert clone.case_id == case.case_id
+
+    def test_unknown_case_version_is_rejected(self):
+        payload = generate_case(0, 0, oracle_names()).to_dict()
+        payload["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            FuzzCase.from_dict(payload)
+
+    def test_bmm_transforms_are_lifted_to_rank_four(self):
+        case = generate_case(0, 0, oracle_names()).replace(
+            spec_name="bmm",
+            bounds={"n": 2, "i": 2, "j": 2, "k": 2},
+            mutation=None,
+        )
+        transform = case.build_transform()
+        assert len(transform.matrix) == 4
+        assert transform.space_dims == 2
+
+    def test_singular_mutation_raises_on_materialization(self):
+        from repro.core.functionality import SpecError
+
+        case = generate_case(0, 0, oracle_names()).replace(
+            mutation="singular-transform"
+        )
+        with pytest.raises(SpecError):
+            case.build_transform()
+
+    def test_singular_mutation_is_an_agreed_illegal_verdict(self):
+        case = generate_case(0, 0, oracle_names()).replace(
+            oracle="sim.scalar_vs_vectorized", mutation="singular-transform"
+        )
+        with OracleContext() as ctx:
+            verdict = run_oracle(case, ctx)
+        assert verdict.status == "illegal"
+        assert verdict.agreed
+
+
+class TestOracleRegistry:
+    def test_six_oracles_with_distinct_codes(self):
+        assert len(oracle_names()) == 6
+        codes = [ORACLE_CODES[name] for name in oracle_names()]
+        assert len(set(codes)) == 6
+        assert all(code.startswith("STL-FZ-") for code in codes)
+
+    def test_unknown_oracle_is_an_error(self):
+        case = generate_case(0, 0, oracle_names()).replace(oracle="nope")
+        with OracleContext() as ctx:
+            with pytest.raises(ValueError, match="nope"):
+                run_oracle(case, ctx)
+
+
+class TestCampaign:
+    def test_same_seed_same_fingerprint(self):
+        first = run_campaign(seed=5, cases=6)
+        second = run_campaign(seed=5, cases=6)
+        assert first.fingerprint == second.fingerprint
+        assert first.entries == second.entries
+
+    def test_counters_live_in_the_campaign_registry(self):
+        registry = MetricsRegistry()
+        report = run_campaign(seed=5, cases=3, registry=registry)
+        assert report.metrics["fuzz.cases"] == 3
+        assert registry.counter("fuzz.cases").value == 3
+
+    def test_unknown_oracle_name_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown oracle"):
+            run_campaign(seed=0, cases=1, oracles=["sim.bogus"])
+
+
+class TestCli:
+    def test_clean_campaign_exits_zero(self, capsys):
+        assert main(["fuzz", "--seed", "5", "--cases", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz campaign: seed=5 cases=2" in out
+        assert "all oracles agreed" in out
+
+    def test_json_report_shape(self, capsys):
+        assert main(["fuzz", "--seed", "5", "--cases", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["seed"] == 5
+        assert payload["cases"] == 2
+        assert payload["mismatches"] == []
+        assert set(payload["tally"]) <= set(oracle_names())
+
+    def test_unknown_oracle_is_a_usage_error(self, capsys):
+        assert main(["fuzz", "--cases", "1", "--oracle", "sim.bogus"]) == 2
+        assert "unknown oracle" in capsys.readouterr().err
+
+    def test_replay_of_missing_artifact_is_a_usage_error(self, capsys):
+        assert main(["fuzz", "--replay", "/no/such/artifact.json"]) == 2
+        assert "no such artifact" in capsys.readouterr().err
+
+    def test_replay_of_malformed_artifact_is_a_usage_error(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "bad.json"
+        path.write_text('{"case": {"version": 1}}')
+        assert main(["fuzz", "--replay", str(path)]) == 2
+        assert "malformed fuzz case" in capsys.readouterr().err
+
+
+@pytest.fixture
+def injected_vectorize_bug(monkeypatch):
+    """The vectorized sparse path silently drops the last valid point."""
+    original = SpatialArraySim._valid_points
+
+    def buggy(self, tensors):
+        points = original(self, tensors)
+        return points[:-1] if self.vectorize else points
+
+    monkeypatch.setattr(SpatialArraySim, "_valid_points", buggy)
+
+
+class TestInjectedBugIsCaughtAndShrunk:
+    # Seed 3 puts a sparse b-csr matmul (the only shape that reaches
+    # _valid_points) at case index 3 of the scalar-vs-vectorized stream.
+    SEED, CASES = 3, 4
+
+    def test_mutation_is_caught_shrunk_and_replayable(
+        self, tmp_path, injected_vectorize_bug
+    ):
+        report = run_campaign(
+            seed=self.SEED,
+            cases=self.CASES,
+            oracles=["sim.scalar_vs_vectorized"],
+            corpus_dir=str(tmp_path),
+        )
+        assert len(report.mismatches) == 1
+        entry = report.mismatches[0]
+        assert entry["status"] == "mismatch"
+        assert report.metrics["fuzz.mismatches"] == 1
+        assert report.metrics["fuzz.shrink_steps"] >= 1
+
+        # The reducer got the counterexample down to a trivial core.
+        assert entry["shrunk_points"] <= 8
+
+        case = load_case(entry["artifact"])
+        assert case.points == entry["shrunk_points"]
+        assert case.sparsity_name == "b-csr"  # dense never reproduces
+
+        # Replaying the artifact with the bug still live re-condemns it.
+        assert not replay_case(case).agreed
+
+        diag = report.diagnostics[0]
+        assert diag.code == ORACLE_CODES["sim.scalar_vs_vectorized"]
+        assert diag.layer == "fuzz"
+
+    def test_fixed_build_replays_the_artifact_green(self, tmp_path):
+        # Without the injected bug the same campaign is clean...
+        report = run_campaign(
+            seed=self.SEED,
+            cases=self.CASES,
+            oracles=["sim.scalar_vs_vectorized"],
+            corpus_dir=str(tmp_path),
+        )
+        assert report.mismatches == []
+        # ...which is exactly the contract test_corpus.py enforces for
+        # every committed artifact.
+
+
+class TestShrinker:
+    def test_always_failing_case_shrinks_to_the_floor(self, monkeypatch):
+        import repro.fuzz.shrink as shrink_mod
+
+        class _Disagreed:
+            agreed = False
+
+        monkeypatch.setattr(
+            shrink_mod, "run_oracle", lambda case, ctx: _Disagreed()
+        )
+        case = generate_case(0, 0, oracle_names()).replace(
+            spec_name="matmul",
+            bounds={"i": 6, "j": 4, "k": 5},
+            transform_name="hexagonal",
+            sparsity_name="b-csr",
+            balancing_name="row-shift",
+            densities={"A": 0.4, "B": 0.6},
+            mutation="skewed-bounds",
+        )
+        minimized, steps = shrink_case(case, ctx=None)
+        assert minimized.points == 1
+        assert minimized.bounds == {"i": 1, "j": 1, "k": 1}
+        assert minimized.sparsity_name == "dense"
+        assert minimized.balancing_name == "none"
+        assert minimized.mutation is None
+        assert minimized.transform_name == "output-stationary"
+        assert steps >= 1
+
+    def test_never_reproducing_candidate_keeps_the_original(self, monkeypatch):
+        import repro.fuzz.shrink as shrink_mod
+
+        class _Agreed:
+            agreed = True
+
+        monkeypatch.setattr(
+            shrink_mod, "run_oracle", lambda case, ctx: _Agreed()
+        )
+        case = generate_case(0, 0, oracle_names())
+        minimized, _steps = shrink_case(case, ctx=None)
+        assert minimized.case_id == case.case_id
+
+    def test_cost_orders_smaller_cases_first(self):
+        case = generate_case(0, 0, oracle_names()).replace(
+            bounds={"i": 4, "j": 4, "k": 4}
+        )
+        halved = case.replace(bounds={"i": 2, "j": 4, "k": 4})
+        assert case_cost(halved) < case_cost(case)

@@ -1,0 +1,136 @@
+"""Differential tests: the serve path against the batch path.
+
+The workload table is *fuzz-generated* -- drawn from the same seeded
+generator the fuzzing harness uses -- and evaluated twice: once through
+a live :class:`EvalServer` via :class:`ServeClient`, once in-process
+through :func:`evaluate_suite`.  The two must agree byte-for-byte after
+JSON canonicalization, both for a lone request and for two identical
+requests coalesced by in-flight deduplication (where the late joiner
+replays the buffered stream).
+
+This file also covers the tracer-forwarding path end to end: the
+production sweep evaluator installs a sink tracer that forwards the DSE
+layer's obs trace events as ``trace`` messages, so a real sweep streams
+per-point spans -- and a dedup joiner sees the *same* trace/row
+interleaving the original subscriber saw.
+"""
+
+import json
+import threading
+
+from repro.exec.cache import CompileCache
+from repro.exec.suite import build_table_suite, evaluate_suite
+from repro.fuzz.generate import generate_cases
+from repro.serve.protocol import jsonable
+
+from .test_server import harness  # noqa: F401 - shared server fixture
+
+CAP, SEED = 6, 7
+
+
+def fuzz_table():
+    """A workload table drawn from the fuzz generator's matmul stream."""
+    cases = [
+        c
+        for c in generate_cases(0, 12, ["exec.halving_eta1_vs_exhaustive"])
+        if c.mutation is None
+    ]
+    table = []
+    for case in cases[:3]:
+        table.append(
+            {
+                "name": f"fuzz-{case.index}",
+                "m": case.bounds["i"],
+                "k": case.bounds["k"],
+                "n": case.bounds["j"],
+                "a_density": case.densities.get("A", 1.0),
+                "b_density": case.densities.get("B", 1.0),
+            }
+        )
+    return table
+
+
+TABLE = fuzz_table()
+
+
+def batch_rows():
+    result = evaluate_suite(
+        build_table_suite(TABLE, cap=CAP, seed=SEED),
+        jobs=1,
+        cache=CompileCache(),
+    )
+    return jsonable(result.rows)
+
+
+class TestFuzzSweepDifferential:
+    def test_server_rows_are_byte_identical_to_batch(self, harness):  # noqa: F811
+        h = harness()
+        traces = []
+        result = h.client.sweep(
+            table=TABLE, cap=CAP, seed=SEED, on_trace=traces.append
+        )
+        assert json.dumps(result["rows"]) == json.dumps(batch_rows())
+        # The production evaluator forwarded the DSE layer's obs tracer
+        # events: one per-point span per layer, at least.
+        assert len(traces) >= len(TABLE)
+        assert {t["component"] for t in traces} == {"dse"}
+        span_names = [t["event"] for t in traces]
+        for row in result["rows"]:
+            assert row["name"] in span_names
+
+    def test_dedup_replay_is_byte_identical_including_traces(self, harness):  # noqa: F811
+        h = harness()
+        release = threading.Event()
+        real = h.server._evaluator
+
+        def gated(request, emit_row, emit_trace):
+            assert release.wait(30)
+            return real(request, emit_row, emit_trace)
+
+        h.server._evaluator = gated
+
+        streams = [None, None]
+
+        def client_run(slot):
+            traces, rows = [], []
+            result = h.client.sweep(
+                table=TABLE,
+                cap=CAP,
+                seed=SEED,
+                on_row=lambda index, row: rows.append((index, row)),
+                on_trace=traces.append,
+            )
+            streams[slot] = {
+                "rows": result["rows"],
+                "streamed": rows,
+                "traces": traces,
+                "dedup": result["dedup"],
+            }
+
+        first = threading.Thread(target=client_run, args=(0,))
+        second = threading.Thread(target=client_run, args=(1,))
+        first.start()
+        second.start()
+        h.wait_active(2)
+        release.set()
+        first.join(timeout=60)
+        second.join(timeout=60)
+        assert streams[0] is not None and streams[1] is not None
+
+        # One evaluation, two byte-identical result streams.
+        assert sorted(s["dedup"] for s in streams) == [False, True]
+        expected = json.dumps(batch_rows())
+        for stream in streams:
+            assert json.dumps(stream["rows"]) == expected
+
+        # The dedup joiner replayed the exact trace/row interleaving the
+        # original subscriber saw -- same events, same order, same
+        # payloads (timestamps included: they are the *same* messages).
+        assert json.dumps(streams[0]["streamed"]) == json.dumps(
+            streams[1]["streamed"]
+        )
+        assert json.dumps(streams[0]["traces"]) == json.dumps(
+            streams[1]["traces"]
+        )
+        assert len(streams[0]["traces"]) >= len(TABLE)
+        assert h.client.metrics()["server"]["dedup_hits"] == 1
